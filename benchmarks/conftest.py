@@ -1,0 +1,21 @@
+"""Benchmark-session fixtures: write the regenerated tables to disk."""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--table-dir",
+        action="store",
+        default="results",
+        help="directory for regenerated table artifacts",
+    )
+
+
+@pytest.fixture(scope="session")
+def table_dir(request, tmp_path_factory):
+    import pathlib
+
+    path = pathlib.Path(request.config.getoption("--table-dir"))
+    path.mkdir(parents=True, exist_ok=True)
+    return path

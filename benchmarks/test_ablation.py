@@ -1,0 +1,87 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+import pytest
+
+from repro.bench.ablation import (
+    DEFAULT_ROUTINES,
+    VARIANTS,
+    format_ablation,
+    generate_ablation,
+)
+
+
+@pytest.fixture(scope="module")
+def ablation_rows(table_dir):
+    rows = generate_ablation()
+    (table_dir / "ablation.txt").write_text(format_ablation(rows) + "\n")
+    return rows
+
+
+def _total(rows, variant):
+    return sum(row.counts[variant] for row in rows)
+
+
+def test_benchmark_ablation(benchmark, ablation_rows, table_dir):
+    benchmark.pedantic(
+        generate_ablation,
+        args=(("sgemm", "heat"),),
+        rounds=1,
+        iterations=1,
+    )
+    assert (table_dir / "ablation.txt").exists()
+
+
+def test_covers_all_variants(ablation_rows):
+    for row in ablation_rows:
+        assert set(row.counts) == set(VARIANTS)
+    assert len(ablation_rows) == len(DEFAULT_ROUTINES)
+
+
+def test_gvn_is_essential(ablation_rows):
+    """Section 3.2: renaming exposes the reshaped code to PRE."""
+    assert _total(ablation_rows, "no_gvn") > 1.1 * _total(ablation_rows, "reference")
+
+
+def test_reassociation_carries_the_new_column(ablation_rows):
+    assert _total(ablation_rows, "no_reassoc") > 1.3 * _total(ablation_rows, "reference")
+
+
+def test_premature_shift_conversion_hurts(ablation_rows):
+    """Section 5.2: shifts are not associative; converting multiplies
+    before reassociation loses reassociation opportunities."""
+    assert _total(ablation_rows, "premature_shift") > _total(ablation_rows, "reference")
+
+
+def test_lvn_adds_the_predicted_win(ablation_rows):
+    """Section 4.1: 'hash-based value numbering should also benefit from
+    reassociation' — adding it must not hurt, and must win somewhere."""
+    assert _total(ablation_rows, "with_lvn") <= _total(ablation_rows, "reference")
+    assert any(
+        row.counts["with_lvn"] < row.counts["reference"] for row in ablation_rows
+    )
+
+
+def test_shared_emission_beats_per_use_emission(ablation_rows):
+    assert _total(ablation_rows, "unshared_emission") > _total(ablation_rows, "reference")
+
+
+def test_strength_reduction_removes_multiplies(table_dir):
+    """Section 4.1/5.2: reassociation sets strength reduction up; the
+    extension pass must remove a large share of dynamic multiplies on the
+    address-arithmetic-bound kernels."""
+    from repro.bench.ablation import measure_strength_reduction
+
+    rows = measure_strength_reduction(("sgemm", "saxpy", "heat", "inithx"))
+    lines = [f"{name} {plain} {reduced}" for name, plain, reduced in rows]
+    (table_dir / "strength.txt").write_text("\n".join(lines) + "\n")
+    for name, plain, reduced in rows:
+        assert reduced < plain, name
+    total_plain = sum(p for _, p, _ in rows)
+    total_reduced = sum(r for _, _, r in rows)
+    assert total_reduced < 0.7 * total_plain
+
+
+def test_commutative_gvn_is_safe(ablation_rows):
+    """The extension may only help (the front end's canonical operand
+    order already hides most commutations)."""
+    assert _total(ablation_rows, "commutative_gvn") <= _total(ablation_rows, "reference")

@@ -1,0 +1,86 @@
+"""Section 5.3: the redundancy-elimination hierarchy, measured.
+
+"Assume for each that we have used the techniques described in Sections
+3.1 and 3.2 to encode value equivalence into the name space" — so each
+method runs after reassociation + global value numbering, and we count
+the redundant computations each one removes:
+
+    dominator-based  ≤  available-expressions  ≤  PRE
+"""
+
+import pytest
+
+from repro.bench.suite import SUITE, suite_routines
+from repro.frontend import compile_program
+from repro.passes import global_reassociation, global_value_numbering
+from repro.passes.cse import available_cse_transform, dominator_cse_transform
+from repro.passes.pre import pre_transform
+
+ROUTINES = ("sgemm", "sgemv", "tomcatv", "spline", "decomp", "heat", "fmin", "seval")
+
+# structured loop code rarely leaves a redundancy without a dominating
+# occurrence, so the section 2 if-then-else case is measured explicitly:
+# both arms and the join compute x*y + x
+JOIN_CASE = """
+routine joins(p: int, x: int, y: int) -> int
+  integer a, b
+  if p > 0 then
+    a = x * y + x
+  else
+    a = x * y + x + 1
+  end
+  b = x * y + x
+  return a + b
+end
+"""
+
+
+def prepared(name):
+    if name == "joins":
+        module = compile_program(JOIN_CASE)
+        func = module["joins"]
+    else:
+        routine = SUITE[name]
+        module = compile_program(routine.source)
+        func = module[routine.entry_name]
+    global_reassociation(func, distribute=True)
+    global_value_numbering(func)
+    return func
+
+
+@pytest.fixture(scope="module")
+def hierarchy_counts(table_dir):
+    suite_routines()
+    counts = {}
+    for name in ROUTINES + ("joins",):
+        counts[name] = {
+            "dominator": dominator_cse_transform(prepared(name)).deletions,
+            "available": available_cse_transform(prepared(name)).deletions,
+            "pre": pre_transform(prepared(name)).deletions,
+        }
+    lines = [
+        f"{name}: dominator={c['dominator']} available={c['available']} pre={c['pre']}"
+        for name, c in counts.items()
+    ]
+    (table_dir / "hierarchy.txt").write_text("\n".join(lines) + "\n")
+    return counts
+
+
+def test_benchmark_hierarchy(benchmark, hierarchy_counts):
+    benchmark.pedantic(
+        lambda: dominator_cse_transform(prepared("sgemm")), rounds=1, iterations=1
+    )
+
+
+def test_hierarchy_holds_per_routine(hierarchy_counts):
+    for name, c in hierarchy_counts.items():
+        assert c["dominator"] <= c["available"] <= c["pre"], (name, c)
+
+
+def test_each_level_strictly_wins_somewhere(hierarchy_counts):
+    assert any(
+        c["available"] > c["dominator"] for c in hierarchy_counts.values()
+    ), "available-expressions CSE must beat dominator CSE somewhere"
+    assert any(
+        c["pre"] > c["available"] for c in hierarchy_counts.values()
+    ), "PRE must beat available-expressions CSE somewhere"

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""The paper's running example, Figures 2 through 10.
+
+Walks the paper's ``foo`` routine through every stage of the pipeline and
+prints the intermediate code at each step, mirroring the figures:
+
+* Figure 2/3 — source and naive intermediate form;
+* Figure 4 — pruned SSA with ranks;
+* Figures 5–7 — forward propagation and reassociation;
+* Figure 8 — partition-based value numbering / renaming;
+* Figure 9 — partial redundancy elimination;
+* Figure 10 — after coalescing (all copies gone, loop one op shorter).
+
+Run::
+
+    python examples/running_example.py
+"""
+
+from repro.frontend import compile_program
+from repro.interp import run_function
+from repro.ir import print_function
+from repro.passes import (
+    clean,
+    coalesce,
+    dead_code_elimination,
+    global_reassociation,
+    global_value_numbering,
+    partial_redundancy_elimination,
+    peephole,
+    sparse_conditional_constant_propagation,
+)
+from repro.passes.reassociate import compute_ranks
+from repro.ssa import to_ssa
+
+SOURCE = """
+routine foo(y: int, z: int) -> int
+  integer s, x, i
+  s = 0
+  x = y + z
+  do i = x, 100
+    s = 1 + s + x
+  end
+  return s
+end
+"""
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 64)
+    print(title)
+    print("=" * 64)
+
+
+def main() -> None:
+    banner("Figure 2 — source")
+    print(SOURCE.strip())
+
+    module = compile_program(SOURCE)
+    func = module["foo"]
+    banner("Figure 3 — naive intermediate form (front-end output)")
+    print(print_function(func))
+
+    ssa_view = compile_program(SOURCE)["foo"]
+    to_ssa(ssa_view)
+    ranks = compute_ranks(ssa_view)
+    banner("Figure 4 — pruned SSA form with ranks")
+    print(print_function(ssa_view))
+    print()
+    interesting = {name: rank for name, rank in sorted(ranks.items())}
+    print("ranks:", ", ".join(f"{n}={r}" for n, r in interesting.items()))
+
+    banner("Figures 5-7 — forward propagation + reassociation")
+    global_reassociation(func)
+    print(print_function(func))
+
+    banner("Figure 8 — after partition-based global value numbering")
+    global_value_numbering(func)
+    print(print_function(func))
+
+    banner("Figure 9 — after partial redundancy elimination")
+    partial_redundancy_elimination(func)
+    print(print_function(func))
+
+    banner("Figure 10 — after coalescing (and the baseline cleanup)")
+    sparse_conditional_constant_propagation(func)
+    peephole(func)
+    dead_code_elimination(func)
+    coalesce(func)
+    clean(func)
+    print(print_function(func))
+
+    banner("the paper's claim, measured")
+    result = run_function(func, [1, 2])
+    print(f"foo(1, 2) = {result.value} in {result.dynamic_count} dynamic ops")
+    fresh = compile_program(SOURCE)["foo"]
+    unopt = run_function(fresh, [1, 2])
+    print(f"unoptimized: {unopt.value} in {unopt.dynamic_count} dynamic ops")
+    print(
+        "the invariants 1+y and (1+y)+z sit in the loop preheader and the "
+        "loop body is one operation shorter than PRE alone achieves"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Code-quality analyses specific to the paper's requirements."""
+
+from repro.analysis.naming import (
+    NamingReport,
+    check_naming_discipline,
+    expression_names,
+)
+
+__all__ = ["NamingReport", "check_naming_discipline", "expression_names"]

@@ -1,0 +1,97 @@
+"""Checking the paper's naming discipline (sections 2.2 and 5.1).
+
+Section 2.2: "Within a single routine, lexically-identical expressions
+always receive the same name" and variable names are defined only by
+copies.  Section 5.1 adds the rule the authors "have never seen stated in
+the literature": *an expression defined in one basic block may not be
+referenced in another basic block* — every cross-block consumer must see
+a fresh same-block computation, or the name must be a variable name.
+
+:func:`check_naming_discipline` reports violations of all three rules;
+the front end's output and the code after global value numbering are
+tested to be clean, and the analysis powers
+:class:`~repro.dataflow.expressions.ExpressionTable`'s named/fresh split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.function import Function
+from repro.ir.instructions import ExprKey
+
+
+@dataclass
+class NamingReport:
+    """Violations of the naming discipline found in one function."""
+
+    multiple_names: list[str] = field(default_factory=list)
+    mixed_definitions: list[str] = field(default_factory=list)
+    cross_block_references: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not (
+            self.multiple_names
+            or self.mixed_definitions
+            or self.cross_block_references
+        )
+
+    def all_messages(self) -> list[str]:
+        return self.multiple_names + self.mixed_definitions + self.cross_block_references
+
+
+def expression_names(func: Function) -> dict[ExprKey, set[str]]:
+    """Map each lexical expression to the set of registers it targets."""
+    names: dict[ExprKey, set[str]] = {}
+    for inst in func.instructions():
+        key = inst.expr_key()
+        if key is not None and inst.target is not None:
+            names.setdefault(key, set()).add(inst.target)
+    return names
+
+
+def check_naming_discipline(func: Function) -> NamingReport:
+    """Check the section 2.2 / 5.1 rules; returns the violations found."""
+    report = NamingReport()
+    names = expression_names(func)
+
+    # rule 1 (section 2.2): one name per lexical expression
+    for key, targets in names.items():
+        if len(targets) > 1:
+            report.multiple_names.append(
+                f"expression {key!r} targets several names: {sorted(targets)}"
+            )
+
+    # rule 2: expression names are not also variable names
+    expression_regs = {reg for targets in names.values() for reg in targets}
+    for blk in func.blocks:
+        for inst in blk.instructions:
+            if inst.target is None:
+                continue
+            if inst.expr_key() is None and inst.target in expression_regs:
+                report.mixed_definitions.append(
+                    f"{blk.label}: {inst} writes expression name {inst.target!r}"
+                )
+
+    # rule 3 (section 5.1): an expression name may not be referenced in a
+    # block other than one that computes it first
+    computes_in_block: dict[str, set[str]] = {}
+    for blk in func.blocks:
+        for inst in blk.instructions:
+            key = inst.expr_key()
+            if key is not None and inst.target is not None:
+                computes_in_block.setdefault(inst.target, set()).add(blk.label)
+    for blk in func.blocks:
+        computed_here: set[str] = set()
+        for inst in blk.instructions:
+            for use in inst.uses():
+                if use in expression_regs and use not in computed_here:
+                    report.cross_block_references.append(
+                        f"{blk.label}: {inst} reads expression name {use!r} "
+                        "computed in another block"
+                    )
+            key = inst.expr_key()
+            if key is not None and inst.target is not None:
+                computed_here.add(inst.target)
+    return report

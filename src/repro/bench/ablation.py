@@ -1,0 +1,245 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Each variant is a full pass pipeline differing from the paper's
+DISTRIBUTION configuration in exactly one ingredient:
+
+* ``no_gvn`` — reassociation without global value numbering: shows that
+  renaming is what exposes the reshaped code to PRE (section 3.2);
+* ``no_reassoc`` — PRE alone (the paper's PARTIAL column);
+* ``unshared_emission`` — forward propagation materializing every tree
+  per use (the paper's own behaviour) instead of sharing within blocks;
+* ``with_lvn`` — adding the hash-based local value numbering the paper's
+  optimizer lacked (section 4.1 predicts a further win);
+* ``premature_shift`` — converting multiplies to shifts *before*
+  reassociation, the section 5.2 mistake ("we have accidentally measured
+  it more than once");
+* ``commutative_gvn`` — the AWZ extension that exploits commutativity.
+
+Run as a script::
+
+    python -m repro.bench.ablation
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from repro.bench.report import format_count, format_pct, format_table
+from repro.bench.suite import SuiteRoutine, suite_routines
+from repro.frontend import compile_program
+from repro.interp import Interpreter, Memory
+from repro.ir.function import Function, Module
+from repro.passes import (
+    clean,
+    coalesce,
+    dead_code_elimination,
+    global_reassociation,
+    global_value_numbering,
+    local_value_numbering,
+    partial_redundancy_elimination,
+    peephole,
+    sparse_conditional_constant_propagation,
+)
+
+_BASELINE = [
+    sparse_conditional_constant_propagation,
+    peephole,
+    dead_code_elimination,
+    coalesce,
+    clean,
+]
+
+PassFn = Callable[[Function], Function]
+
+
+def _reassoc(**kwargs) -> PassFn:
+    def run(func: Function) -> Function:
+        return global_reassociation(func, **kwargs)
+
+    return run
+
+
+def _gvn(**kwargs) -> PassFn:
+    def run(func: Function) -> Function:
+        return global_value_numbering(func, **kwargs)
+
+    return run
+
+
+def _shift_peephole(func: Function) -> Function:
+    return peephole(func, convert_mul_to_shift=True)
+
+
+#: Every ablation variant, as ordered pass lists.
+VARIANTS: dict[str, list[PassFn]] = {
+    "reference": [
+        _reassoc(distribute=True),
+        _gvn(),
+        partial_redundancy_elimination,
+        *_BASELINE,
+    ],
+    "no_gvn": [
+        _reassoc(distribute=True),
+        partial_redundancy_elimination,
+        *_BASELINE,
+    ],
+    "no_reassoc": [partial_redundancy_elimination, *_BASELINE],
+    "unshared_emission": [
+        _reassoc(distribute=True, share_emission=False),
+        _gvn(),
+        partial_redundancy_elimination,
+        *_BASELINE,
+    ],
+    "with_lvn": [
+        _reassoc(distribute=True),
+        _gvn(),
+        local_value_numbering,
+        partial_redundancy_elimination,
+        local_value_numbering,
+        *_BASELINE,
+    ],
+    "premature_shift": [
+        _shift_peephole,
+        _reassoc(distribute=True),
+        _gvn(),
+        partial_redundancy_elimination,
+        *_BASELINE,
+    ],
+    "commutative_gvn": [
+        _reassoc(distribute=True),
+        _gvn(commutative=True),
+        partial_redundancy_elimination,
+        *_BASELINE,
+    ],
+}
+
+#: Routines exercising the interesting behaviours, kept small so the
+#: whole ablation matrix runs quickly.
+DEFAULT_ROUTINES = (
+    "sgemm",
+    "sgemv",
+    "saxpy",
+    "tomcatv",
+    "heat",
+    "spline",
+    "decomp",
+    "fpppp",
+    "drepvi",
+    "inithx",
+)
+
+
+def _execute_variant(routine: SuiteRoutine, passes: list[PassFn]):
+    module = compile_program(routine.source)
+    for func in module:
+        for pass_fn in passes:
+            pass_fn(func)
+    memory = Memory()
+    args = list(routine.args)
+    for values, elemsize in routine.fresh_arrays():
+        args.append(memory.allocate_array(values, elemsize))
+    return Interpreter(module).run(routine.entry_name, args, memory)
+
+
+def run_variant(routine: SuiteRoutine, passes: list[PassFn]) -> int:
+    """Dynamic count of the routine compiled under one variant."""
+    return _execute_variant(routine, passes).dynamic_count
+
+
+@dataclass
+class AblationRow:
+    name: str
+    counts: dict[str, int]
+
+
+def generate_ablation(
+    routine_names: Iterable[str] = DEFAULT_ROUTINES,
+    variants: Optional[dict[str, list[PassFn]]] = None,
+) -> list[AblationRow]:
+    variants = variants if variants is not None else VARIANTS
+    rows = []
+    all_routines = {r.name: r for r in suite_routines()}
+    for name in routine_names:
+        routine = all_routines[name]
+        counts = {
+            variant: run_variant(routine, passes)
+            for variant, passes in variants.items()
+        }
+        rows.append(AblationRow(name=name, counts=counts))
+    return rows
+
+
+def format_ablation(rows: list[AblationRow]) -> str:
+    variants = list(rows[0].counts) if rows else []
+    headers = ["routine", "reference"] + [v for v in variants if v != "reference"]
+    body = []
+    for row in rows:
+        reference = row.counts["reference"]
+        cells = [row.name, format_count(reference)]
+        for variant in headers[2:]:
+            count = row.counts[variant]
+            pct = format_pct(count, reference)  # + means reference is better
+            cells.append(f"{format_count(count)} ({pct or '='})")
+        body.append(cells)
+    return format_table(headers, body)
+
+
+def _close(a, b, rel=1e-9) -> bool:
+    if isinstance(a, float) or isinstance(b, float):
+        return abs(a - b) <= rel * max(1.0, abs(a), abs(b))
+    return a == b
+
+
+def measure_strength_reduction(
+    routine_names: Iterable[str] = DEFAULT_ROUTINES,
+) -> list[tuple[str, int, int]]:
+    """Dynamic multiply counts with/without the strength-reduction extension.
+
+    Total *operation* counts are unchanged (a multiply becomes an add),
+    so the relevant metric is the multiply count the paper's section 5.2
+    cares about — multiplies were the expensive operation.
+    """
+    from repro.ir.opcodes import Opcode
+    from repro.passes import strength_reduction
+
+    with_sr = [
+        _reassoc(distribute=True),
+        _gvn(),
+        partial_redundancy_elimination,
+        strength_reduction,
+        *_BASELINE,
+    ]
+    all_routines = {r.name: r for r in suite_routines()}
+    rows = []
+    for name in routine_names:
+        routine = all_routines[name]
+        plain = _execute_variant(routine, VARIANTS["reference"])
+        reduced = _execute_variant(routine, with_sr)
+        if plain.value is not None and not _close(plain.value, reduced.value):
+            raise AssertionError(
+                f"strength reduction changed {name}: {plain.value} -> {reduced.value}"
+            )
+        rows.append(
+            (
+                name,
+                plain.op_counts.get(Opcode.MUL, 0),
+                reduced.op_counts.get(Opcode.MUL, 0),
+            )
+        )
+    return rows
+
+
+def main() -> None:  # pragma: no cover - exercised via CLI
+    rows = generate_ablation()
+    print(format_ablation(rows))
+    print()
+    print("cells show variant count (its deficit vs the reference pipeline)")
+    print()
+    print("strength reduction (dynamic multiplies, reference -> +SR):")
+    for name, plain, reduced in measure_strength_reduction():
+        print(f"  {name:<10} {plain:>8,} -> {reduced:>8,}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

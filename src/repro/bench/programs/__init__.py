@@ -1,0 +1,1 @@
+"""Suite program definitions, grouped by origin."""

@@ -1,0 +1,145 @@
+"""matrix300-style BLAS suite routines: saxpy, sgemv, sgemm.
+
+The paper reduced matrix300's test size "to ease testing"; these use
+correspondingly reduced dimensions.  The kernels carry exactly the
+optimization surface the paper discusses: column-major address arithmetic
+recomputed at every access, ripe for reassociation and distribution.
+"""
+
+from __future__ import annotations
+
+from repro.bench.suite import SuiteRoutine, register
+
+# ---------------------------------------------------------------------------
+# saxpy
+# ---------------------------------------------------------------------------
+
+SAXPY = """
+routine saxpy(n: int, da: real, dx: real[128], dy: real[128])
+  integer i
+  if n <= 0 then
+    return
+  end
+  if da == 0.0 then
+    return
+  end
+  do i = 1, n
+    dy(i) = dy(i) + da * dx(i)
+  end
+end
+"""
+
+
+def ref_saxpy(n, da, dx, dy):
+    if n <= 0 or da == 0.0:
+        return
+    for i in range(n):
+        dy[i] = dy[i] + da * dx[i]
+
+
+register(
+    SuiteRoutine(
+        name="saxpy",
+        source=SAXPY,
+        args=(100, 2.5),
+        arrays=(
+            ([float(i % 7) for i in range(128)], 8),
+            ([float(i % 5) for i in range(128)], 8),
+        ),
+        reference=ref_saxpy,
+        origin="blas",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# sgemv: y <- y + A x (column-major)
+# ---------------------------------------------------------------------------
+
+SGEMV = """
+routine sgemv(n: int, a: real[16, 16], x: real[16], y: real[16])
+  integer i, j
+  do j = 1, n
+    do i = 1, n
+      y(i) = y(i) + a(i, j) * x(j)
+    end
+  end
+end
+"""
+
+
+def ref_sgemv(n, a, x, y, dim=16):
+    for j in range(1, n + 1):
+        for i in range(1, n + 1):
+            y[i - 1] += a[(i - 1) + (j - 1) * dim] * x[j - 1]
+
+
+def _matrix(n, dim, scale=1.0):
+    values = [0.0] * (dim * dim)
+    for j in range(1, n + 1):
+        for i in range(1, n + 1):
+            values[(i - 1) + (j - 1) * dim] = scale * float((i * 3 + j * 5) % 11)
+    return values
+
+
+register(
+    SuiteRoutine(
+        name="sgemv",
+        source=SGEMV,
+        args=(14,),
+        arrays=(
+            (_matrix(14, 16), 8),
+            ([float(i % 9) for i in range(16)], 8),
+            ([0.0] * 16, 8),
+        ),
+        reference=ref_sgemv,
+        origin="blas",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# sgemm: C <- A B (column-major, jik order like the reference BLAS)
+# ---------------------------------------------------------------------------
+
+SGEMM = """
+routine sgemm(n: int, a: real[12, 12], b: real[12, 12], c: real[12, 12])
+  integer i, j, k
+  real s
+  do j = 1, n
+    do i = 1, n
+      s = 0.0
+      do k = 1, n
+        s = s + a(i, k) * b(k, j)
+      end
+      c(i, j) = s
+    end
+  end
+end
+"""
+
+
+def ref_sgemm(n, a, b, c, dim=12):
+    def idx(i, j):
+        return (i - 1) + (j - 1) * dim
+
+    for j in range(1, n + 1):
+        for i in range(1, n + 1):
+            s = 0.0
+            for k in range(1, n + 1):
+                s += a[idx(i, k)] * b[idx(k, j)]
+            c[idx(i, j)] = s
+
+
+register(
+    SuiteRoutine(
+        name="sgemm",
+        source=SGEMM,
+        args=(10,),
+        arrays=(
+            (_matrix(10, 12), 8),
+            (_matrix(10, 12, scale=0.5), 8),
+            ([0.0] * 144, 8),
+        ),
+        reference=ref_sgemm,
+        origin="blas",
+    )
+)

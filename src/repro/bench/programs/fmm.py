@@ -1,0 +1,723 @@
+"""Suite routines from Forsythe, Malcolm & Moler's book [16].
+
+These are faithful implementations of the published algorithms (golden
+section minimization, bisection root finding, cubic splines, LU
+decomposition, Runge–Kutta–Fehlberg stepping, one-sided Jacobi SVD sweep,
+and the book's portable uniform random generator), written in the
+mini-FORTRAN front-end language.  Each carries a Python reference
+transliteration used by the correctness tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.suite import SuiteRoutine, register
+
+# ---------------------------------------------------------------------------
+# fmin — golden-section minimization of x·(x²−2)−5 on [0, 1]
+# ---------------------------------------------------------------------------
+
+FMIN = """
+routine fobj(x: real) -> real
+  return x * (x * x - 2.0) - 5.0
+end
+
+routine fmin(ax: real, bx: real, tol: real) -> real
+  real c, a, b, x1, x2, f1, f2
+  c = (3.0 - sqrt(5.0)) / 2.0
+  a = ax
+  b = bx
+  x1 = a + c * (b - a)
+  x2 = b - c * (b - a)
+  f1 = fobj(x1)
+  f2 = fobj(x2)
+  while b - a > tol
+    if f1 < f2 then
+      b = x2
+      x2 = x1
+      f2 = f1
+      x1 = a + c * (b - a)
+      f1 = fobj(x1)
+    else
+      a = x1
+      x1 = x2
+      f1 = f2
+      x2 = b - c * (b - a)
+      f2 = fobj(x2)
+    end
+  end
+  return (a + b) / 2.0
+end
+"""
+
+
+def ref_fmin(ax, bx, tol):
+    def fobj(x):
+        return x * (x * x - 2.0) - 5.0
+
+    c = (3.0 - math.sqrt(5.0)) / 2.0
+    a, b = ax, bx
+    x1 = a + c * (b - a)
+    x2 = b - c * (b - a)
+    f1, f2 = fobj(x1), fobj(x2)
+    while b - a > tol:
+        if f1 < f2:
+            b, x2, f2 = x2, x1, f1
+            x1 = a + c * (b - a)
+            f1 = fobj(x1)
+        else:
+            a, x1, f1 = x1, x2, f2
+            x2 = b - c * (b - a)
+            f2 = fobj(x2)
+    return (a + b) / 2.0
+
+
+register(
+    SuiteRoutine(
+        name="fmin",
+        source=FMIN,
+        args=(0.0, 1.0, 1e-8),
+        reference=ref_fmin,
+        origin="fmm",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# zeroin — bisection root of x³−2x−5 on [2, 3]
+# ---------------------------------------------------------------------------
+
+ZEROIN = """
+routine fz(x: real) -> real
+  return x * (x * x - 2.0) - 5.0
+end
+
+routine zeroin(ax: real, bx: real) -> real
+  real a, b, fa, fm, m
+  integer k
+  a = ax
+  b = bx
+  fa = fz(a)
+  do k = 1, 48
+    m = (a + b) / 2.0
+    fm = fz(m)
+    if fa * fm <= 0.0 then
+      b = m
+    else
+      a = m
+      fa = fm
+    end
+  end
+  return (a + b) / 2.0
+end
+"""
+
+
+def ref_zeroin(ax, bx):
+    def fz(x):
+        return x * (x * x - 2.0) - 5.0
+
+    a, b = ax, bx
+    fa = fz(a)
+    for _ in range(48):
+        m = (a + b) / 2.0
+        fm = fz(m)
+        if fa * fm <= 0.0:
+            b = m
+        else:
+            a, fa = m, fm
+    return (a + b) / 2.0
+
+
+register(
+    SuiteRoutine(
+        name="zeroin",
+        source=ZEROIN,
+        args=(2.0, 3.0),
+        reference=ref_zeroin,
+        origin="fmm",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# urand — the book's portable congruential generator, summed
+# ---------------------------------------------------------------------------
+
+URAND = """
+routine urand(n: int) -> real
+  integer iy, k
+  real s
+  iy = 12345
+  s = 0.0
+  do k = 1, n
+    iy = mod(iy * 1103 + 12347, 32768)
+    s = s + real(iy) / 32768.0
+  end
+  return s
+end
+"""
+
+
+def ref_urand(n):
+    iy, s = 12345, 0.0
+    for _ in range(n):
+        iy = (iy * 1103 + 12347) % 32768
+        s += float(iy) / 32768.0
+    return s
+
+
+register(
+    SuiteRoutine(
+        name="urand", source=URAND, args=(300,), reference=ref_urand, origin="fmm"
+    )
+)
+
+# ---------------------------------------------------------------------------
+# spline / seval — cubic spline coefficients and evaluation
+# ---------------------------------------------------------------------------
+
+SPLINE = """
+routine spline(n: int, x: real[32], y: real[32], b: real[32], c: real[32], d: real[32])
+  integer i, ib, nm1
+  real t
+  nm1 = n - 1
+  d(1) = x(2) - x(1)
+  c(2) = (y(2) - y(1)) / d(1)
+  do i = 2, nm1
+    d(i) = x(i + 1) - x(i)
+    b(i) = 2.0 * (d(i - 1) + d(i))
+    c(i + 1) = (y(i + 1) - y(i)) / d(i)
+    c(i) = c(i + 1) - c(i)
+  end
+  b(1) = -d(1)
+  b(n) = -d(n - 1)
+  c(1) = 0.0
+  c(n) = 0.0
+  if n > 3 then
+    c(1) = c(3) / (x(4) - x(2)) - c(2) / (x(3) - x(1))
+    c(n) = c(n - 1) / (x(n) - x(n - 2)) - c(n - 2) / (x(n - 1) - x(n - 3))
+    c(1) = c(1) * d(1) * d(1) / (x(4) - x(1))
+    c(n) = -(c(n) * d(n - 1) * d(n - 1)) / (x(n) - x(n - 3))
+  end
+  do i = 2, n
+    t = d(i - 1) / b(i - 1)
+    b(i) = b(i) - t * d(i - 1)
+    c(i) = c(i) - t * c(i - 1)
+  end
+  c(n) = c(n) / b(n)
+  do ib = 1, nm1
+    i = n - ib
+    c(i) = (c(i) - d(i) * c(i + 1)) / b(i)
+  end
+  b(n) = (y(n) - y(nm1)) / d(nm1) + d(nm1) * (c(nm1) + 2.0 * c(n))
+  do i = 1, nm1
+    b(i) = (y(i + 1) - y(i)) / d(i) - d(i) * (c(i + 1) + 2.0 * c(i))
+    d(i) = (c(i + 1) - c(i)) / d(i)
+    c(i) = 3.0 * c(i)
+  end
+  c(n) = 3.0 * c(n)
+  d(n) = d(n - 1)
+end
+"""
+
+
+def ref_spline(n, x, y, b, c, d):
+    # arrays are 0-based Python lists holding 1-based FORTRAN data
+    def X(i):
+        return x[i - 1]
+
+    def Y(i):
+        return y[i - 1]
+
+    nm1 = n - 1
+    d[0] = X(2) - X(1)
+    c[1] = (Y(2) - Y(1)) / d[0]
+    for i in range(2, nm1 + 1):
+        d[i - 1] = X(i + 1) - X(i)
+        b[i - 1] = 2.0 * (d[i - 2] + d[i - 1])
+        c[i] = (Y(i + 1) - Y(i)) / d[i - 1]
+        c[i - 1] = c[i] - c[i - 1]
+    b[0] = -d[0]
+    b[n - 1] = -d[n - 2]
+    c[0] = 0.0
+    c[n - 1] = 0.0
+    if n > 3:
+        c[0] = c[2] / (X(4) - X(2)) - c[1] / (X(3) - X(1))
+        c[n - 1] = c[n - 2] / (X(n) - X(n - 2)) - c[n - 3] / (X(n - 1) - X(n - 3))
+        c[0] = c[0] * d[0] * d[0] / (X(4) - X(1))
+        c[n - 1] = -(c[n - 1] * d[n - 2] * d[n - 2]) / (X(n) - X(n - 3))
+    for i in range(2, n + 1):
+        t = d[i - 2] / b[i - 2]
+        b[i - 1] = b[i - 1] - t * d[i - 2]
+        c[i - 1] = c[i - 1] - t * c[i - 2]
+    c[n - 1] = c[n - 1] / b[n - 1]
+    for ib in range(1, nm1 + 1):
+        i = n - ib
+        c[i - 1] = (c[i - 1] - d[i - 1] * c[i]) / b[i - 1]
+    b[n - 1] = (Y(n) - Y(nm1)) / d[nm1 - 1] + d[nm1 - 1] * (c[nm1 - 1] + 2.0 * c[n - 1])
+    for i in range(1, nm1 + 1):
+        b[i - 1] = (Y(i + 1) - Y(i)) / d[i - 1] - d[i - 1] * (c[i] + 2.0 * c[i - 1])
+        d[i - 1] = (c[i] - c[i - 1]) / d[i - 1]
+        c[i - 1] = 3.0 * c[i - 1]
+    c[n - 1] = 3.0 * c[n - 1]
+    d[n - 1] = d[n - 2]
+
+
+_SPLINE_N = 20
+_SPLINE_X = [0.35 * i for i in range(1, _SPLINE_N + 1)]
+_SPLINE_Y = [math.sin(x) + 0.25 * x for x in _SPLINE_X]
+
+register(
+    SuiteRoutine(
+        name="spline",
+        source=SPLINE,
+        args=(_SPLINE_N,),
+        arrays=(
+            (_SPLINE_X + [0.0] * (32 - _SPLINE_N), 8),
+            (_SPLINE_Y + [0.0] * (32 - _SPLINE_N), 8),
+            ([0.0] * 32, 8),
+            ([0.0] * 32, 8),
+            ([0.0] * 32, 8),
+        ),
+        reference=ref_spline,
+        origin="fmm",
+    )
+)
+
+SEVAL = """
+routine seval(n: int, u: real, x: real[32], y: real[32], b: real[32], c: real[32], d: real[32]) -> real
+  integer i
+  real dx
+  i = 1
+  while i < n - 1 and x(i + 1) <= u
+    i = i + 1
+  end
+  dx = u - x(i)
+  return y(i) + dx * (b(i) + dx * (c(i) + dx * d(i)))
+end
+
+routine sevalsum(n: int, m: int, lo: real, hi: real, x: real[32], y: real[32], b: real[32], c: real[32], d: real[32]) -> real
+  integer k
+  real s, u, h
+  s = 0.0
+  h = (hi - lo) / real(m)
+  do k = 0, m
+    u = lo + h * real(k)
+    s = s + seval(n, u, x, y, b, c, d)
+  end
+  return s
+end
+"""
+
+
+def ref_seval(n, m, lo, hi, x, y, b, c, d):
+    def one(u):
+        i = 1
+        while i < n - 1 and x[i] <= u:
+            i += 1
+        dx = u - x[i - 1]
+        return y[i - 1] + dx * (b[i - 1] + dx * (c[i - 1] + dx * d[i - 1]))
+
+    h = (hi - lo) / float(m)
+    return sum(one(lo + h * float(k)) for k in range(m + 1))
+
+
+def _spline_coeffs():
+    b = [0.0] * 32
+    c = [0.0] * 32
+    d = [0.0] * 32
+    x = _SPLINE_X + [0.0] * (32 - _SPLINE_N)
+    y = _SPLINE_Y + [0.0] * (32 - _SPLINE_N)
+    ref_spline(_SPLINE_N, x, y, b, c, d)
+    return x, y, b, c, d
+
+
+_SEVAL_X, _SEVAL_Y, _SEVAL_B, _SEVAL_C, _SEVAL_D = _spline_coeffs()
+
+register(
+    SuiteRoutine(
+        name="seval",
+        source=SEVAL,
+        entry="sevalsum",
+        args=(_SPLINE_N, 40, 0.5, 6.5),
+        arrays=(
+            (_SEVAL_X, 8),
+            (_SEVAL_Y, 8),
+            (_SEVAL_B, 8),
+            (_SEVAL_C, 8),
+            (_SEVAL_D, 8),
+        ),
+        reference=ref_seval,
+        origin="fmm",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# decomp / solve — LU with partial pivoting, then a triangular solve
+# ---------------------------------------------------------------------------
+
+DECOMP_SOLVE = """
+routine decomp(n: int, a: real[12, 12], ip: int[12]) -> real
+  integer i, j, k, m
+  real t, det
+  det = 1.0
+  do k = 1, n - 1
+    m = k
+    do i = k + 1, n
+      if abs(a(i, k)) > abs(a(m, k)) then
+        m = i
+      end
+    end
+    ip(k) = m
+    if m != k then
+      det = -det
+    end
+    t = a(m, k)
+    a(m, k) = a(k, k)
+    a(k, k) = t
+    det = det * t
+    if t != 0.0 then
+      do i = k + 1, n
+        a(i, k) = -a(i, k) / t
+      end
+      do j = k + 1, n
+        t = a(m, j)
+        a(m, j) = a(k, j)
+        a(k, j) = t
+        if t != 0.0 then
+          do i = k + 1, n
+            a(i, j) = a(i, j) + a(i, k) * t
+          end
+        end
+      end
+    end
+  end
+  ip(n) = n
+  det = det * a(n, n)
+  return det
+end
+
+routine solve(n: int, a: real[12, 12], b: real[12], ip: int[12])
+  integer i, k, m, kb, km1
+  real t
+  do k = 1, n - 1
+    m = ip(k)
+    t = b(m)
+    b(m) = b(k)
+    b(k) = t
+    do i = k + 1, n
+      b(i) = b(i) + a(i, k) * t
+    end
+  end
+  do kb = 1, n
+    k = n + 1 - kb
+    b(k) = b(k) / a(k, k)
+    t = -b(k)
+    km1 = k - 1
+    do i = 1, km1
+      b(i) = b(i) + a(i, k) * t
+    end
+  end
+end
+
+routine declv(n: int, a: real[12, 12], b: real[12], ip: int[12]) -> real
+  real det
+  det = decomp(n, a, ip)
+  call solve(n, a, b, ip)
+  return det
+end
+"""
+
+
+def _lu_index(i, j, dim=12):
+    return (i - 1) + (j - 1) * dim
+
+
+def ref_decomp(n, a, ip, dim=12):
+    det = 1.0
+    for k in range(1, n):
+        m = k
+        for i in range(k + 1, n + 1):
+            if abs(a[_lu_index(i, k, dim)]) > abs(a[_lu_index(m, k, dim)]):
+                m = i
+        ip[k - 1] = m
+        if m != k:
+            det = -det
+        t = a[_lu_index(m, k, dim)]
+        a[_lu_index(m, k, dim)] = a[_lu_index(k, k, dim)]
+        a[_lu_index(k, k, dim)] = t
+        det *= t
+        if t != 0.0:
+            for i in range(k + 1, n + 1):
+                a[_lu_index(i, k, dim)] = -a[_lu_index(i, k, dim)] / t
+            for j in range(k + 1, n + 1):
+                t = a[_lu_index(m, j, dim)]
+                a[_lu_index(m, j, dim)] = a[_lu_index(k, j, dim)]
+                a[_lu_index(k, j, dim)] = t
+                if t != 0.0:
+                    for i in range(k + 1, n + 1):
+                        a[_lu_index(i, j, dim)] += a[_lu_index(i, k, dim)] * t
+    ip[n - 1] = n
+    det *= a[_lu_index(n, n, dim)]
+    return det
+
+
+def ref_solve(n, a, b, ip, dim=12):
+    for k in range(1, n):
+        m = ip[k - 1]
+        t = b[m - 1]
+        b[m - 1] = b[k - 1]
+        b[k - 1] = t
+        for i in range(k + 1, n + 1):
+            b[i - 1] += a[_lu_index(i, k, dim)] * t
+    for kb in range(1, n + 1):
+        k = n + 1 - kb
+        b[k - 1] /= a[_lu_index(k, k, dim)]
+        t = -b[k - 1]
+        for i in range(1, k):
+            b[i - 1] += a[_lu_index(i, k, dim)] * t
+
+
+def ref_declv(n, a, b, ip):
+    det = ref_decomp(n, a, ip)
+    ref_solve(n, a, b, ip)
+    return det
+
+
+def _lu_matrix(n=10, dim=12):
+    values = [0.0] * (dim * dim)
+    for j in range(1, n + 1):
+        for i in range(1, n + 1):
+            values[_lu_index(i, j, dim)] = (
+                1.0 / (i + j - 1) + (3.0 if i == j else 0.0)
+            )
+    return values
+
+
+def _lu_rhs(n=10, dim=12):
+    return [float((i * 7) % 5 + 1) for i in range(1, dim + 1)]
+
+
+register(
+    SuiteRoutine(
+        name="decomp",
+        source=DECOMP_SOLVE,
+        entry="decomp",
+        args=(10,),
+        arrays=((_lu_matrix(), 8), ([0] * 12, 4)),
+        reference=lambda n, a, ip: ref_decomp(n, a, ip),
+        origin="fmm",
+    )
+)
+
+register(
+    SuiteRoutine(
+        name="solve",
+        source=DECOMP_SOLVE,
+        entry="declv",
+        args=(10,),
+        arrays=((_lu_matrix(), 8), (_lu_rhs(), 8), ([0] * 12, 4)),
+        reference=lambda n, a, b, ip: ref_declv(n, a, b, ip),
+        origin="fmm",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# fehl / rkfs / rkf45 — Runge–Kutta–Fehlberg stepping for y' = −y + t
+# ---------------------------------------------------------------------------
+
+RKF = """
+routine fode(t: real, y: real) -> real
+  return t - y
+end
+
+routine fehl(t: real, y: real, h: real) -> real
+  real k1, k2, k3, k4, k5, k6
+  k1 = h * fode(t, y)
+  k2 = h * fode(t + h / 4.0, y + k1 / 4.0)
+  k3 = h * fode(t + 3.0 * h / 8.0, y + (3.0 * k1 + 9.0 * k2) / 32.0)
+  k4 = h * fode(t + 12.0 * h / 13.0, y + (1932.0 * k1 - 7200.0 * k2 + 7296.0 * k3) / 2197.0)
+  k5 = h * fode(t + h, y + 439.0 * k1 / 216.0 - 8.0 * k2 + 3680.0 * k3 / 513.0 - 845.0 * k4 / 4104.0)
+  k6 = h * fode(t + h / 2.0, y - 8.0 * k1 / 27.0 + 2.0 * k2 - 3544.0 * k3 / 2565.0 + 1859.0 * k4 / 4104.0 - 11.0 * k5 / 40.0)
+  return y + 16.0 * k1 / 135.0 + 6656.0 * k3 / 12825.0 + 28561.0 * k4 / 56430.0 - 9.0 * k5 / 50.0 + 2.0 * k6 / 55.0
+end
+
+routine rkfs(t0: real, y0: real, h: real, n: int) -> real
+  real t, y
+  integer k
+  t = t0
+  y = y0
+  do k = 1, n
+    y = fehl(t, y, h)
+    t = t + h
+  end
+  return y
+end
+
+routine rkf45(y0: real) -> real
+  return rkfs(0.0, y0, 0.125, 32)
+end
+"""
+
+
+def _ref_fode(t, y):
+    return t - y
+
+
+def ref_fehl(t, y, h):
+    f = _ref_fode
+    k1 = h * f(t, y)
+    k2 = h * f(t + h / 4.0, y + k1 / 4.0)
+    k3 = h * f(t + 3.0 * h / 8.0, y + (3.0 * k1 + 9.0 * k2) / 32.0)
+    k4 = h * f(
+        t + 12.0 * h / 13.0,
+        y + (1932.0 * k1 - 7200.0 * k2 + 7296.0 * k3) / 2197.0,
+    )
+    k5 = h * f(
+        t + h,
+        y + 439.0 * k1 / 216.0 - 8.0 * k2 + 3680.0 * k3 / 513.0 - 845.0 * k4 / 4104.0,
+    )
+    k6 = h * f(
+        t + h / 2.0,
+        y
+        - 8.0 * k1 / 27.0
+        + 2.0 * k2
+        - 3544.0 * k3 / 2565.0
+        + 1859.0 * k4 / 4104.0
+        - 11.0 * k5 / 40.0,
+    )
+    return (
+        y
+        + 16.0 * k1 / 135.0
+        + 6656.0 * k3 / 12825.0
+        + 28561.0 * k4 / 56430.0
+        - 9.0 * k5 / 50.0
+        + 2.0 * k6 / 55.0
+    )
+
+
+def ref_rkfs(t0, y0, h, n):
+    t, y = t0, y0
+    for _ in range(n):
+        y = ref_fehl(t, y, h)
+        t += h
+    return y
+
+
+register(
+    SuiteRoutine(
+        name="fehl",
+        source=RKF,
+        entry="fehl",
+        args=(0.0, 1.0, 0.125),
+        reference=ref_fehl,
+        origin="fmm",
+    )
+)
+
+register(
+    SuiteRoutine(
+        name="rkfs",
+        source=RKF,
+        entry="rkfs",
+        args=(0.0, 1.0, 0.125, 32),
+        reference=ref_rkfs,
+        origin="fmm",
+    )
+)
+
+register(
+    SuiteRoutine(
+        name="rkf45",
+        source=RKF,
+        entry="rkf45",
+        args=(1.0,),
+        reference=lambda y0: ref_rkfs(0.0, y0, 0.125, 32),
+        origin="fmm",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# svd — one sweep of one-sided Jacobi orthogonalization
+# ---------------------------------------------------------------------------
+
+SVD = """
+routine svd(n: int, a: real[10, 10]) -> real
+  integer i, j, k
+  real alpha, beta, gam, t, c, s, zeta, off, ai, aj
+  off = 0.0
+  do i = 1, n - 1
+    do j = i + 1, n
+      alpha = 0.0
+      beta = 0.0
+      gam = 0.0
+      do k = 1, n
+        alpha = alpha + a(k, i) * a(k, i)
+        beta = beta + a(k, j) * a(k, j)
+        gam = gam + a(k, i) * a(k, j)
+      end
+      off = off + gam * gam
+      if gam != 0.0 then
+        zeta = (beta - alpha) / (2.0 * gam)
+        t = sign(1.0, zeta) / (abs(zeta) + sqrt(1.0 + zeta * zeta))
+        c = 1.0 / sqrt(1.0 + t * t)
+        s = c * t
+        do k = 1, n
+          ai = a(k, i)
+          aj = a(k, j)
+          a(k, i) = c * ai - s * aj
+          a(k, j) = s * ai + c * aj
+        end
+      end
+    end
+  end
+  return off
+end
+"""
+
+
+def ref_svd(n, a, dim=10):
+    def idx(i, j):
+        return (i - 1) + (j - 1) * dim
+
+    off = 0.0
+    for i in range(1, n):
+        for j in range(i + 1, n + 1):
+            alpha = beta = gam = 0.0
+            for k in range(1, n + 1):
+                alpha += a[idx(k, i)] * a[idx(k, i)]
+                beta += a[idx(k, j)] * a[idx(k, j)]
+                gam += a[idx(k, i)] * a[idx(k, j)]
+            off += gam * gam
+            if gam != 0.0:
+                zeta = (beta - alpha) / (2.0 * gam)
+                t = math.copysign(1.0, zeta) / (abs(zeta) + math.sqrt(1.0 + zeta * zeta))
+                c = 1.0 / math.sqrt(1.0 + t * t)
+                s = c * t
+                for k in range(1, n + 1):
+                    ai, aj = a[idx(k, i)], a[idx(k, j)]
+                    a[idx(k, i)] = c * ai - s * aj
+                    a[idx(k, j)] = s * ai + c * aj
+    return off
+
+
+def _svd_matrix(n=8, dim=10):
+    values = [0.0] * (dim * dim)
+    for j in range(1, n + 1):
+        for i in range(1, n + 1):
+            values[(i - 1) + (j - 1) * dim] = math.sin(i * 1.7 + j * 0.9) + (
+                2.0 if i == j else 0.0
+            )
+    return values
+
+
+register(
+    SuiteRoutine(
+        name="svd",
+        source=SVD,
+        args=(8,),
+        arrays=((_svd_matrix(), 8),),
+        reference=lambda n, a: ref_svd(n, a),
+        origin="fmm",
+    )
+)

@@ -1,0 +1,1713 @@
+"""Synthetic equivalents for the suite's SPEC-derived routine names.
+
+The paper drew these routines from SPEC (tomcatv, fpppp, matrix300 and
+the doduc codes).  SPEC sources are proprietary, so each name here gets a
+synthetic routine with the same *optimization surface* — the loop-nest
+shapes, column-major address arithmetic, reductions, intrinsics and
+branch structure that make reassociation and PRE matter — sized so the
+dynamic counts are measurable in the interpreter.  DESIGN.md records the
+substitution.
+
+Every routine carries a Python reference transliteration.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.suite import SuiteRoutine, register
+from repro.interp.machine import fortran_mod, trunc_div
+
+
+def _idx(i, j, dim):
+    return (i - 1) + (j - 1) * dim
+
+
+# ---------------------------------------------------------------------------
+# tomcatv — reduced mesh-relaxation sweep (2-D stencil, 2 coupled arrays)
+# ---------------------------------------------------------------------------
+
+TOMCATV = """
+routine tomcatv(n: int, niter: int, x: real[18, 18], y: real[18, 18]) -> real
+  integer i, j, it
+  real xx, yx, xy, yy, a, b, c, rx, ry, err
+  err = 0.0
+  do it = 1, niter
+    do j = 2, n - 1
+      do i = 2, n - 1
+        xx = x(i + 1, j) - x(i - 1, j)
+        yx = y(i + 1, j) - y(i - 1, j)
+        xy = x(i, j + 1) - x(i, j - 1)
+        yy = y(i, j + 1) - y(i, j - 1)
+        a = 0.25 * (xy * xy + yy * yy)
+        b = 0.25 * (xx * xx + yx * yx)
+        c = 0.125 * (xx * xy + yx * yy)
+        rx = a * (x(i + 1, j) + x(i - 1, j)) + b * (x(i, j + 1) + x(i, j - 1)) - c * (x(i + 1, j + 1) - x(i + 1, j - 1) - x(i - 1, j + 1) + x(i - 1, j - 1))
+        ry = a * (y(i + 1, j) + y(i - 1, j)) + b * (y(i, j + 1) + y(i, j - 1)) - c * (y(i + 1, j + 1) - y(i + 1, j - 1) - y(i - 1, j + 1) + y(i - 1, j - 1))
+        x(i, j) = x(i, j) + 0.1 * (rx / (2.0 * (a + b) + 0.0001) - x(i, j))
+        y(i, j) = y(i, j) + 0.1 * (ry / (2.0 * (a + b) + 0.0001) - y(i, j))
+        err = err + abs(rx) + abs(ry)
+      end
+    end
+  end
+  return err
+end
+"""
+
+
+def ref_tomcatv(n, niter, x, y, dim=18):
+    def g(a, i, j):
+        return a[_idx(i, j, dim)]
+
+    err = 0.0
+    for _ in range(niter):
+        for j in range(2, n):
+            for i in range(2, n):
+                xx = g(x, i + 1, j) - g(x, i - 1, j)
+                yx = g(y, i + 1, j) - g(y, i - 1, j)
+                xy = g(x, i, j + 1) - g(x, i, j - 1)
+                yy = g(y, i, j + 1) - g(y, i, j - 1)
+                a = 0.25 * (xy * xy + yy * yy)
+                b = 0.25 * (xx * xx + yx * yx)
+                c = 0.125 * (xx * xy + yx * yy)
+                rx = (
+                    a * (g(x, i + 1, j) + g(x, i - 1, j))
+                    + b * (g(x, i, j + 1) + g(x, i, j - 1))
+                    - c
+                    * (
+                        g(x, i + 1, j + 1)
+                        - g(x, i + 1, j - 1)
+                        - g(x, i - 1, j + 1)
+                        + g(x, i - 1, j - 1)
+                    )
+                )
+                ry = (
+                    a * (g(y, i + 1, j) + g(y, i - 1, j))
+                    + b * (g(y, i, j + 1) + g(y, i, j - 1))
+                    - c
+                    * (
+                        g(y, i + 1, j + 1)
+                        - g(y, i + 1, j - 1)
+                        - g(y, i - 1, j + 1)
+                        + g(y, i - 1, j - 1)
+                    )
+                )
+                x[_idx(i, j, dim)] += 0.1 * (rx / (2.0 * (a + b) + 0.0001) - g(x, i, j))
+                y[_idx(i, j, dim)] += 0.1 * (ry / (2.0 * (a + b) + 0.0001) - g(y, i, j))
+                err += abs(rx) + abs(ry)
+    return err
+
+
+def _mesh(dim=18):
+    xs = [0.0] * (dim * dim)
+    ys = [0.0] * (dim * dim)
+    for j in range(1, dim + 1):
+        for i in range(1, dim + 1):
+            xs[_idx(i, j, dim)] = i + 0.1 * math.sin(j * 0.5)
+            ys[_idx(i, j, dim)] = j + 0.1 * math.cos(i * 0.5)
+    return xs, ys
+
+
+_TOM_X, _TOM_Y = _mesh()
+
+register(
+    SuiteRoutine(
+        name="tomcatv",
+        source=TOMCATV,
+        args=(16, 2),
+        arrays=((_TOM_X, 8), (_TOM_Y, 8)),
+        reference=lambda n, it, x, y: ref_tomcatv(n, it, x, y),
+        origin="synthetic",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# fpppp — huge straight-line block of expression-heavy floating arithmetic
+# ---------------------------------------------------------------------------
+
+FPPPP = """
+routine fblock(p: real, q: real, r: real, s: real) -> real
+  real t1, t2, t3, t4, t5, t6, t7, t8, u1, u2, u3, u4
+  t1 = p * q + r * s
+  t2 = p * r + q * s
+  t3 = p * s + q * r
+  t4 = (p + q) * (r + s)
+  t5 = (p - q) * (r - s)
+  t6 = t1 * t2 + t3 * t4
+  t7 = t1 * t3 + t2 * t5
+  t8 = t4 * t5 + t1 * t2
+  u1 = sqrt(abs(t6) + 1.0)
+  u2 = sqrt(abs(t7) + 1.0)
+  u3 = sqrt(abs(t8) + 1.0)
+  u4 = exp(-abs(t1) / (abs(t4) + 1.0))
+  return (t6 * u1 + t7 * u2 + t8 * u3) * u4 + (p * q + r * s) * (p * r + q * s)
+end
+
+routine fpppp(n: int) -> real
+  integer k
+  real acc, p, q, r, s
+  acc = 0.0
+  do k = 1, n
+    p = 0.1 * real(k)
+    q = 0.2 * real(k) + 0.5
+    r = 1.0 / (real(k) + 1.0)
+    s = 0.3 * real(k) - 0.7
+    acc = acc + fblock(p, q, r, s)
+    acc = acc + fblock(q, p, s, r)
+  end
+  return acc
+end
+"""
+
+
+def _ref_fblock(p, q, r, s):
+    t1 = p * q + r * s
+    t2 = p * r + q * s
+    t3 = p * s + q * r
+    t4 = (p + q) * (r + s)
+    t5 = (p - q) * (r - s)
+    t6 = t1 * t2 + t3 * t4
+    t7 = t1 * t3 + t2 * t5
+    t8 = t4 * t5 + t1 * t2
+    u1 = math.sqrt(abs(t6) + 1.0)
+    u2 = math.sqrt(abs(t7) + 1.0)
+    u3 = math.sqrt(abs(t8) + 1.0)
+    u4 = math.exp(-abs(t1) / (abs(t4) + 1.0))
+    return (t6 * u1 + t7 * u2 + t8 * u3) * u4 + (p * q + r * s) * (p * r + q * s)
+
+
+def ref_fpppp(n):
+    acc = 0.0
+    for k in range(1, n + 1):
+        p = 0.1 * float(k)
+        q = 0.2 * float(k) + 0.5
+        r = 1.0 / (float(k) + 1.0)
+        s = 0.3 * float(k) - 0.7
+        acc += _ref_fblock(p, q, r, s)
+        acc += _ref_fblock(q, p, s, r)
+    return acc
+
+
+register(
+    SuiteRoutine(
+        name="fpppp", source=FPPPP, args=(40,), reference=ref_fpppp, origin="synthetic"
+    )
+)
+
+# ---------------------------------------------------------------------------
+# heat — explicit 1-D diffusion stepping
+# ---------------------------------------------------------------------------
+
+HEAT = """
+routine heat(n: int, nsteps: int, alpha: real, u: real[66], v: real[66]) -> real
+  integer i, s
+  real total
+  do s = 1, nsteps
+    do i = 2, n - 1
+      v(i) = u(i) + alpha * (u(i + 1) - 2.0 * u(i) + u(i - 1))
+    end
+    do i = 2, n - 1
+      u(i) = v(i)
+    end
+  end
+  total = 0.0
+  do i = 1, n
+    total = total + u(i)
+  end
+  return total
+end
+"""
+
+
+def ref_heat(n, nsteps, alpha, u, v):
+    for _ in range(nsteps):
+        for i in range(2, n):
+            v[i - 1] = u[i - 1] + alpha * (u[i] - 2.0 * u[i - 1] + u[i - 2])
+        for i in range(2, n):
+            u[i - 1] = v[i - 1]
+    return sum(u[:n])
+
+
+register(
+    SuiteRoutine(
+        name="heat",
+        source=HEAT,
+        args=(64, 10, 0.2),
+        arrays=(
+            ([math.sin(i * 0.3) + 1.0 for i in range(66)], 8),
+            ([0.0] * 66, 8),
+        ),
+        reference=ref_heat,
+        origin="synthetic",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# iniset / inithx — initialization loop nests
+# ---------------------------------------------------------------------------
+
+INISET = """
+routine iniset(n: int, a: real[80], b: real[80], c: real[80], d: int[80]) -> real
+  integer i
+  real s
+  do i = 1, n
+    a(i) = 0.0
+  end
+  do i = 1, n
+    b(i) = 1.0
+  end
+  do i = 1, n
+    c(i) = real(i) * 0.5 + 3.0
+  end
+  do i = 1, n
+    d(i) = i * 2 + 1
+  end
+  s = 0.0
+  do i = 1, n
+    s = s + c(i) + real(d(i))
+  end
+  return s
+end
+"""
+
+
+def ref_iniset(n, a, b, c, d):
+    for i in range(1, n + 1):
+        a[i - 1] = 0.0
+    for i in range(1, n + 1):
+        b[i - 1] = 1.0
+    for i in range(1, n + 1):
+        c[i - 1] = float(i) * 0.5 + 3.0
+    for i in range(1, n + 1):
+        d[i - 1] = i * 2 + 1
+    return sum(c[i - 1] + float(d[i - 1]) for i in range(1, n + 1))
+
+
+register(
+    SuiteRoutine(
+        name="iniset",
+        source=INISET,
+        args=(75,),
+        arrays=(([9.9] * 80, 8), ([9.9] * 80, 8), ([9.9] * 80, 8), ([7] * 80, 4)),
+        reference=ref_iniset,
+        origin="synthetic",
+    )
+)
+
+INITHX = """
+routine inithx(n: int, h: real[14, 14]) -> real
+  integer i, j
+  real s
+  do j = 1, n
+    do i = 1, n
+      h(i, j) = 1.5 + 0.25 * real(i) + 0.5 * real(j) + 0.125 * real(i * j)
+    end
+  end
+  do i = 1, n
+    h(i, 1) = 0.0
+    h(i, n) = 0.0
+    h(1, i) = 0.0
+    h(n, i) = 0.0
+  end
+  s = 0.0
+  do j = 1, n
+    do i = 1, n
+      s = s + h(i, j)
+    end
+  end
+  return s
+end
+"""
+
+
+def ref_inithx(n, h, dim=14):
+    for j in range(1, n + 1):
+        for i in range(1, n + 1):
+            h[_idx(i, j, dim)] = 1.5 + 0.25 * float(i) + 0.5 * float(j) + 0.125 * float(i * j)
+    for i in range(1, n + 1):
+        h[_idx(i, 1, dim)] = 0.0
+        h[_idx(i, n, dim)] = 0.0
+        h[_idx(1, i, dim)] = 0.0
+        h[_idx(n, i, dim)] = 0.0
+    return sum(
+        h[_idx(i, j, dim)] for j in range(1, n + 1) for i in range(1, n + 1)
+    )
+
+
+register(
+    SuiteRoutine(
+        name="inithx",
+        source=INITHX,
+        args=(12,),
+        arrays=(([0.0] * 196, 8),),
+        reference=lambda n, h: ref_inithx(n, h),
+        origin="synthetic",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# integr / si — quadrature and a series evaluation
+# ---------------------------------------------------------------------------
+
+INTEGR = """
+routine finteg(x: real) -> real
+  return x * x * exp(-x)
+end
+
+routine integr(a: real, b: real, n: int) -> real
+  integer k
+  real h, s, x
+  h = (b - a) / real(n)
+  s = (finteg(a) + finteg(b)) / 2.0
+  do k = 1, n - 1
+    x = a + h * real(k)
+    s = s + finteg(x)
+  end
+  return s * h
+end
+"""
+
+
+def ref_integr(a, b, n):
+    def f(x):
+        return x * x * math.exp(-x)
+
+    h = (b - a) / float(n)
+    s = (f(a) + f(b)) / 2.0
+    for k in range(1, n):
+        s += f(a + h * float(k))
+    return s * h
+
+
+register(
+    SuiteRoutine(
+        name="integr",
+        source=INTEGR,
+        args=(0.0, 4.0, 200),
+        reference=ref_integr,
+        origin="synthetic",
+    )
+)
+
+SI = """
+routine si(x: real, nterms: int) -> real
+  integer k
+  real term, s, x2, denom
+  s = x
+  term = x
+  x2 = x * x
+  do k = 1, nterms
+    denom = real(2 * k) * real(2 * k + 1)
+    term = -term * x2 / denom
+    s = s + term / real(2 * k + 1)
+  end
+  return s
+end
+"""
+
+
+def ref_si(x, nterms):
+    s = x
+    term = x
+    x2 = x * x
+    for k in range(1, nterms + 1):
+        denom = float(2 * k) * float(2 * k + 1)
+        term = -term * x2 / denom
+        s += term / float(2 * k + 1)
+    return s
+
+
+register(
+    SuiteRoutine(
+        name="si", source=SI, args=(1.5, 12), reference=ref_si, origin="synthetic"
+    )
+)
+
+# ---------------------------------------------------------------------------
+# hmoy — means over an array (doduc "moyenne")
+# ---------------------------------------------------------------------------
+
+HMOY = """
+routine hmoy(n: int, v: real[40]) -> real
+  integer i
+  real s, h
+  s = 0.0
+  h = 0.0
+  do i = 1, n
+    s = s + v(i)
+    h = h + 1.0 / v(i)
+  end
+  return s / real(n) + real(n) / h
+end
+"""
+
+
+def ref_hmoy(n, v):
+    s = sum(v[:n])
+    h = sum(1.0 / x for x in v[:n])
+    return s / float(n) + float(n) / h
+
+
+register(
+    SuiteRoutine(
+        name="hmoy",
+        source=HMOY,
+        args=(36,),
+        arrays=(([1.0 + (i % 9) * 0.5 for i in range(40)], 8),),
+        reference=ref_hmoy,
+        origin="synthetic",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# x21y21 — plane rotation of coordinate arrays
+# ---------------------------------------------------------------------------
+
+X21Y21 = """
+routine x21y21(n: int, t: real, x: real[48], y: real[48]) -> real
+  integer i
+  real c, s, xi, yi, r2
+  c = cos(t)
+  s = sin(t)
+  r2 = 0.0
+  do i = 1, n
+    xi = x(i)
+    yi = y(i)
+    x(i) = c * xi - s * yi
+    y(i) = s * xi + c * yi
+    r2 = r2 + x(i) * x(i) + y(i) * y(i)
+  end
+  return r2
+end
+"""
+
+
+def ref_x21y21(n, t, x, y):
+    c, s = math.cos(t), math.sin(t)
+    r2 = 0.0
+    for i in range(n):
+        xi, yi = x[i], y[i]
+        x[i] = c * xi - s * yi
+        y[i] = s * xi + c * yi
+        r2 += x[i] * x[i] + y[i] * y[i]
+    return r2
+
+
+register(
+    SuiteRoutine(
+        name="x21y21",
+        source=X21Y21,
+        args=(40, 0.7),
+        arrays=(
+            ([0.5 * i for i in range(48)], 8),
+            ([0.25 * i + 1.0 for i in range(48)], 8),
+        ),
+        reference=ref_x21y21,
+        origin="synthetic",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# gamgen — transcendental table generation
+# ---------------------------------------------------------------------------
+
+GAMGEN = """
+routine gamgen(n: int, t: real[64], u: real[64]) -> real
+  integer i
+  real x, s
+  do i = 1, n
+    x = 0.25 * real(i) + 0.5
+    t(i) = exp(-x) * sqrt(x) * (1.0 + 1.0 / (12.0 * x) + 1.0 / (288.0 * x * x))
+    u(i) = log(x + 1.0) / (x + 2.0) + t(i) * t(i)
+  end
+  s = 0.0
+  do i = 1, n
+    s = s + t(i) + u(i)
+  end
+  return s
+end
+"""
+
+
+def ref_gamgen(n, t, u):
+    for i in range(1, n + 1):
+        x = 0.25 * float(i) + 0.5
+        t[i - 1] = math.exp(-x) * math.sqrt(x) * (
+            1.0 + 1.0 / (12.0 * x) + 1.0 / (288.0 * x * x)
+        )
+        u[i - 1] = math.log(x + 1.0) / (x + 2.0) + t[i - 1] * t[i - 1]
+    return sum(t[:n]) + sum(u[:n])
+
+
+register(
+    SuiteRoutine(
+        name="gamgen",
+        source=GAMGEN,
+        args=(60,),
+        arrays=(([0.0] * 64, 8), ([0.0] * 64, 8)),
+        reference=ref_gamgen,
+        origin="synthetic",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# repvid / drepvi — array update kernels (rank-1 update is a distribution
+# showcase: a(i,j) + b(i)*c(j) with the address arithmetic in the open)
+# ---------------------------------------------------------------------------
+
+REPVID = """
+routine repvid(n: int, stride: int, v: real[96]) -> real
+  integer i
+  real s
+  do i = stride + 1, n
+    v(i) = 0.75 * v(i - stride) + 0.25 * v(i)
+  end
+  s = 0.0
+  do i = 1, n
+    s = s + v(i)
+  end
+  return s
+end
+"""
+
+
+def ref_repvid(n, stride, v):
+    for i in range(stride + 1, n + 1):
+        v[i - 1] = 0.75 * v[i - stride - 1] + 0.25 * v[i - 1]
+    return sum(v[:n])
+
+
+register(
+    SuiteRoutine(
+        name="repvid",
+        source=REPVID,
+        args=(90, 3),
+        arrays=(([math.cos(i * 0.2) + 2.0 for i in range(96)], 8),),
+        reference=ref_repvid,
+        origin="synthetic",
+    )
+)
+
+DREPVI = """
+routine drepvi(n: int, s: real, a: real[14, 14], b: real[14], c: real[14]) -> real
+  integer i, j
+  real acc
+  do j = 1, n
+    do i = 1, n
+      a(i, j) = a(i, j) * s + b(i) * c(j)
+    end
+  end
+  acc = 0.0
+  do j = 1, n
+    acc = acc + a(j, j)
+  end
+  return acc
+end
+"""
+
+
+def ref_drepvi(n, s, a, b, c, dim=14):
+    for j in range(1, n + 1):
+        for i in range(1, n + 1):
+            a[_idx(i, j, dim)] = a[_idx(i, j, dim)] * s + b[i - 1] * c[j - 1]
+    return sum(a[_idx(j, j, dim)] for j in range(1, n + 1))
+
+
+register(
+    SuiteRoutine(
+        name="drepvi",
+        source=DREPVI,
+        args=(12, 0.5),
+        arrays=(
+            ([0.1 * (i % 17) for i in range(196)], 8),
+            ([1.0 + 0.5 * i for i in range(14)], 8),
+            ([2.0 - 0.25 * i for i in range(14)], 8),
+        ),
+        reference=ref_drepvi,
+        origin="synthetic",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# efill — conditional fill of a 2-D array
+# ---------------------------------------------------------------------------
+
+EFILL = """
+routine efill(n: int, e: real[14, 14]) -> real
+  integer i, j
+  real s
+  do j = 1, n
+    do i = 1, n
+      if mod(i + j, 2) == 0 then
+        e(i, j) = real(i) * 0.5 + real(j)
+      else
+        e(i, j) = -(real(j) * 0.25 + real(i))
+      end
+    end
+  end
+  s = 0.0
+  do j = 1, n
+    do i = 1, n
+      s = s + abs(e(i, j))
+    end
+  end
+  return s
+end
+"""
+
+
+def ref_efill(n, e, dim=14):
+    for j in range(1, n + 1):
+        for i in range(1, n + 1):
+            if (i + j) % 2 == 0:
+                e[_idx(i, j, dim)] = float(i) * 0.5 + float(j)
+            else:
+                e[_idx(i, j, dim)] = -(float(j) * 0.25 + float(i))
+    return sum(
+        abs(e[_idx(i, j, dim)]) for j in range(1, n + 1) for i in range(1, n + 1)
+    )
+
+
+register(
+    SuiteRoutine(
+        name="efill",
+        source=EFILL,
+        args=(12,),
+        arrays=(([0.0] * 196, 8),),
+        reference=lambda n, e: ref_efill(n, e),
+        origin="synthetic",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# colbur — small-kernel 1-D convolution
+# ---------------------------------------------------------------------------
+
+COLBUR = """
+routine colbur(n: int, x: real[80], w: real[5], out: real[80]) -> real
+  integer i, k
+  real s, acc
+  do i = 3, n - 2
+    s = 0.0
+    do k = 1, 5
+      s = s + w(k) * x(i + k - 3)
+    end
+    out(i) = s
+  end
+  acc = 0.0
+  do i = 3, n - 2
+    acc = acc + out(i)
+  end
+  return acc
+end
+"""
+
+
+def ref_colbur(n, x, w, out):
+    for i in range(3, n - 1):
+        s = 0.0
+        for k in range(1, 6):
+            s += w[k - 1] * x[i + k - 4]
+        out[i - 1] = s
+    return sum(out[i - 1] for i in range(3, n - 1))
+
+
+register(
+    SuiteRoutine(
+        name="colbur",
+        source=COLBUR,
+        args=(72,),
+        arrays=(
+            ([math.sin(i * 0.4) for i in range(80)], 8),
+            ([0.1, 0.2, 0.4, 0.2, 0.1], 8),
+            ([0.0] * 80, 8),
+        ),
+        reference=ref_colbur,
+        origin="synthetic",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# yeh — two-pass max-abs + normalization
+# ---------------------------------------------------------------------------
+
+YEH = """
+routine yeh(n: int, v: real[56]) -> real
+  integer i
+  real big, s
+  big = 0.0
+  do i = 1, n
+    big = max(big, abs(v(i)))
+  end
+  s = 0.0
+  do i = 1, n
+    v(i) = v(i) / big
+    s = s + v(i) * v(i)
+  end
+  return s
+end
+"""
+
+
+def ref_yeh(n, v):
+    big = 0.0
+    for i in range(n):
+        big = max(big, abs(v[i]))
+    s = 0.0
+    for i in range(n):
+        v[i] = v[i] / big
+        s += v[i] * v[i]
+    return s
+
+
+register(
+    SuiteRoutine(
+        name="yeh",
+        source=YEH,
+        args=(50,),
+        arrays=(([math.sin(i) * (i % 7 + 1) for i in range(56)], 8),),
+        reference=ref_yeh,
+        origin="synthetic",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# deseco — second-derivative estimates with boundary conditionals
+# ---------------------------------------------------------------------------
+
+DESECO = """
+routine deseco(n: int, h: real, u: real[90], d: real[90]) -> real
+  integer i
+  real s, h2
+  h2 = h * h
+  do i = 1, n
+    if i == 1 then
+      d(i) = (u(i + 2) - 2.0 * u(i + 1) + u(i)) / h2
+    elseif i == n then
+      d(i) = (u(i) - 2.0 * u(i - 1) + u(i - 2)) / h2
+    else
+      d(i) = (u(i + 1) - 2.0 * u(i) + u(i - 1)) / h2
+    end
+  end
+  s = 0.0
+  do i = 1, n
+    s = s + d(i) * d(i)
+  end
+  return s
+end
+"""
+
+
+def ref_deseco(n, h, u, d):
+    h2 = h * h
+    for i in range(1, n + 1):
+        if i == 1:
+            d[i - 1] = (u[i + 1] - 2.0 * u[i] + u[i - 1]) / h2
+        elif i == n:
+            d[i - 1] = (u[i - 1] - 2.0 * u[i - 2] + u[i - 3]) / h2
+        else:
+            d[i - 1] = (u[i] - 2.0 * u[i - 1] + u[i - 2]) / h2
+    return sum(x * x for x in d[:n])
+
+
+register(
+    SuiteRoutine(
+        name="deseco",
+        source=DESECO,
+        args=(85, 0.1),
+        arrays=(
+            ([math.exp(-0.05 * i) * math.sin(0.3 * i) for i in range(90)], 8),
+            ([0.0] * 90, 8),
+        ),
+        reference=ref_deseco,
+        origin="synthetic",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# paroi — min wall distance (nested loops, sqrt)
+# ---------------------------------------------------------------------------
+
+PAROI = """
+routine paroi(n: int, m: int, px: real[24], py: real[24], wx: real[24], wy: real[24]) -> real
+  integer i, k
+  real best, dx, dy, dist, total
+  total = 0.0
+  do i = 1, n
+    best = 1000000.0
+    do k = 1, m
+      dx = px(i) - wx(k)
+      dy = py(i) - wy(k)
+      dist = sqrt(dx * dx + dy * dy)
+      best = min(best, dist)
+    end
+    total = total + best
+  end
+  return total
+end
+"""
+
+
+def ref_paroi(n, m, px, py, wx, wy):
+    total = 0.0
+    for i in range(n):
+        best = 1000000.0
+        for k in range(m):
+            dx = px[i] - wx[k]
+            dy = py[i] - wy[k]
+            best = min(best, math.sqrt(dx * dx + dy * dy))
+        total += best
+    return total
+
+
+register(
+    SuiteRoutine(
+        name="paroi",
+        source=PAROI,
+        args=(20, 20),
+        arrays=(
+            ([0.3 * i for i in range(24)], 8),
+            ([0.2 * i + 1.0 for i in range(24)], 8),
+            ([0.5 * i - 1.0 for i in range(24)], 8),
+            ([0.1 * i * i % 5 for i in range(24)], 8),
+        ),
+        reference=ref_paroi,
+        origin="synthetic",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# cardeb — flow-rate style expressions with guarded divisions
+# ---------------------------------------------------------------------------
+
+CARDEB = """
+routine cardeb(n: int, p: real[40], q: real[40]) -> real
+  integer i
+  real dp, s
+  s = 0.0
+  do i = 1, n - 1
+    dp = p(i) - p(i + 1)
+    q(i) = sign(1.0, dp) * 0.61 * sqrt(abs(dp)) / (1.0 + 0.04 * abs(dp))
+    s = s + q(i)
+  end
+  return s
+end
+"""
+
+
+def ref_cardeb(n, p, q):
+    s = 0.0
+    for i in range(1, n):
+        dp = p[i - 1] - p[i]
+        q[i - 1] = math.copysign(1.0, dp) * 0.61 * math.sqrt(abs(dp)) / (
+            1.0 + 0.04 * abs(dp)
+        )
+        s += q[i - 1]
+    return s
+
+
+register(
+    SuiteRoutine(
+        name="cardeb",
+        source=CARDEB,
+        args=(38,),
+        arrays=(
+            ([10.0 + math.sin(i * 0.9) * 4.0 for i in range(40)], 8),
+            ([0.0] * 40, 8),
+        ),
+        reference=ref_cardeb,
+        origin="synthetic",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# debico — Lagrange-style interpolation coefficients (nested products)
+# ---------------------------------------------------------------------------
+
+DEBICO = """
+routine debico(n: int, u: real, xs: real[12], c: real[12]) -> real
+  integer i, k
+  real num, den, s
+  do i = 1, n
+    num = 1.0
+    den = 1.0
+    do k = 1, n
+      if k != i then
+        num = num * (u - xs(k))
+        den = den * (xs(i) - xs(k))
+      end
+    end
+    c(i) = num / den
+  end
+  s = 0.0
+  do i = 1, n
+    s = s + c(i)
+  end
+  return s
+end
+"""
+
+
+def ref_debico(n, xs, u, c):
+    for i in range(1, n + 1):
+        num = den = 1.0
+        for k in range(1, n + 1):
+            if k != i:
+                num *= u - xs[k - 1]
+                den *= xs[i - 1] - xs[k - 1]
+        c[i - 1] = num / den
+    return sum(c[:n])
+
+
+register(
+    SuiteRoutine(
+        name="debico",
+        source=DEBICO,
+        args=(10, 2.35),
+        arrays=(([0.5 * i for i in range(12)], 8), ([0.0] * 12, 8)),
+        reference=lambda n, u, xs, c: ref_debico(n, xs, u, c),
+        origin="synthetic",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# orgpar — scalar parameter setup, branch heavy
+# ---------------------------------------------------------------------------
+
+ORGPAR = """
+routine orgpar(t: real, p: real, n: int) -> real
+  integer k
+  real gam, rc, acc
+  gam = 1.4
+  if t > 500.0 then
+    gam = 1.3
+  end
+  rc = (2.0 / (gam + 1.0)) * (gam / (gam - 1.0))
+  acc = 0.0
+  do k = 1, n
+    if p * real(k) > rc * 100.0 then
+      acc = acc + sqrt(p * real(k)) / (1.0 + rc)
+    else
+      acc = acc + p * real(k) / (2.0 + rc)
+    end
+  end
+  return acc + rc + gam
+end
+"""
+
+
+def ref_orgpar(t, p, n):
+    gam = 1.4 if t <= 500.0 else 1.3
+    rc = (2.0 / (gam + 1.0)) * (gam / (gam - 1.0))
+    acc = 0.0
+    for k in range(1, n + 1):
+        if p * float(k) > rc * 100.0:
+            acc += math.sqrt(p * float(k)) / (1.0 + rc)
+        else:
+            acc += p * float(k) / (2.0 + rc)
+    return acc + rc + gam
+
+
+register(
+    SuiteRoutine(
+        name="orgpar",
+        source=ORGPAR,
+        args=(450.0, 7.5, 30),
+        reference=ref_orgpar,
+        origin="synthetic",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# saturr — clamp-and-accumulate
+# ---------------------------------------------------------------------------
+
+SATURR = """
+routine saturr(n: int, lo: real, hi: real, v: real[70]) -> real
+  integer i, nclip
+  real s
+  nclip = 0
+  s = 0.0
+  do i = 1, n
+    if v(i) < lo or v(i) > hi then
+      nclip = nclip + 1
+    end
+    v(i) = min(max(v(i), lo), hi)
+    s = s + v(i)
+  end
+  return s + real(nclip)
+end
+"""
+
+
+def ref_saturr(n, lo, hi, v):
+    nclip = 0
+    s = 0.0
+    for i in range(n):
+        if v[i] < lo or v[i] > hi:
+            nclip += 1
+        v[i] = min(max(v[i], lo), hi)
+        s += v[i]
+    return s + float(nclip)
+
+
+register(
+    SuiteRoutine(
+        name="saturr",
+        source=SATURR,
+        args=(64, -0.5, 0.5),
+        arrays=(([math.sin(i * 1.1) for i in range(70)], 8),),
+        reference=ref_saturr,
+        origin="synthetic",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# bilan — row/column balance sums over a 2-D array
+# ---------------------------------------------------------------------------
+
+BILAN = """
+routine bilan(n: int, a: real[14, 14], rows: real[14], cols: real[14]) -> real
+  integer i, j
+  real grand
+  do i = 1, n
+    rows(i) = 0.0
+  end
+  do j = 1, n
+    cols(j) = 0.0
+  end
+  do j = 1, n
+    do i = 1, n
+      rows(i) = rows(i) + a(i, j)
+      cols(j) = cols(j) + a(i, j)
+    end
+  end
+  grand = 0.0
+  do i = 1, n
+    grand = grand + rows(i) - cols(i)
+  end
+  do i = 1, n
+    grand = grand + rows(i)
+  end
+  return grand
+end
+"""
+
+
+def ref_bilan(n, a, rows, cols, dim=14):
+    for i in range(n):
+        rows[i] = 0.0
+    for j in range(n):
+        cols[j] = 0.0
+    for j in range(1, n + 1):
+        for i in range(1, n + 1):
+            rows[i - 1] += a[_idx(i, j, dim)]
+            cols[j - 1] += a[_idx(i, j, dim)]
+    grand = sum(rows[i] - cols[i] for i in range(n))
+    grand += sum(rows[:n])
+    return grand
+
+
+register(
+    SuiteRoutine(
+        name="bilan",
+        source=BILAN,
+        args=(12,),
+        arrays=(
+            ([0.3 * ((i * 13) % 11) for i in range(196)], 8),
+            ([0.0] * 14, 8),
+            ([0.0] * 14, 8),
+        ),
+        reference=lambda n, a, rows, cols: ref_bilan(n, a, rows, cols),
+        origin="synthetic",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# subb / supp — call-heavy pair
+# ---------------------------------------------------------------------------
+
+SUPP = """
+routine subb(x: real) -> real
+  if x > 1.0 then
+    return x * x - 1.0 / x
+  end
+  return x * x + 1.0
+end
+
+routine supp(n: int) -> real
+  integer k
+  real s
+  s = 0.0
+  do k = 1, n
+    s = s + subb(0.1 * real(k))
+    s = s + subb(0.2 * real(k) + 0.05)
+  end
+  return s
+end
+"""
+
+
+def _ref_subb(x):
+    if x > 1.0:
+        return x * x - 1.0 / x
+    return x * x + 1.0
+
+
+def ref_supp(n):
+    s = 0.0
+    for k in range(1, n + 1):
+        s += _ref_subb(0.1 * float(k))
+        s += _ref_subb(0.2 * float(k) + 0.05)
+    return s
+
+
+register(
+    SuiteRoutine(
+        name="supp", source=SUPP, entry="supp", args=(40,), reference=ref_supp,
+        origin="synthetic",
+    )
+)
+
+register(
+    SuiteRoutine(
+        name="subb", source=SUPP, entry="subb", args=(1.75,), reference=_ref_subb,
+        origin="synthetic",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# fmtset / fmtgen — integer digit manipulation
+# ---------------------------------------------------------------------------
+
+FMTSET = """
+routine fmtset(v: int, base: int) -> int
+  integer digits, x, d
+  digits = 0
+  x = abs(v)
+  while x > 0
+    d = mod(x, base)
+    digits = digits * 10 + d
+    x = x / base
+  end
+  return digits
+end
+"""
+
+
+def ref_fmtset(v, base):
+    digits = 0
+    x = abs(v)
+    while x > 0:
+        d = fortran_mod(x, base)
+        digits = digits * 10 + d
+        x = trunc_div(x, base)
+    return digits
+
+
+register(
+    SuiteRoutine(
+        name="fmtset",
+        source=FMTSET,
+        args=(987654, 8),
+        reference=ref_fmtset,
+        origin="synthetic",
+    )
+)
+
+FMTGEN = """
+routine fmtgen(n: int) -> int
+  integer k, acc, width
+  acc = 0
+  do k = 1, n
+    width = 1
+    if k >= 10 then
+      width = 2
+    end
+    if k >= 100 then
+      width = 3
+    end
+    acc = acc + width * (mod(k, 7) + 1)
+  end
+  return acc
+end
+"""
+
+
+def ref_fmtgen(n):
+    acc = 0
+    for k in range(1, n + 1):
+        width = 1
+        if k >= 10:
+            width = 2
+        if k >= 100:
+            width = 3
+        acc += width * (fortran_mod(k, 7) + 1)
+    return acc
+
+
+register(
+    SuiteRoutine(
+        name="fmtgen", source=FMTGEN, args=(120,), reference=ref_fmtgen,
+        origin="synthetic",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# ihbtr — integer index-halving walk (heap/binary-tree flavour)
+# ---------------------------------------------------------------------------
+
+IHBTR = """
+routine ihbtr(n: int, w: int[64]) -> int
+  integer i, node, acc
+  acc = 0
+  do i = 1, n
+    node = i
+    while node >= 1
+      acc = acc + w(node)
+      node = node / 2
+    end
+  end
+  return acc
+end
+"""
+
+
+def ref_ihbtr(n, w):
+    acc = 0
+    for i in range(1, n + 1):
+        node = i
+        while node >= 1:
+            acc += w[node - 1]
+            node = trunc_div(node, 2)
+    return acc
+
+
+register(
+    SuiteRoutine(
+        name="ihbtr",
+        source=IHBTR,
+        args=(60,),
+        arrays=(([(i * 5) % 13 for i in range(64)], 4),),
+        reference=ref_ihbtr,
+        origin="synthetic",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# prophy — 1-D wave propagation steps
+# ---------------------------------------------------------------------------
+
+PROPHY = """
+routine prophy(n: int, nsteps: int, c2: real, u: real[66], up: real[66], un: real[66]) -> real
+  integer i, s
+  real total
+  do s = 1, nsteps
+    do i = 2, n - 1
+      un(i) = 2.0 * u(i) - up(i) + c2 * (u(i + 1) - 2.0 * u(i) + u(i - 1))
+    end
+    do i = 2, n - 1
+      up(i) = u(i)
+      u(i) = un(i)
+    end
+  end
+  total = 0.0
+  do i = 1, n
+    total = total + u(i) * u(i)
+  end
+  return total
+end
+"""
+
+
+def ref_prophy(n, nsteps, c2, u, up, un):
+    for _ in range(nsteps):
+        for i in range(2, n):
+            un[i - 1] = 2.0 * u[i - 1] - up[i - 1] + c2 * (
+                u[i] - 2.0 * u[i - 1] + u[i - 2]
+            )
+        for i in range(2, n):
+            up[i - 1] = u[i - 1]
+            u[i - 1] = un[i - 1]
+    return sum(x * x for x in u[:n])
+
+
+register(
+    SuiteRoutine(
+        name="prophy",
+        source=PROPHY,
+        args=(64, 8, 0.25),
+        arrays=(
+            ([math.sin(i * math.pi / 16.0) for i in range(66)], 8),
+            ([math.sin(i * math.pi / 16.0) for i in range(66)], 8),
+            ([0.0] * 66, 8),
+        ),
+        reference=ref_prophy,
+        origin="synthetic",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# ddeflu — flux derivatives over a 2-D field
+# ---------------------------------------------------------------------------
+
+DDEFLU = """
+routine ddeflu(n: int, a: real[14, 14], f: real[14, 14]) -> real
+  integer i, j
+  real s, num, den
+  s = 0.0
+  do j = 2, n - 1
+    do i = 2, n - 1
+      num = a(i + 1, j) - a(i - 1, j) + a(i, j + 1) - a(i, j - 1)
+      den = 1.0 + abs(a(i, j))
+      f(i, j) = num / den
+      s = s + f(i, j) * f(i, j)
+    end
+  end
+  return s
+end
+"""
+
+
+def ref_ddeflu(n, a, f, dim=14):
+    s = 0.0
+    for j in range(2, n):
+        for i in range(2, n):
+            num = (
+                a[_idx(i + 1, j, dim)]
+                - a[_idx(i - 1, j, dim)]
+                + a[_idx(i, j + 1, dim)]
+                - a[_idx(i, j - 1, dim)]
+            )
+            den = 1.0 + abs(a[_idx(i, j, dim)])
+            f[_idx(i, j, dim)] = num / den
+            s += f[_idx(i, j, dim)] ** 2
+    return s
+
+
+register(
+    SuiteRoutine(
+        name="ddeflu",
+        source=DDEFLU,
+        args=(13,),
+        arrays=(
+            ([math.cos(0.37 * i) * 2.0 for i in range(196)], 8),
+            ([0.0] * 196, 8),
+        ),
+        reference=lambda n, a, f: ref_ddeflu(n, a, f),
+        origin="synthetic",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# coeray / dcoera — trigonometric coefficient generation
+# ---------------------------------------------------------------------------
+
+COERAY = """
+routine coeray(n: int, w: real, phi: real, t: real[48], c: real[48]) -> real
+  integer i
+  real s
+  do i = 1, n
+    c(i) = 3.0 * sin(w * t(i) + phi) + 1.5 * cos(w * t(i) - phi)
+  end
+  s = 0.0
+  do i = 1, n
+    s = s + c(i)
+  end
+  return s
+end
+"""
+
+
+def ref_coeray(n, w, phi, t, c):
+    for i in range(n):
+        c[i] = 3.0 * math.sin(w * t[i] + phi) + 1.5 * math.cos(w * t[i] - phi)
+    return sum(c[:n])
+
+
+register(
+    SuiteRoutine(
+        name="coeray",
+        source=COERAY,
+        args=(40, 1.3, 0.4),
+        arrays=(([0.15 * i for i in range(48)], 8), ([0.0] * 48, 8)),
+        reference=ref_coeray,
+        origin="synthetic",
+    )
+)
+
+DCOERA = """
+routine dcoera(n: int, w: real, phi: real, t: real[48], d: real[48]) -> real
+  integer i
+  real s, arg1, arg2
+  do i = 1, n
+    arg1 = w * t(i) + phi
+    arg2 = w * t(i) - phi
+    d(i) = 3.0 * w * cos(arg1) - 1.5 * w * sin(arg2)
+  end
+  s = 0.0
+  do i = 1, n
+    s = s + d(i) * d(i)
+  end
+  return s
+end
+"""
+
+
+def ref_dcoera(n, w, phi, t, d):
+    for i in range(n):
+        arg1 = w * t[i] + phi
+        arg2 = w * t[i] - phi
+        d[i] = 3.0 * w * math.cos(arg1) - 1.5 * w * math.sin(arg2)
+    return sum(x * x for x in d[:n])
+
+
+register(
+    SuiteRoutine(
+        name="dcoera",
+        source=DCOERA,
+        args=(40, 1.3, 0.4),
+        arrays=(([0.15 * i for i in range(48)], 8), ([0.0] * 48, 8)),
+        reference=ref_dcoera,
+        origin="synthetic",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# drigl — 3×3 rigid transforms over a point list
+# ---------------------------------------------------------------------------
+
+DRIGL = """
+routine drigl(n: int, r: real[3, 3], pts: real[3, 20], out: real[3, 20]) -> real
+  integer i, k
+  real s
+  do k = 1, n
+    do i = 1, 3
+      out(i, k) = r(i, 1) * pts(1, k) + r(i, 2) * pts(2, k) + r(i, 3) * pts(3, k)
+    end
+  end
+  s = 0.0
+  do k = 1, n
+    s = s + out(1, k) + out(2, k) + out(3, k)
+  end
+  return s
+end
+"""
+
+
+def ref_drigl(n, r, pts, out):
+    def R(i, j):
+        return r[(i - 1) + (j - 1) * 3]
+
+    def P(i, k):
+        return pts[(i - 1) + (k - 1) * 3]
+
+    for k in range(1, n + 1):
+        for i in range(1, 4):
+            out[(i - 1) + (k - 1) * 3] = (
+                R(i, 1) * P(1, k) + R(i, 2) * P(2, k) + R(i, 3) * P(3, k)
+            )
+    return sum(
+        out[(i - 1) + (k - 1) * 3] for k in range(1, n + 1) for i in range(1, 4)
+    )
+
+
+_ROT = [0.36, 0.48, -0.8, -0.8, 0.6, 0.0, 0.48, 0.64, 0.6]
+
+register(
+    SuiteRoutine(
+        name="drigl",
+        source=DRIGL,
+        args=(18,),
+        arrays=(
+            (_ROT, 8),
+            ([0.2 * i - 3.0 for i in range(60)], 8),
+            ([0.0] * 60, 8),
+        ),
+        reference=ref_drigl,
+        origin="synthetic",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# pastem — time-step selection (guarded min reduction)
+# ---------------------------------------------------------------------------
+
+PASTEM = """
+routine pastem(n: int, cfl: real, vel: real[60], dx: real[60]) -> real
+  integer i
+  real dt, cand
+  dt = 1000.0
+  do i = 1, n
+    if abs(vel(i)) > 0.0001 then
+      cand = cfl * dx(i) / abs(vel(i))
+      dt = min(dt, cand)
+    end
+  end
+  return dt
+end
+"""
+
+
+def ref_pastem(n, cfl, vel, dx):
+    dt = 1000.0
+    for i in range(n):
+        if abs(vel[i]) > 0.0001:
+            dt = min(dt, cfl * dx[i] / abs(vel[i]))
+    return dt
+
+
+register(
+    SuiteRoutine(
+        name="pastem",
+        source=PASTEM,
+        args=(55, 0.9),
+        arrays=(
+            ([math.sin(i * 0.77) * 3.0 for i in range(60)], 8),
+            ([0.01 * (i % 9 + 1) for i in range(60)], 8),
+        ),
+        reference=ref_pastem,
+        origin="synthetic",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# debflu — flux balance with upwind conditionals
+# ---------------------------------------------------------------------------
+
+DEBFLU = """
+routine debflu(n: int, rho: real[70], v: real[70], flux: real[70]) -> real
+  integer i
+  real s
+  do i = 1, n - 1
+    if v(i) > 0.0 then
+      flux(i) = rho(i) * v(i)
+    else
+      flux(i) = rho(i + 1) * v(i)
+    end
+  end
+  s = 0.0
+  do i = 1, n - 1
+    s = s + flux(i)
+  end
+  return s
+end
+"""
+
+
+def ref_debflu(n, rho, v, flux):
+    for i in range(1, n):
+        if v[i - 1] > 0.0:
+            flux[i - 1] = rho[i - 1] * v[i - 1]
+        else:
+            flux[i - 1] = rho[i] * v[i - 1]
+    return sum(flux[: n - 1])
+
+
+register(
+    SuiteRoutine(
+        name="debflu",
+        source=DEBFLU,
+        args=(66,),
+        arrays=(
+            ([1.0 + 0.1 * (i % 13) for i in range(70)], 8),
+            ([math.sin(i * 0.6) for i in range(70)], 8),
+            ([0.0] * 70, 8),
+        ),
+        reference=ref_debflu,
+        origin="synthetic",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# inideb — initialization with interleaved conditionals
+# ---------------------------------------------------------------------------
+
+INIDEB = """
+routine inideb(n: int, a: real[50], b: real[50]) -> real
+  integer i
+  real s
+  do i = 1, n
+    if i <= n / 2 then
+      a(i) = real(i) * 0.5
+      b(i) = real(n - i) * 0.25
+    else
+      a(i) = real(n - i) * 0.5
+      b(i) = real(i) * 0.25
+    end
+  end
+  s = 0.0
+  do i = 1, n
+    s = s + a(i) * b(i)
+  end
+  return s
+end
+"""
+
+
+def ref_inideb(n, a, b):
+    half = trunc_div(n, 2)
+    for i in range(1, n + 1):
+        if i <= half:
+            a[i - 1] = float(i) * 0.5
+            b[i - 1] = float(n - i) * 0.25
+        else:
+            a[i - 1] = float(n - i) * 0.5
+            b[i - 1] = float(i) * 0.25
+    return sum(a[i] * b[i] for i in range(n))
+
+
+register(
+    SuiteRoutine(
+        name="inideb",
+        source=INIDEB,
+        args=(48,),
+        arrays=(([0.0] * 50, 8), ([0.0] * 50, 8)),
+        reference=ref_inideb,
+        origin="synthetic",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# tuldrv — driver looping over other suite kernels (call structure)
+# ---------------------------------------------------------------------------
+
+TULDRV = PROPHY + DDEFLU + """
+routine tuldrv(nloop: int, u: real[66], up: real[66], un: real[66], a: real[14, 14], f: real[14, 14]) -> real
+  integer k
+  real acc
+  acc = 0.0
+  do k = 1, nloop
+    acc = acc + prophy(32, 2, 0.25, u, up, un)
+    acc = acc + ddeflu(12, a, f)
+  end
+  return acc
+end
+"""
+
+
+def ref_tuldrv(nloop, u, up, un, a, f):
+    acc = 0.0
+    for _ in range(nloop):
+        acc += ref_prophy(32, 2, 0.25, u, up, un)
+        acc += ref_ddeflu(12, a, f)
+    return acc
+
+
+register(
+    SuiteRoutine(
+        name="tuldrv",
+        source=TULDRV,
+        entry="tuldrv",
+        args=(3,),
+        arrays=(
+            ([math.sin(i * 0.2) for i in range(66)], 8),
+            ([math.sin(i * 0.2) for i in range(66)], 8),
+            ([0.0] * 66, 8),
+            ([math.cos(0.37 * i) * 2.0 for i in range(196)], 8),
+            ([0.0] * 196, 8),
+        ),
+        reference=ref_tuldrv,
+        origin="synthetic",
+    )
+)

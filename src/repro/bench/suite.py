@@ -1,0 +1,85 @@
+"""The benchmark-routine registry.
+
+The paper's suite is "50 routines, drawn from the Spec benchmark suite
+and from Forsythe, Malcolm, and Moler's book on numerical methods" [16].
+SPEC sources are proprietary; this registry rebuilds the suite from:
+
+* **FMM routines** implemented faithfully from the published algorithms
+  (fmin, zeroin, urand, spline, seval, decomp, solve, rkf45's fehl/rkfs,
+  an svd kernel);
+* **matrix300-style BLAS** (saxpy, sgemv, sgemm);
+* **synthetic equivalents** for the SPEC-derived names (tomcatv, fpppp,
+  the doduc routines...) with the same optimization surface: FORTRAN
+  loop nests, naive column-major array addressing, reductions, intrinsic
+  calls, and branch-heavy scalar code.  DESIGN.md records the
+  substitution rationale.
+
+Every routine carries a driver (arguments + array initializers) and a
+pure-Python reference implementation used by the correctness tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+
+@dataclass
+class SuiteRoutine:
+    """One suite entry.
+
+    Attributes:
+        name: the routine (and registry) name.
+        source: mini-FORTRAN source; may define helper routines.
+        args: scalar arguments for the measurement run.
+        arrays: ``(initial_values, elemsize)`` array arguments, appended
+            after the scalars.
+        reference: Python function taking ``(*args, *array_lists)`` with
+            fresh copies of the arrays, mutating them in place and
+            returning the routine's return value (or ``None``).
+        origin: "fmm", "blas" or "synthetic" (see module docstring).
+        entry: name of the routine to invoke (defaults to ``name``).
+    """
+
+    name: str
+    source: str
+    args: tuple = ()
+    arrays: tuple = ()
+    reference: Optional[Callable] = None
+    origin: str = "synthetic"
+    entry: Optional[str] = None
+
+    @property
+    def entry_name(self) -> str:
+        return self.entry if self.entry is not None else self.name
+
+    def fresh_arrays(self) -> list[tuple[list, int]]:
+        return [(list(values), elemsize) for values, elemsize in self.arrays]
+
+
+SUITE: dict[str, SuiteRoutine] = {}
+
+
+def register(routine: SuiteRoutine) -> SuiteRoutine:
+    if routine.name in SUITE:
+        raise ValueError(f"duplicate suite routine {routine.name!r}")
+    SUITE[routine.name] = routine
+    return routine
+
+
+def suite_routines() -> list[SuiteRoutine]:
+    """All routines, in registration (paper-table) order."""
+    _ensure_loaded()
+    return list(SUITE.values())
+
+
+_loaded = False
+
+
+def _ensure_loaded() -> None:
+    global _loaded
+    if not _loaded:
+        # importing the program modules populates SUITE
+        from repro.bench.programs import blas, fmm, spec  # noqa: F401
+
+        _loaded = True

@@ -1,0 +1,148 @@
+"""Table 1: dynamic operation counts at the four optimization levels.
+
+For every suite routine this harness compiles at BASELINE, PARTIAL,
+REASSOCIATION and DISTRIBUTION, executes the routine on its driver
+inputs, and reports the dynamic ILOC operation counts plus the paper's
+percentage columns:
+
+* *partial %*: improvement of PARTIAL over BASELINE,
+* *reassociation %*: improvement over PARTIAL,
+* *distribution %*: improvement over REASSOCIATION,
+* *new*: improvement of DISTRIBUTION over PARTIAL (what reassociation,
+  distribution and global value numbering together add),
+* *total*: improvement of DISTRIBUTION over BASELINE.
+
+Run as a script::
+
+    python -m repro.bench.table1
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.bench.report import format_count, format_pct, format_table, improvement
+from repro.bench.suite import SuiteRoutine, suite_routines
+from repro.pipeline import OptLevel, compile_source, run_routine
+
+
+@dataclass
+class Table1Row:
+    """Measured dynamic counts for one routine."""
+
+    name: str
+    baseline: int
+    partial: int
+    reassociation: int
+    distribution: int
+
+    @property
+    def new_improvement(self) -> float:
+        """The paper's *new* column: (reassoc+dist+GVN) over PARTIAL."""
+        return improvement(self.partial, self.distribution)
+
+    @property
+    def total_improvement(self) -> float:
+        """The paper's *total* column: everything over BASELINE."""
+        return improvement(self.baseline, self.distribution)
+
+
+def measure_routine(routine: SuiteRoutine) -> Table1Row:
+    """Compile and run one routine at every level."""
+    counts = {}
+    for level in OptLevel:
+        module = compile_source(routine.source, level=level)
+        run = run_routine(
+            module, routine.entry_name, routine.args, routine.fresh_arrays()
+        )
+        counts[level] = run.dynamic_count
+    return Table1Row(
+        name=routine.name,
+        baseline=counts[OptLevel.BASELINE],
+        partial=counts[OptLevel.PARTIAL],
+        reassociation=counts[OptLevel.REASSOCIATION],
+        distribution=counts[OptLevel.DISTRIBUTION],
+    )
+
+
+def generate_table1(
+    routines: Optional[Iterable[SuiteRoutine]] = None,
+) -> list[Table1Row]:
+    """Measure every routine; rows sorted by the *new* column (paper order)."""
+    routines = list(routines) if routines is not None else suite_routines()
+    rows = [measure_routine(routine) for routine in routines]
+    rows.sort(key=lambda row: row.new_improvement, reverse=True)
+    return rows
+
+
+def format_table1(rows: list[Table1Row]) -> str:
+    headers = [
+        "routine",
+        "baseline",
+        "partial",
+        "",
+        "reassociation",
+        "",
+        "distribution",
+        "",
+        "new",
+        "total",
+    ]
+    body = []
+    for row in rows:
+        body.append(
+            [
+                row.name,
+                format_count(row.baseline),
+                format_count(row.partial),
+                format_pct(row.baseline, row.partial),
+                format_count(row.reassociation),
+                format_pct(row.partial, row.reassociation),
+                format_count(row.distribution),
+                format_pct(row.reassociation, row.distribution),
+                format_pct(row.partial, row.distribution),
+                format_pct(row.baseline, row.distribution),
+            ]
+        )
+    return format_table(headers, body)
+
+
+def summarize(rows: list[Table1Row]) -> dict:
+    """Aggregate shape statistics (used by EXPERIMENTS.md and tests)."""
+    import statistics
+
+    partial_pcts = [improvement(r.baseline, r.partial) for r in rows]
+    new_pcts = [r.new_improvement for r in rows]
+    total_pcts = [r.total_improvement for r in rows]
+    return {
+        "routines": len(rows),
+        "partial_median": statistics.median(partial_pcts),
+        "partial_max": max(partial_pcts),
+        "new_median": statistics.median(new_pcts),
+        "new_max": max(new_pcts),
+        "new_min": min(new_pcts),
+        "routines_new_improved": sum(1 for p in new_pcts if p > 0.005),
+        "routines_new_degraded": sum(1 for p in new_pcts if p < -0.005),
+        "total_median": statistics.median(total_pcts),
+        "total_max": max(total_pcts),
+    }
+
+
+def main() -> None:  # pragma: no cover - exercised via CLI
+    rows = generate_table1()
+    print(format_table1(rows))
+    stats = summarize(rows)
+    print()
+    print(
+        f"{stats['routines']} routines; PRE median improvement "
+        f"{stats['partial_median']:.0%} (max {stats['partial_max']:.0%}); "
+        f"reassociation+distribution add a median {stats['new_median']:.0%} "
+        f"over PRE (max {stats['new_max']:.0%}, min {stats['new_min']:.0%}); "
+        f"{stats['routines_new_improved']} routines improve, "
+        f"{stats['routines_new_degraded']} degrade."
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,109 @@
+"""Table 2: static code expansion caused by forward propagation.
+
+For every suite routine, the static ILOC operation count immediately
+before global reassociation (the front end's output — where the paper's
+distribution configuration applies it) and immediately after, plus the
+expansion factor and the totals row.
+
+Run as a script::
+
+    python -m repro.bench.table2
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.bench.report import format_count, format_table
+from repro.bench.suite import SuiteRoutine, suite_routines
+from repro.frontend import compile_program
+from repro.passes.reassociate import reassociate_transform
+
+
+@dataclass
+class Table2Row:
+    """Static counts around forward propagation for one routine.
+
+    ``after`` materializes each tree per use (the paper's forward
+    propagation, whose duplication Table 2 measures); ``after_shared``
+    is our default pipeline, which shares subexpressions within blocks
+    during re-emission and so grows far less (often shrinks).
+    """
+
+    name: str
+    before: int
+    after: int
+    after_shared: int
+
+    @property
+    def expansion(self) -> float:
+        return self.after / self.before if self.before else 1.0
+
+    @property
+    def expansion_shared(self) -> float:
+        return self.after_shared / self.before if self.before else 1.0
+
+
+def measure_expansion(routine: SuiteRoutine) -> Table2Row:
+    """Static size of the routine's namesake function before/after the pass.
+
+    The suite's measurement *entry* is sometimes a driver (e.g. ``declv``
+    wrapping ``solve``); Table 2 reports the named routine itself, like
+    the paper.
+    """
+    module = compile_program(routine.source)
+    name = routine.name if routine.name in module else routine.entry_name
+    unshared = reassociate_transform(module[name], distribute=False, share_emission=False)
+
+    module2 = compile_program(routine.source)
+    shared = reassociate_transform(module2[name], distribute=False)
+    return Table2Row(
+        name=routine.name,
+        before=unshared.static_before,
+        after=unshared.static_after,
+        after_shared=shared.static_after,
+    )
+
+
+def generate_table2(
+    routines: Optional[Iterable[SuiteRoutine]] = None,
+) -> list[Table2Row]:
+    routines = list(routines) if routines is not None else suite_routines()
+    rows = [measure_expansion(routine) for routine in routines]
+    rows.sort(key=lambda row: row.name)
+    return rows
+
+
+def totals(rows: list[Table2Row]) -> Table2Row:
+    return Table2Row(
+        name="totals",
+        before=sum(r.before for r in rows),
+        after=sum(r.after for r in rows),
+        after_shared=sum(r.after_shared for r in rows),
+    )
+
+
+def format_table2(rows: list[Table2Row]) -> str:
+    headers = ["routine", "before", "after", "expansion", "after(shared)", "expansion(shared)"]
+    body = [
+        [
+            row.name,
+            format_count(row.before),
+            format_count(row.after),
+            f"{row.expansion:.3f}",
+            format_count(row.after_shared),
+            f"{row.expansion_shared:.3f}",
+        ]
+        for row in rows + [totals(rows)]
+    ]
+    return format_table(headers, body)
+
+
+def main() -> None:  # pragma: no cover - exercised via CLI
+    rows = generate_table2()
+    print(format_table2(rows))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,25 @@
+"""Control-flow-graph analyses.
+
+* :class:`~repro.cfg.graph.ControlFlowGraph` — a snapshot of a function's
+  CFG with successor/predecessor maps and orderings (postorder, reverse
+  postorder).
+* :class:`~repro.cfg.dominators.DominatorTree` — immediate dominators
+  (Cooper–Harvey–Kennedy) and dominance frontiers.
+* :class:`~repro.cfg.loops.LoopInfo` — natural loops and nesting depth.
+* :func:`~repro.cfg.edges.split_critical_edges` — edge splitting for PRE's
+  edge placement and for φ-removal.
+"""
+
+from repro.cfg.dominators import DominatorTree
+from repro.cfg.edges import split_critical_edges, split_edge
+from repro.cfg.graph import ControlFlowGraph
+from repro.cfg.loops import LoopInfo, NaturalLoop
+
+__all__ = [
+    "ControlFlowGraph",
+    "DominatorTree",
+    "LoopInfo",
+    "NaturalLoop",
+    "split_critical_edges",
+    "split_edge",
+]

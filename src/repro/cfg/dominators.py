@@ -1,0 +1,120 @@
+"""Dominators and dominance frontiers.
+
+Implements the Cooper–Harvey–Kennedy iterative dominator algorithm ("A
+Simple, Fast Dominance Algorithm") and the Cytron et al. dominance-frontier
+computation, both standard ingredients of SSA construction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cfg.graph import ControlFlowGraph
+
+
+class DominatorTree:
+    """Immediate dominators, dominance queries and dominance frontiers.
+
+    Only blocks reachable from the entry participate; querying an
+    unreachable block raises :class:`KeyError`.
+    """
+
+    def __init__(self, cfg: ControlFlowGraph) -> None:
+        self.cfg = cfg
+        self.entry = cfg.entry
+        self._rpo = cfg.reverse_postorder
+        self._rpo_index = {label: i for i, label in enumerate(self._rpo)}
+        self.idom: dict[str, Optional[str]] = self._compute_idoms()
+        self.frontier: dict[str, set[str]] = self._compute_frontiers()
+        self._children: dict[str, list[str]] = {label: [] for label in self._rpo}
+        for label, parent in self.idom.items():
+            if parent is not None:
+                self._children[parent].append(label)
+
+    def _compute_idoms(self) -> dict[str, Optional[str]]:
+        idom: dict[str, Optional[str]] = {self.entry: self.entry}
+        changed = True
+        while changed:
+            changed = False
+            for label in self._rpo:
+                if label == self.entry:
+                    continue
+                processed = [p for p in self.cfg.preds[label] if p in idom]
+                if not processed:
+                    continue
+                new_idom = processed[0]
+                for pred in processed[1:]:
+                    new_idom = self._intersect(new_idom, pred, idom)
+                if idom.get(label) != new_idom:
+                    idom[label] = new_idom
+                    changed = True
+        idom[self.entry] = None
+        return idom
+
+    def _intersect(self, a: str, b: str, idom: dict[str, Optional[str]]) -> str:
+        index = self._rpo_index
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    def _compute_frontiers(self) -> dict[str, set[str]]:
+        frontier: dict[str, set[str]] = {label: set() for label in self._rpo}
+        for label in self._rpo:
+            preds = [p for p in self.cfg.preds[label] if p in self.idom]
+            if len(preds) < 2:
+                continue
+            for pred in preds:
+                runner = pred
+                while runner != self.idom[label]:
+                    frontier[runner].add(label)
+                    runner = self.idom[runner]  # type: ignore[assignment]
+        return frontier
+
+    # -- queries ----------------------------------------------------------------
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True when ``a`` dominates ``b`` (every block dominates itself)."""
+        if a not in self.idom or b not in self.idom:
+            raise KeyError(f"unreachable block in dominance query: {a!r}/{b!r}")
+        runner: Optional[str] = b
+        while runner is not None:
+            if runner == a:
+                return True
+            runner = self.idom[runner]
+        return False
+
+    def strictly_dominates(self, a: str, b: str) -> bool:
+        return a != b and self.dominates(a, b)
+
+    def children(self, label: str) -> list[str]:
+        """Immediate children in the dominator tree."""
+        return list(self._children[label])
+
+    def preorder(self) -> list[str]:
+        """Dominator-tree preorder (used by SSA renaming)."""
+        order: list[str] = []
+        stack = [self.entry]
+        while stack:
+            label = stack.pop()
+            order.append(label)
+            # reversed keeps left-to-right child order
+            stack.extend(reversed(self._children[label]))
+        return order
+
+    def iterated_frontier(self, labels: set[str]) -> set[str]:
+        """The iterated dominance frontier DF⁺ of a set of blocks."""
+        result: set[str] = set()
+        worklist = [label for label in labels if label in self.frontier]
+        while worklist:
+            label = worklist.pop()
+            for front in self.frontier[label]:
+                if front not in result:
+                    result.add(front)
+                    worklist.append(front)
+        return result
+
+    def __repr__(self) -> str:
+        return f"<DominatorTree of {self.cfg.func.name}>"

@@ -1,0 +1,61 @@
+"""CFG edge manipulation: edge splitting.
+
+PRE's edge placement inserts computations *on edges*; a computation on a
+critical edge (many-successor source to many-predecessor destination) needs
+a fresh block.  φ-removal during forward propagation (paper section 3.1:
+"if necessary, the entering edges are split") uses the same helper.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode
+
+
+def split_edge(func: Function, src_label: str, dst_label: str) -> str:
+    """Split the CFG edge ``src -> dst``; return the new block's label.
+
+    The new block holds a single ``jmp -> dst``; the source's branch is
+    redirected and φ-nodes in the destination are repointed.  The new block
+    is placed immediately after the source block to keep listings readable.
+    """
+    src = func.block(src_label)
+    dst = func.block(dst_label)
+    term = src.terminator
+    if term is None or dst_label not in term.labels:
+        raise ValueError(f"no edge {src_label} -> {dst_label}")
+
+    mid_label = func.new_label()
+    mid = BasicBlock(mid_label, [Instruction(Opcode.JMP, labels=[dst_label])])
+    index = next(i for i, blk in enumerate(func.blocks) if blk.label == src_label)
+    func.blocks.insert(index + 1, mid)
+
+    term.labels = [mid_label if lbl == dst_label else lbl for lbl in term.labels]
+    for phi in dst.phis():
+        phi.phi_labels = [
+            mid_label if lbl == src_label else lbl for lbl in phi.phi_labels
+        ]
+    return mid_label
+
+
+def split_critical_edges(func: Function) -> list[tuple[str, str, str]]:
+    """Split every critical edge; return (src, dst, new_label) triples.
+
+    An edge is critical when its source has multiple successors and its
+    destination multiple predecessors.  After this pass every edge either
+    leaves a single-successor block or enters a single-predecessor block,
+    so an insertion point exists for every edge.
+    """
+    preds = func.predecessor_map()
+    critical: list[tuple[str, str]] = []
+    for blk in func.blocks:
+        succs = blk.successor_labels()
+        if len(succs) < 2:
+            continue
+        for succ in succs:
+            if len(preds[succ]) >= 2:
+                critical.append((blk.label, succ))
+    return [
+        (src, dst, split_edge(func, src, dst)) for src, dst in critical
+    ]

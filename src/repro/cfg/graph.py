@@ -1,0 +1,84 @@
+"""Control-flow graph snapshot with standard orderings.
+
+A :class:`ControlFlowGraph` captures the successor/predecessor structure of
+a function at one moment.  Passes that mutate the function must build a new
+snapshot afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.ir.function import Function
+
+
+class ControlFlowGraph:
+    """Successors, predecessors and traversal orders of a function's CFG.
+
+    Only blocks reachable from the entry appear in the traversal orders;
+    unreachable blocks still appear in ``succs``/``preds`` so callers can
+    detect and remove them.
+    """
+
+    def __init__(self, func: Function) -> None:
+        self.func = func
+        self.entry = func.entry.label
+        self.labels = [blk.label for blk in func.blocks]
+        self.succs: dict[str, list[str]] = {
+            blk.label: blk.successor_labels() for blk in func.blocks
+        }
+        self.preds: dict[str, list[str]] = func.predecessor_map()
+        self._postorder = self._compute_postorder()
+
+    def _compute_postorder(self) -> list[str]:
+        """Iterative DFS postorder from the entry (reachable blocks only)."""
+        visited: set[str] = set()
+        order: list[str] = []
+        # stack of (label, iterator over successors)
+        stack: list[tuple[str, Iterable[str]]] = [(self.entry, iter(self.succs[self.entry]))]
+        visited.add(self.entry)
+        while stack:
+            label, succ_iter = stack[-1]
+            advanced = False
+            for succ in succ_iter:
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append((succ, iter(self.succs[succ])))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(label)
+                stack.pop()
+        return order
+
+    @property
+    def postorder(self) -> list[str]:
+        """Reachable blocks in DFS postorder."""
+        return list(self._postorder)
+
+    @property
+    def reverse_postorder(self) -> list[str]:
+        """Reachable blocks in reverse postorder.
+
+        This is the traversal order the paper uses to assign ranks
+        (section 3.1): a block's rank is its 1-based position here.
+        """
+        return list(reversed(self._postorder))
+
+    def rpo_number(self) -> dict[str, int]:
+        """Map each reachable block to its 1-based reverse-postorder number."""
+        return {label: i for i, label in enumerate(self.reverse_postorder, start=1)}
+
+    def reachable(self) -> set[str]:
+        return set(self._postorder)
+
+    def edges(self) -> list[tuple[str, str]]:
+        """All CFG edges (source, destination), in block order."""
+        return [(src, dst) for src in self.labels for dst in self.succs[src]]
+
+    def exit_labels(self) -> list[str]:
+        """Blocks with no successors (RET blocks), in block order."""
+        return [label for label in self.labels if not self.succs[label]]
+
+    def __repr__(self) -> str:
+        return f"<ControlFlowGraph {self.func.name}: {len(self.labels)} blocks>"

@@ -1,0 +1,85 @@
+"""Natural loops and loop nesting depth.
+
+Back edges are CFG edges whose destination dominates their source; a
+natural loop is the set of blocks that reach the back edge's source without
+passing through its header.  Nesting depth drives rank intuition tests and
+the strength-reduction extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfg.dominators import DominatorTree
+from repro.cfg.graph import ControlFlowGraph
+
+
+@dataclass
+class NaturalLoop:
+    """One natural loop: its header, back-edge sources, and body blocks."""
+
+    header: str
+    body: set[str] = field(default_factory=set)
+    latches: set[str] = field(default_factory=set)
+
+    def __contains__(self, label: str) -> bool:
+        return label in self.body
+
+
+class LoopInfo:
+    """All natural loops of a function, with per-block nesting depth.
+
+    Loops sharing a header are merged (the standard convention).
+    """
+
+    def __init__(self, cfg: ControlFlowGraph, dom: DominatorTree | None = None) -> None:
+        self.cfg = cfg
+        self.dom = dom if dom is not None else DominatorTree(cfg)
+        self.loops: list[NaturalLoop] = self._find_loops()
+        self.depth: dict[str, int] = self._compute_depths()
+
+    def _find_loops(self) -> list[NaturalLoop]:
+        by_header: dict[str, NaturalLoop] = {}
+        reachable = self.cfg.reachable()
+        for src in self.cfg.reverse_postorder:
+            for dst in self.cfg.succs[src]:
+                if dst in reachable and self.dom.dominates(dst, src):
+                    loop = by_header.setdefault(dst, NaturalLoop(header=dst))
+                    loop.latches.add(src)
+                    loop.body |= self._loop_body(dst, src)
+        return list(by_header.values())
+
+    def _loop_body(self, header: str, latch: str) -> set[str]:
+        body = {header, latch}
+        stack = [latch]
+        while stack:
+            label = stack.pop()
+            if label == header:
+                continue
+            for pred in self.cfg.preds[label]:
+                if pred not in body:
+                    body.add(pred)
+                    stack.append(pred)
+        return body
+
+    def _compute_depths(self) -> dict[str, int]:
+        depth = {label: 0 for label in self.cfg.labels}
+        for loop in self.loops:
+            for label in loop.body:
+                depth[label] += 1
+        return depth
+
+    # -- queries ------------------------------------------------------------
+
+    def loop_of(self, label: str) -> NaturalLoop | None:
+        """The innermost loop containing ``label`` (smallest body), if any."""
+        candidates = [loop for loop in self.loops if label in loop]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda loop: len(loop.body))
+
+    def headers(self) -> set[str]:
+        return {loop.header for loop in self.loops}
+
+    def __repr__(self) -> str:
+        return f"<LoopInfo {self.cfg.func.name}: {len(self.loops)} loops>"

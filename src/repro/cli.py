@@ -1,0 +1,145 @@
+"""Command-line interface.
+
+::
+
+    python -m repro compile prog.f --level distribution        # print optimized ILOC
+    python -m repro run prog.f saxpy 100 2.0 --array 0,0,0:8   # execute + count
+    python -m repro table1 | table2 | ablation                 # the experiments
+
+The source language is the mini-FORTRAN of :mod:`repro.frontend`; array
+arguments are comma-separated element lists suffixed with the element
+size (``:8`` for REAL, ``:4`` for INTEGER), appended after the scalars.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.interp import Interpreter, Memory
+from repro.ir import print_module
+from repro.pipeline import OptLevel, compile_source
+
+
+def _parse_scalar(text: str):
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
+
+
+def _parse_array(text: str):
+    if ":" not in text:
+        raise argparse.ArgumentTypeError(
+            f"array {text!r} needs an elemsize suffix like '1,2,3:8'"
+        )
+    body, _, size = text.rpartition(":")
+    values = [_parse_scalar(v) for v in body.split(",") if v.strip()]
+    return values, int(size)
+
+
+def _level(name: Optional[str]) -> Optional[OptLevel]:
+    if name is None or name == "none":
+        return None
+    return OptLevel(name)
+
+
+def _add_level_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--level",
+        choices=["none"] + [level.value for level in OptLevel],
+        default="distribution",
+        help="optimization level (default: distribution, the paper's best)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Effective Partial Redundancy Elimination (PLDI 1994) toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    compile_cmd = commands.add_parser("compile", help="compile and print ILOC")
+    compile_cmd.add_argument("source", help="mini-FORTRAN source file")
+    _add_level_argument(compile_cmd)
+
+    run_cmd = commands.add_parser("run", help="compile, execute and count")
+    run_cmd.add_argument("source", help="mini-FORTRAN source file")
+    run_cmd.add_argument("routine", help="routine to invoke")
+    run_cmd.add_argument("args", nargs="*", help="scalar arguments")
+    run_cmd.add_argument(
+        "--array",
+        action="append",
+        default=[],
+        type=_parse_array,
+        metavar="V,V,...:SIZE",
+        help="array argument (appended after scalars); repeatable",
+    )
+    run_cmd.add_argument(
+        "--counts", action="store_true", help="print per-opcode dynamic counts"
+    )
+    _add_level_argument(run_cmd)
+
+    commands.add_parser("table1", help="regenerate the paper's Table 1")
+    commands.add_parser("table2", help="regenerate the paper's Table 2")
+    commands.add_parser("ablation", help="run the design-choice ablations")
+    return parser
+
+
+def _cmd_compile(options) -> int:
+    with open(options.source) as handle:
+        source = handle.read()
+    module = compile_source(source, level=_level(options.level))
+    print(print_module(module))
+    return 0
+
+
+def _cmd_run(options) -> int:
+    with open(options.source) as handle:
+        source = handle.read()
+    module = compile_source(source, level=_level(options.level))
+    memory = Memory()
+    args = [_parse_scalar(a) for a in options.args]
+    arrays = []
+    for values, elemsize in options.array:
+        base = memory.allocate_array(values, elemsize)
+        arrays.append((base, len(values), elemsize))
+        args.append(base)
+    result = Interpreter(module).run(options.routine, args, memory)
+    if result.value is not None:
+        print(f"value: {result.value}")
+    print(f"dynamic operations: {result.dynamic_count}")
+    for index, (base, count, elemsize) in enumerate(arrays):
+        print(f"array {index}: {memory.read_array(base, count, elemsize)}")
+    if options.counts:
+        for opcode, count in result.op_counts.most_common():
+            print(f"  {opcode.value:<8} {count}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    options = build_parser().parse_args(argv)
+    if options.command == "compile":
+        return _cmd_compile(options)
+    if options.command == "run":
+        return _cmd_run(options)
+    if options.command == "table1":
+        from repro.bench.table1 import main as table1_main
+
+        table1_main()
+        return 0
+    if options.command == "table2":
+        from repro.bench.table2 import main as table2_main
+
+        table2_main()
+        return 0
+    from repro.bench.ablation import main as ablation_main
+
+    ablation_main()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

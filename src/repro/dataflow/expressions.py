@@ -1,0 +1,228 @@
+"""Local expression properties for PRE: ANTLOC, COMP, TRANSP.
+
+PRE works on *lexically identical* expressions (paper section 1): an
+expression is a key ``(opcode, operands...)`` over virtual-register names
+(see :meth:`repro.ir.instructions.Instruction.expr_key`).
+
+The paper's **naming discipline** (section 2.2) matters here: a register
+that is the unique target of one expression — an *expression name* —
+always holds that expression's value as a function of its transitive
+*leaf* operands (variable names, parameters, and memory).  Re-computation
+of an expression name therefore does NOT kill expressions built on top of
+it; only definitions of leaves do.  This is what lets PRE hoist a whole
+chain like ``r6 ← 1 + y;  r7 ← r6 + z`` out of a loop in a single pass
+(the paper's Figure 9).
+
+For each block this module computes the three classic local predicates
+over the leaf-based kill relation:
+
+* ``ANTLOC`` (locally anticipable): the expression is computed in the
+  block before any of its leaves is redefined there;
+* ``COMP`` (locally available): the expression is computed in the block
+  with no leaf redefined afterwards;
+* ``TRANSP`` (transparent): the block redefines none of the leaves.
+
+Memory is a pseudo-leaf: ``LOAD`` expressions (and expressions built over
+load results) carry the ``MEM`` leaf, which every ``STORE`` and ``CALL``
+defines (no alias analysis — the conservative treatment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import ExprKey, Instruction
+from repro.ir.opcodes import Opcode
+
+#: The pseudo-leaf standing for all of memory.
+MEM = "<mem>"
+
+
+def _key_operands(key: ExprKey) -> tuple[str, ...]:
+    """The register operands recorded in an expression key."""
+    op = key[0]
+    if op is Opcode.LOADI:
+        return ()
+    if op is Opcode.INTRIN:
+        return tuple(key[2:])
+    return tuple(key[1:])
+
+
+@dataclass
+class ExpressionTable:
+    """Every lexical expression of a function plus per-block local sets.
+
+    Attributes:
+        keys: all expression keys, in first-occurrence order.
+        antloc / comp / transp: per-block frozensets of keys.
+        occurrences: key -> list of (block_label, instruction) computing it.
+        named: key -> register, for keys that obey the naming discipline
+            (every occurrence targets that register and the register has
+            no other definitions).
+        leaves: key -> frozenset of transitive leaf operands (registers
+            that are not expression names, plus possibly ``MEM``).
+    """
+
+    keys: list[ExprKey] = field(default_factory=list)
+    antloc: dict[str, frozenset] = field(default_factory=dict)
+    comp: dict[str, frozenset] = field(default_factory=dict)
+    transp: dict[str, frozenset] = field(default_factory=dict)
+    occurrences: dict[ExprKey, list[tuple[str, Instruction]]] = field(default_factory=dict)
+    named: dict[ExprKey, str] = field(default_factory=dict)
+    leaves: dict[ExprKey, frozenset] = field(default_factory=dict)
+
+    @property
+    def universe(self) -> frozenset:
+        return frozenset(self.keys)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def build(cls, func: Function) -> "ExpressionTable":
+        table = cls()
+        defs_of_reg: dict[str, list[Instruction]] = {}
+        for blk in func.blocks:
+            for inst in blk.instructions:
+                if inst.target is not None:
+                    defs_of_reg.setdefault(inst.target, []).append(inst)
+                key = inst.expr_key()
+                if key is None:
+                    continue
+                if key not in table.occurrences:
+                    table.keys.append(key)
+                    table.occurrences[key] = []
+                table.occurrences[key].append((blk.label, inst))
+
+        table._classify_named(func, defs_of_reg)
+        table._expand_leaves()
+        table._scan_blocks(func)
+        return table
+
+    def _classify_named(
+        self, func: Function, defs_of_reg: dict[str, list[Instruction]]
+    ) -> None:
+        """Find keys obeying the naming discipline (section 2.2)."""
+        params = set(func.params)
+        for key, occs in self.occurrences.items():
+            targets = {inst.target for _, inst in occs}
+            if len(targets) != 1:
+                continue
+            reg = next(iter(targets))
+            if reg in params:
+                continue
+            if all(inst.expr_key() == key for inst in defs_of_reg.get(reg, [])):
+                self.named[key] = reg
+
+    def _expand_leaves(self) -> None:
+        """Transitive leaf sets, demoting cyclic expression names.
+
+        An expression name involved in a reference cycle (including the
+        self-loop of ``r1 <- add r1, r2``) does not hold a pure function
+        of leaf values — its re-definitions carry history — so such keys
+        are demoted to ordinary variables before expansion.
+        """
+        from repro.util import cyclic_nodes
+
+        reg_to_key = {reg: key for key, reg in self.named.items()}
+        subkey_graph = {
+            key: [
+                reg_to_key[src]
+                for src in _key_operands(key)
+                if src in reg_to_key
+            ]
+            for key in self.keys
+        }
+        for key in cyclic_nodes(subkey_graph):
+            self.named.pop(key, None)
+
+        reg_to_key = {reg: key for key, reg in self.named.items()}
+        memo: dict[ExprKey, frozenset] = {}
+
+        def expand(key: ExprKey) -> frozenset:
+            cached = memo.get(key)
+            if cached is not None:
+                return cached
+            result: set[str] = set()
+            if key[0] is Opcode.LOAD:
+                result.add(MEM)
+            for src in _key_operands(key):
+                sub = reg_to_key.get(src)
+                if sub is not None:
+                    result |= expand(sub)  # acyclic after demotion
+                else:
+                    result.add(src)
+            frozen = frozenset(result)
+            memo[key] = frozen
+            return frozen
+
+        import sys
+
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, 10_000))
+        try:
+            self.leaves = {key: expand(key) for key in self.keys}
+        finally:
+            sys.setrecursionlimit(old_limit)
+
+    def _variable_defs(self, inst: Instruction) -> list[str]:
+        """Leaves defined by this instruction (variable defs + MEM)."""
+        defined: list[str] = []
+        if inst.target is not None:
+            key = inst.expr_key()
+            if key is None or self.named.get(key) != inst.target:
+                defined.append(inst.target)
+        if inst.opcode in (Opcode.STORE, Opcode.CALL):
+            defined.append(MEM)
+        return defined
+
+    def _scan_blocks(self, func: Function) -> None:
+        for blk in func.blocks:
+            killed: set[str] = set()
+            antloc: set[ExprKey] = set()
+            for inst in blk.instructions:
+                key = inst.expr_key()
+                if key is not None and not (self.leaves[key] & killed):
+                    antloc.add(key)
+                killed.update(self._variable_defs(inst))
+            all_killed = frozenset(killed)
+
+            comp: set[ExprKey] = set()
+            killed_after: set[str] = set()
+            for inst in reversed(blk.instructions):
+                key = inst.expr_key()
+                if key is not None and not (self.leaves[key] & killed_after):
+                    # a self-redefining occurrence is not downward exposed
+                    own_defs = set(self._variable_defs(inst))
+                    if not (self.leaves[key] & own_defs):
+                        comp.add(key)
+                killed_after.update(self._variable_defs(inst))
+
+            self.antloc[blk.label] = frozenset(antloc)
+            self.comp[blk.label] = frozenset(comp)
+            self.transp[blk.label] = frozenset(
+                key for key in self.keys if not (self.leaves[key] & all_killed)
+            )
+
+    # -- queries -------------------------------------------------------------
+
+    def kill(self) -> dict[str, frozenset]:
+        """Per-block killed sets (complement of TRANSP within the universe)."""
+        universe = self.universe
+        return {label: universe - transp for label, transp in self.transp.items()}
+
+    def upward_exposed_witness(
+        self, blk: BasicBlock, key: ExprKey
+    ) -> Optional[Instruction]:
+        """The block's upward-exposed occurrence of ``key``, if any.
+
+        Uses the identical kill relation as :attr:`antloc`, so a key in
+        ``antloc[blk.label]`` always has a witness.
+        """
+        killed: set[str] = set()
+        for inst in blk.instructions:
+            if inst.expr_key() == key and not (self.leaves[key] & killed):
+                return inst
+            killed.update(self._variable_defs(inst))
+        return None

@@ -1,0 +1,138 @@
+"""A generic iterative data-flow solver.
+
+Problems are described declaratively (direction, meet, gen/kill per block,
+boundary value) and solved to a fixpoint by round-robin iteration in an
+order matched to the direction (reverse postorder for forward problems,
+postorder for backward ones), which converges in very few sweeps on
+reducible graphs.
+
+Facts are hashable items held in ``frozenset``s.  The solver is exact for
+the distributive gen/kill problems used here (liveness, availability,
+anticipability).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Literal, Mapping
+
+from repro.cfg.graph import ControlFlowGraph
+
+Fact = Hashable
+FactSet = frozenset
+
+#: Meet operators.  ``union`` for "any path" problems (liveness);
+#: ``intersection`` for "all paths" problems (availability, anticipability).
+Meet = Literal["union", "intersection"]
+Direction = Literal["forward", "backward"]
+
+
+@dataclass(frozen=True)
+class DataflowProblem:
+    """A gen/kill data-flow problem over a fixed universe of facts.
+
+    Attributes:
+        direction: "forward" (facts flow along edges) or "backward".
+        meet: "union" or "intersection".
+        universe: every fact that can occur (the top value for
+            intersection problems).
+        gen: per-block facts generated (already net of local kills, i.e.
+            downward-exposed for forward problems, upward-exposed for
+            backward ones).
+        kill: per-block facts killed.
+        boundary: value at the entry (forward) or at all exits (backward);
+            defaults to the empty set.
+    """
+
+    direction: Direction
+    meet: Meet
+    universe: FactSet
+    gen: Mapping[str, FactSet]
+    kill: Mapping[str, FactSet]
+    boundary: FactSet = frozenset()
+
+
+@dataclass
+class DataflowResult:
+    """Fixpoint solution: facts at block entry and exit."""
+
+    inn: dict[str, FactSet]
+    out: dict[str, FactSet]
+    iterations: int
+
+    def at_entry(self, label: str) -> FactSet:
+        return self.inn[label]
+
+    def at_exit(self, label: str) -> FactSet:
+        return self.out[label]
+
+
+def _meet_fn(meet: Meet, universe: FactSet) -> Callable[[list[FactSet]], FactSet]:
+    if meet == "union":
+        def join(values: list[FactSet]) -> FactSet:
+            result: frozenset = frozenset()
+            for value in values:
+                result |= value
+            return result
+        return join
+
+    def intersect(values: list[FactSet]) -> FactSet:
+        if not values:
+            return universe
+        result = values[0]
+        for value in values[1:]:
+            result &= value
+        return result
+    return intersect
+
+
+def solve(problem: DataflowProblem, cfg: ControlFlowGraph) -> DataflowResult:
+    """Iterate the problem to a fixpoint over the reachable blocks.
+
+    For a forward problem::
+
+        IN(b)  = meet over predecessors p of OUT(p)     (boundary at entry)
+        OUT(b) = gen(b) | (IN(b) - kill(b))
+
+    Backward problems mirror this through successors.  Blocks with no
+    meet inputs other than the boundary (the entry forward; exit blocks
+    backward) receive the boundary value.
+    """
+    labels = cfg.reverse_postorder if problem.direction == "forward" else cfg.postorder
+    meet = _meet_fn(problem.meet, problem.universe)
+    init = problem.universe if problem.meet == "intersection" else frozenset()
+
+    reachable = set(labels)
+    if problem.direction == "forward":
+        sources = {lbl: [p for p in cfg.preds[lbl] if p in reachable] for lbl in labels}
+        is_boundary = {lbl: lbl == cfg.entry for lbl in labels}
+    else:
+        sources = {lbl: [s for s in cfg.succs[lbl] if s in reachable] for lbl in labels}
+        is_boundary = {lbl: not cfg.succs[lbl] for lbl in labels}
+
+    before: dict[str, FactSet] = {lbl: init for lbl in labels}
+    after: dict[str, FactSet] = {lbl: init for lbl in labels}
+
+    iterations = 0
+    changed = True
+    while changed:
+        changed = False
+        iterations += 1
+        for label in labels:
+            if is_boundary[label] and not sources[label]:
+                incoming = problem.boundary
+            else:
+                values = [after[src] for src in sources[label]]
+                if is_boundary[label]:
+                    values.append(problem.boundary)
+                incoming = meet(values)
+            outgoing = problem.gen[label] | (incoming - problem.kill[label])
+            if incoming != before[label] or outgoing != after[label]:
+                before[label] = incoming
+                after[label] = outgoing
+                changed = True
+
+    if problem.direction == "forward":
+        return DataflowResult(inn=before, out=after, iterations=iterations)
+    # for backward problems "before" is the value at block *exit*
+    return DataflowResult(inn=after, out=before, iterations=iterations)

@@ -1,0 +1,112 @@
+"""Concrete data-flow problems: liveness, availability, anticipability."""
+
+from __future__ import annotations
+
+from repro.cfg.graph import ControlFlowGraph
+from repro.dataflow.expressions import ExpressionTable
+from repro.dataflow.framework import DataflowProblem, DataflowResult, solve
+from repro.ir.function import Function
+
+
+def live_variables(func: Function, cfg: ControlFlowGraph | None = None) -> DataflowResult:
+    """Live-variable analysis (backward, union).
+
+    ``result.at_entry(b)`` is LiveIn(b); ``result.at_exit(b)`` is LiveOut(b).
+    PHI uses are charged to the predecessor supplying them (they occur "on
+    the edge"), which is the correct convention for liveness on SSA-ish
+    code with φ-nodes; on φ-free code it changes nothing.
+    """
+    cfg = cfg if cfg is not None else ControlFlowGraph(func)
+    universe = frozenset(func.all_registers())
+    gen: dict[str, frozenset] = {}
+    kill: dict[str, frozenset] = {}
+    phi_uses_from: dict[str, set[str]] = {label: set() for label in cfg.labels}
+    for blk in func.blocks:
+        for phi in blk.phis():
+            for src, pred in zip(phi.srcs, phi.phi_labels):
+                if pred in phi_uses_from:
+                    phi_uses_from[pred].add(src)
+
+    for blk in func.blocks:
+        upward: set[str] = set()
+        defined: set[str] = set()
+        for inst in blk.instructions:
+            if inst.is_phi:
+                # φ inputs are used on the incoming edges, not here
+                defined.update(inst.defs())
+                continue
+            for use in inst.uses():
+                if use not in defined:
+                    upward.add(use)
+            defined.update(inst.defs())
+        # uses feeding successors' φ-nodes happen at the end of this block
+        for reg in phi_uses_from[blk.label]:
+            if reg not in defined:
+                upward.add(reg)
+        gen[blk.label] = frozenset(upward)
+        kill[blk.label] = frozenset(defined)
+
+    problem = DataflowProblem(
+        direction="backward",
+        meet="union",
+        universe=universe,
+        gen=gen,
+        kill=kill,
+    )
+    result = solve(problem, cfg)
+    # post-pass: registers feeding a successor φ are live at block exit
+    for blk in func.blocks:
+        if blk.label in result.out:
+            extra = frozenset(phi_uses_from[blk.label])
+            if extra - result.out[blk.label]:
+                result.out[blk.label] = result.out[blk.label] | extra
+    return result
+
+
+def available_expressions(
+    func: Function,
+    table: ExpressionTable | None = None,
+    cfg: ControlFlowGraph | None = None,
+) -> DataflowResult:
+    """Available expressions (forward, intersection).
+
+    An expression is available at a point when it is computed on *every*
+    path from the entry and no operand has been redefined since — the
+    classic global-CSE predicate (paper section 5.3, method 2).
+    """
+    cfg = cfg if cfg is not None else ControlFlowGraph(func)
+    table = table if table is not None else ExpressionTable.build(func)
+    problem = DataflowProblem(
+        direction="forward",
+        meet="intersection",
+        universe=table.universe,
+        gen=table.comp,
+        kill=table.kill(),
+        boundary=frozenset(),
+    )
+    return solve(problem, cfg)
+
+
+def anticipable_expressions(
+    func: Function,
+    table: ExpressionTable | None = None,
+    cfg: ControlFlowGraph | None = None,
+) -> DataflowResult:
+    """Anticipable (very busy) expressions (backward, intersection).
+
+    An expression is anticipable at a point when every path from that
+    point evaluates it before any operand is redefined.  Insertion at
+    points where an expression is anticipable can never lengthen a path —
+    the key safety property of PRE (paper section 2).
+    """
+    cfg = cfg if cfg is not None else ControlFlowGraph(func)
+    table = table if table is not None else ExpressionTable.build(func)
+    problem = DataflowProblem(
+        direction="backward",
+        meet="intersection",
+        universe=table.universe,
+        gen=table.antloc,
+        kill=table.kill(),
+        boundary=frozenset(),
+    )
+    return solve(problem, cfg)

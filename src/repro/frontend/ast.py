@@ -1,0 +1,169 @@
+"""Abstract syntax of the mini-FORTRAN language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.frontend.types import ArrayType, ScalarType
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Num:
+    """An integer or real literal."""
+
+    value: Union[int, float]
+    line: int = 0
+
+
+@dataclass
+class Var:
+    """A scalar variable reference."""
+
+    name: str
+    line: int = 0
+
+
+@dataclass
+class ArrayRef:
+    """``a(i)`` or ``a(i, j)`` — column-major, 1-based."""
+
+    name: str
+    indices: list["Expr"]
+    line: int = 0
+
+
+@dataclass
+class BinOp:
+    """Binary operation: + - * / and or < <= > >= == !=."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+    line: int = 0
+
+
+@dataclass
+class UnOp:
+    """Unary operation: - or not."""
+
+    op: str
+    operand: "Expr"
+    line: int = 0
+
+
+@dataclass
+class Call:
+    """A call in expression position: intrinsic or user routine."""
+
+    name: str
+    args: list["Expr"]
+    line: int = 0
+
+
+Expr = Union[Num, Var, ArrayRef, BinOp, UnOp, Call]
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Assign:
+    """``target = expr`` where target is a Var or ArrayRef."""
+
+    target: Union[Var, ArrayRef]
+    expr: Expr
+    line: int = 0
+
+
+@dataclass
+class Do:
+    """Counted loop ``do v = lo, hi [, step]`` with positive constant step."""
+
+    var: str
+    lo: Expr
+    hi: Expr
+    step: Optional[Expr]
+    body: list["Stmt"]
+    line: int = 0
+
+
+@dataclass
+class While:
+    """``while expr`` ... ``end`` (top-test loop)."""
+
+    cond: Expr
+    body: list["Stmt"]
+    line: int = 0
+
+
+@dataclass
+class If:
+    """``if expr then`` ... [``else`` ...] ``end``."""
+
+    cond: Expr
+    then_body: list["Stmt"]
+    else_body: list["Stmt"] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Return:
+    """``return [expr]``."""
+
+    expr: Optional[Expr]
+    line: int = 0
+
+
+@dataclass
+class CallStmt:
+    """``call name(args)`` — a subroutine call in statement position."""
+
+    name: str
+    args: list[Expr]
+    line: int = 0
+
+
+Stmt = Union[Assign, Do, While, If, Return, CallStmt]
+
+# ---------------------------------------------------------------------------
+# routines and programs
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Param:
+    """A routine parameter with its declared type."""
+
+    name: str
+    type: Union[ScalarType, ArrayType]
+
+
+@dataclass
+class Routine:
+    """One routine: parameters, optional return type, local decls, body."""
+
+    name: str
+    params: list[Param]
+    return_type: Optional[ScalarType]
+    locals: dict[str, ScalarType]
+    body: list[Stmt]
+    line: int = 0
+
+
+@dataclass
+class Program:
+    """A whole compilation unit."""
+
+    routines: list[Routine]
+
+    def routine(self, name: str) -> Routine:
+        for routine in self.routines:
+            if routine.name == name:
+                return routine
+        raise KeyError(name)

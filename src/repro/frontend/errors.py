@@ -1,0 +1,27 @@
+"""Front-end error types."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class FrontendError(ValueError):
+    """Base class for every front-end diagnostic."""
+
+    def __init__(self, message: str, line: Optional[int] = None) -> None:
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class LexError(FrontendError):
+    """Malformed token."""
+
+
+class ParseError(FrontendError):
+    """Malformed syntax."""
+
+
+class LowerError(FrontendError):
+    """Semantic error found while lowering (types, undeclared names...)."""

@@ -1,0 +1,543 @@
+"""Lowering mini-FORTRAN ASTs to ILOC.
+
+The lowering reproduces the front-end behaviour the paper describes:
+
+* **naming discipline** (section 2.2): a hash table maps each lexical
+  expression to a fixed *expression name*; re-computations of the same
+  expression always target the same register.  Scalar variables are
+  *variable names*: registers defined only by ``copy`` instructions.
+* **naive code shape** (section 2.1): expressions associate left-to-right
+  as parsed, and every array reference recomputes the full column-major
+  address ``base + ((i-1) + (j-1)*dim1) * elemsize`` from scratch.
+* **rotated loops**: ``do`` loops emit a guard test at entry and the
+  back-edge test at the bottom, the exact shape of the paper's Figure 3.
+  ``while`` loops are emitted top-test (the PRE-hostile shape discussed
+  in section 4.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Union
+
+from repro.frontend import ast
+from repro.frontend.errors import LowerError
+from repro.frontend.types import INT, REAL, ArrayType, ScalarType
+from repro.ir.function import BasicBlock, Function, Module
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode
+from repro.ir.validate import validate_function
+
+#: Intrinsics lowered to ``intrin`` instructions, with their arity.
+_REAL_INTRINSICS = {
+    "sqrt": 1,
+    "sin": 1,
+    "cos": 1,
+    "tan": 1,
+    "atan": 1,
+    "atan2": 2,
+    "exp": 1,
+    "log": 1,
+    "log10": 1,
+    "pow": 2,
+    "sign": 2,
+}
+
+_ARITH = {"+": Opcode.ADD, "-": Opcode.SUB, "*": Opcode.MUL}
+_COMPARE = {
+    "<": Opcode.CMPLT,
+    "<=": Opcode.CMPLE,
+    ">": Opcode.CMPGT,
+    ">=": Opcode.CMPGE,
+    "==": Opcode.CMPEQ,
+    "!=": Opcode.CMPNE,
+}
+_LOGICAL = {"and": Opcode.AND, "or": Opcode.OR}
+
+
+class _RoutineLowerer:
+    """Lowers one routine; holds the expression-name hash table."""
+
+    def __init__(self, routine: ast.Routine, signatures: dict[str, ast.Routine]):
+        self.routine = routine
+        self.signatures = signatures
+        self.types: dict[str, Union[ScalarType, ArrayType]] = {}
+        for param in routine.params:
+            self.types[param.name] = param.type
+        for name, kind in routine.locals.items():
+            self.types[name] = kind
+
+        self.func = Function(
+            routine.name, params=[self._var_reg(p.name) for p in routine.params]
+        )
+        self._temp_counter = itertools.count()
+        self._label_counter = itertools.count()
+        self._expr_names: dict[tuple, str] = {}
+        self._block: Optional[BasicBlock] = None
+
+    # -- registers and blocks ------------------------------------------------
+
+    @staticmethod
+    def _var_reg(name: str) -> str:
+        return f"v_{name}"
+
+    def _new_temp(self) -> str:
+        return f"t{next(self._temp_counter)}"
+
+    def _new_label(self, hint: str) -> str:
+        return f"{hint}{next(self._label_counter)}"
+
+    def _start_block(self, label: str) -> None:
+        self._block = self.func.add_block(label)
+
+    def _append(self, inst: Instruction) -> None:
+        assert self._block is not None
+        self._block.instructions.append(inst)
+
+    @property
+    def _terminated(self) -> bool:
+        return self._block is not None and self._block.terminator is not None
+
+    # -- the naming discipline --------------------------------------------------
+
+    def _emit_expr(
+        self,
+        opcode: Opcode,
+        srcs: list[str],
+        imm: Optional[Union[int, float]] = None,
+        callee: Optional[str] = None,
+    ) -> str:
+        """Emit an expression targeting its canonical (hash-consed) name.
+
+        Lexically identical expressions always receive the same name —
+        the section 2.2 discipline.  The instruction is emitted even when
+        the name already exists (the front end does not eliminate
+        redundancies; that is the optimizer's job).
+        """
+        probe = Instruction(opcode, target="_", srcs=srcs, imm=imm, callee=callee)
+        key = probe.expr_key()
+        assert key is not None
+        target = self._expr_names.get(key)
+        if target is None:
+            target = self._new_temp()
+            self._expr_names[key] = target
+        self._append(
+            Instruction(opcode, target=target, srcs=srcs, imm=imm, callee=callee)
+        )
+        return target
+
+    def _loadi(self, value: Union[int, float]) -> str:
+        return self._emit_expr(Opcode.LOADI, [], imm=value)
+
+    # -- expressions ---------------------------------------------------------------
+
+    def _promote(self, reg: str, from_type: ScalarType, to_type: ScalarType, line: int) -> str:
+        if from_type == to_type:
+            return reg
+        if from_type == INT and to_type == REAL:
+            return self._emit_expr(Opcode.ITOF, [reg])
+        raise LowerError(
+            f"cannot implicitly convert {from_type} to {to_type}; use int()", line
+        )
+
+    def _lower_expr(self, expr: ast.Expr) -> tuple[str, ScalarType]:
+        if isinstance(expr, ast.Num):
+            kind = INT if isinstance(expr.value, int) else REAL
+            return self._loadi(expr.value), kind
+        if isinstance(expr, ast.Var):
+            return self._lower_var(expr)
+        if isinstance(expr, ast.ArrayRef):
+            return self._lower_array_load(expr)
+        if isinstance(expr, ast.BinOp):
+            return self._lower_binop(expr)
+        if isinstance(expr, ast.UnOp):
+            return self._lower_unop(expr)
+        if isinstance(expr, ast.Call):
+            return self._lower_call_expr(expr)
+        raise LowerError(f"cannot lower expression {expr!r}")
+
+    def _lower_var(self, expr: ast.Var) -> tuple[str, ScalarType]:
+        kind = self.types.get(expr.name)
+        if kind is None:
+            raise LowerError(f"undeclared variable {expr.name!r}", expr.line)
+        if isinstance(kind, ArrayType):
+            raise LowerError(
+                f"array {expr.name!r} used without subscripts", expr.line
+            )
+        return self._var_reg(expr.name), kind
+
+    def _array_address(self, ref: ast.ArrayRef) -> tuple[str, ArrayType]:
+        """The naive address computation the paper's optimizer reshapes."""
+        array_type = self.types.get(ref.name)
+        if not isinstance(array_type, ArrayType):
+            raise LowerError(f"{ref.name!r} is not an array", ref.line)
+        if len(ref.indices) != len(array_type.dims):
+            raise LowerError(
+                f"{ref.name!r} expects {len(array_type.dims)} subscripts, "
+                f"got {len(ref.indices)}",
+                ref.line,
+            )
+        index_regs: list[str] = []
+        for index in ref.indices:
+            reg, kind = self._lower_expr(index)
+            if kind != INT:
+                raise LowerError("array subscripts must be integers", ref.line)
+            index_regs.append(reg)
+
+        one = self._loadi(1)
+        # (i - 1)
+        offset = self._emit_expr(Opcode.SUB, [index_regs[0], one])
+        if len(index_regs) == 2:
+            # (i - 1) + (j - 1) * dim1, column-major
+            dim1 = self._loadi(array_type.dims[0])
+            j_minus = self._emit_expr(Opcode.SUB, [index_regs[1], one])
+            scaled = self._emit_expr(Opcode.MUL, [j_minus, dim1])
+            offset = self._emit_expr(Opcode.ADD, [offset, scaled])
+        size = self._loadi(array_type.elemsize)
+        byte_offset = self._emit_expr(Opcode.MUL, [offset, size])
+        addr = self._emit_expr(
+            Opcode.ADD, [self._var_reg(ref.name), byte_offset]
+        )
+        return addr, array_type
+
+    def _lower_array_load(self, ref: ast.ArrayRef) -> tuple[str, ScalarType]:
+        addr, array_type = self._array_address(ref)
+        return self._emit_expr(Opcode.LOAD, [addr]), array_type.element
+
+    def _lower_binop(self, expr: ast.BinOp) -> tuple[str, ScalarType]:
+        op = expr.op
+        left, left_t = self._lower_expr(expr.left)
+        right, right_t = self._lower_expr(expr.right)
+        if op in _LOGICAL:
+            if left_t != INT or right_t != INT:
+                raise LowerError(f"{op!r} requires logical (integer) operands", expr.line)
+            return self._emit_expr(_LOGICAL[op], [left, right]), INT
+        # numeric: promote to the wider type
+        result_t = REAL if REAL in (left_t, right_t) else INT
+        left = self._promote(left, left_t, result_t, expr.line)
+        right = self._promote(right, right_t, result_t, expr.line)
+        if op in _ARITH:
+            return self._emit_expr(_ARITH[op], [left, right]), result_t
+        if op == "/":
+            opcode = Opcode.FDIV if result_t == REAL else Opcode.IDIV
+            return self._emit_expr(opcode, [left, right]), result_t
+        if op in _COMPARE:
+            return self._emit_expr(_COMPARE[op], [left, right]), INT
+        raise LowerError(f"unknown operator {op!r}", expr.line)
+
+    def _lower_unop(self, expr: ast.UnOp) -> tuple[str, ScalarType]:
+        operand, kind = self._lower_expr(expr.operand)
+        if expr.op == "-":
+            return self._emit_expr(Opcode.NEG, [operand]), kind
+        if expr.op == "not":
+            if kind != INT:
+                raise LowerError("'not' requires a logical (integer) operand", expr.line)
+            return self._emit_expr(Opcode.NOT, [operand]), INT
+        raise LowerError(f"unknown unary operator {expr.op!r}", expr.line)
+
+    def _lower_call_expr(self, expr: ast.Call) -> tuple[str, ScalarType]:
+        name = expr.name
+        # conversions
+        if name == "int":
+            arg, kind = self._single_arg(expr)
+            if kind == INT:
+                return arg, INT
+            return self._emit_expr(Opcode.FTOI, [arg]), INT
+        if name in ("real", "float"):
+            arg, kind = self._single_arg(expr)
+            if kind == REAL:
+                return arg, REAL
+            return self._emit_expr(Opcode.ITOF, [arg]), REAL
+        # opcode-backed builtins
+        if name == "abs":
+            arg, kind = self._single_arg(expr)
+            return self._emit_expr(Opcode.ABS, [arg]), kind
+        if name in ("min", "max"):
+            return self._lower_minmax(expr)
+        if name == "mod":
+            left, right = self._two_args(expr, INT)
+            return self._emit_expr(Opcode.MOD, [left, right]), INT
+        # undeclared name used with subscripts would land here too
+        if isinstance(self.types.get(name), ArrayType):
+            return self._lower_array_load(ast.ArrayRef(name, expr.args, line=expr.line))
+        # real intrinsics
+        if name in _REAL_INTRINSICS:
+            arity = _REAL_INTRINSICS[name]
+            if len(expr.args) != arity:
+                raise LowerError(f"{name} expects {arity} argument(s)", expr.line)
+            regs = []
+            for arg in expr.args:
+                reg, kind = self._lower_expr(arg)
+                regs.append(self._promote(reg, kind, REAL, expr.line))
+            return self._emit_expr(Opcode.INTRIN, regs, callee=name), REAL
+        # user routine
+        return self._lower_user_call(expr, want_value=True)
+
+    def _single_arg(self, expr: ast.Call) -> tuple[str, ScalarType]:
+        if len(expr.args) != 1:
+            raise LowerError(f"{expr.name} expects 1 argument", expr.line)
+        return self._lower_expr(expr.args[0])
+
+    def _two_args(self, expr: ast.Call, required: ScalarType) -> tuple[str, str]:
+        if len(expr.args) != 2:
+            raise LowerError(f"{expr.name} expects 2 arguments", expr.line)
+        left, left_t = self._lower_expr(expr.args[0])
+        right, right_t = self._lower_expr(expr.args[1])
+        if left_t != required or right_t != required:
+            raise LowerError(f"{expr.name} expects {required} arguments", expr.line)
+        return left, right
+
+    def _lower_minmax(self, expr: ast.Call) -> tuple[str, ScalarType]:
+        if len(expr.args) < 2:
+            raise LowerError(f"{expr.name} expects at least 2 arguments", expr.line)
+        opcode = Opcode.MIN if expr.name == "min" else Opcode.MAX
+        regs_types = [self._lower_expr(arg) for arg in expr.args]
+        result_t = REAL if any(t == REAL for _, t in regs_types) else INT
+        regs = [self._promote(r, t, result_t, expr.line) for r, t in regs_types]
+        acc = regs[0]
+        for reg in regs[1:]:
+            acc = self._emit_expr(opcode, [acc, reg])
+        return acc, result_t
+
+    def _lower_user_call(
+        self, expr: ast.Call, want_value: bool
+    ) -> tuple[str, ScalarType]:
+        signature = self.signatures.get(expr.name)
+        if signature is None:
+            raise LowerError(f"call to unknown routine {expr.name!r}", expr.line)
+        if len(expr.args) != len(signature.params):
+            raise LowerError(
+                f"{expr.name} expects {len(signature.params)} arguments, "
+                f"got {len(expr.args)}",
+                expr.line,
+            )
+        arg_regs: list[str] = []
+        for arg, param in zip(expr.args, signature.params):
+            if isinstance(param.type, ArrayType):
+                if not isinstance(arg, ast.Var) or not isinstance(
+                    self.types.get(arg.name), ArrayType
+                ):
+                    raise LowerError(
+                        f"argument for array parameter {param.name!r} must be "
+                        "an array variable",
+                        expr.line,
+                    )
+                passed = self.types[arg.name]
+                if passed.element != param.type.element:
+                    raise LowerError(
+                        f"array element type mismatch passing {arg.name!r}", expr.line
+                    )
+                arg_regs.append(self._var_reg(arg.name))
+            else:
+                reg, kind = self._lower_expr(arg)
+                arg_regs.append(self._promote(reg, kind, param.type, expr.line))
+        if want_value:
+            if signature.return_type is None:
+                raise LowerError(
+                    f"{expr.name} returns no value but one is required", expr.line
+                )
+            target = self._new_temp()  # calls are not expressions: fresh name
+            self._append(
+                Instruction(Opcode.CALL, target=target, srcs=arg_regs, callee=expr.name)
+            )
+            return target, signature.return_type
+        self._append(Instruction(Opcode.CALL, srcs=arg_regs, callee=expr.name))
+        return "", INT
+
+    # -- statements -----------------------------------------------------------------
+
+    def _lower_body(self, body: list[ast.Stmt]) -> None:
+        for stmt in body:
+            if self._terminated:
+                # code after return in this block is unreachable; FORTRAN
+                # allows it but we reject to keep the suite honest
+                raise LowerError("unreachable statement after return", stmt.line)
+            self._lower_stmt(stmt)
+
+    def _lower_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._lower_assign(stmt)
+        elif isinstance(stmt, ast.Do):
+            self._lower_do(stmt)
+        elif isinstance(stmt, ast.While):
+            self._lower_while(stmt)
+        elif isinstance(stmt, ast.If):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.Return):
+            self._lower_return(stmt)
+        elif isinstance(stmt, ast.CallStmt):
+            self._lower_user_call(
+                ast.Call(stmt.name, stmt.args, line=stmt.line), want_value=False
+            )
+        else:
+            raise LowerError(f"cannot lower statement {stmt!r}")
+
+    def _lower_assign(self, stmt: ast.Assign) -> None:
+        if isinstance(stmt.target, ast.Var):
+            kind = self.types.get(stmt.target.name)
+            if kind is None:
+                raise LowerError(
+                    f"undeclared variable {stmt.target.name!r}", stmt.line
+                )
+            if isinstance(kind, ArrayType):
+                raise LowerError(
+                    f"cannot assign to whole array {stmt.target.name!r}", stmt.line
+                )
+            value, value_t = self._lower_expr(stmt.expr)
+            value = self._promote(value, value_t, kind, stmt.line)
+            # variable names are defined by copies (section 2.2)
+            self._append(
+                Instruction(
+                    Opcode.COPY, target=self._var_reg(stmt.target.name), srcs=[value]
+                )
+            )
+        else:
+            value, value_t = self._lower_expr(stmt.expr)
+            addr, array_type = self._array_address(stmt.target)
+            value = self._promote(value, value_t, array_type.element, stmt.line)
+            self._append(Instruction(Opcode.STORE, srcs=[value, addr]))
+
+    def _lower_do(self, stmt: ast.Do) -> None:
+        kind = self.types.get(stmt.var)
+        if kind != INT:
+            raise LowerError(
+                f"do-variable {stmt.var!r} must be a declared integer", stmt.line
+            )
+        var = self._var_reg(stmt.var)
+        lo, lo_t = self._lower_expr(stmt.lo)
+        if lo_t != INT:
+            raise LowerError("do bounds must be integers", stmt.line)
+        self._append(Instruction(Opcode.COPY, target=var, srcs=[lo]))
+        hi, hi_t = self._lower_expr(stmt.hi)
+        if hi_t != INT:
+            raise LowerError("do bounds must be integers", stmt.line)
+        # bounds are fixed at loop entry (FORTRAN): latch them in variables
+        hi_var = f"v_do_hi{next(self._temp_counter)}"
+        self._append(Instruction(Opcode.COPY, target=hi_var, srcs=[hi]))
+        if stmt.step is not None:
+            step, step_t = self._lower_expr(stmt.step)
+            if step_t != INT:
+                raise LowerError("do step must be an integer", stmt.line)
+        else:
+            step = self._loadi(1)
+        step_var = f"v_do_st{next(self._temp_counter)}"
+        self._append(Instruction(Opcode.COPY, target=step_var, srcs=[step]))
+
+        body_label = self._new_label("body")
+        exit_label = self._new_label("after")
+        # rotated loop: guard test at entry (the paper's Figure 3 shape)
+        guard = self._emit_expr(Opcode.CMPGT, [var, hi_var])
+        self._append(Instruction(Opcode.CBR, srcs=[guard], labels=[exit_label, body_label]))
+
+        self._start_block(body_label)
+        self._lower_body(stmt.body)
+        if not self._terminated:
+            bumped = self._emit_expr(Opcode.ADD, [var, step_var])
+            self._append(Instruction(Opcode.COPY, target=var, srcs=[bumped]))
+            again = self._emit_expr(Opcode.CMPLE, [var, hi_var])
+            self._append(
+                Instruction(Opcode.CBR, srcs=[again], labels=[body_label, exit_label])
+            )
+        self._start_block(exit_label)
+
+    def _lower_while(self, stmt: ast.While) -> None:
+        header_label = self._new_label("loop")
+        body_label = self._new_label("body")
+        exit_label = self._new_label("after")
+        self._append(Instruction(Opcode.JMP, labels=[header_label]))
+        self._start_block(header_label)
+        cond, cond_t = self._lower_expr(stmt.cond)
+        if cond_t != INT:
+            raise LowerError("while condition must be logical (integer)", stmt.line)
+        self._append(
+            Instruction(Opcode.CBR, srcs=[cond], labels=[body_label, exit_label])
+        )
+        self._start_block(body_label)
+        self._lower_body(stmt.body)
+        if not self._terminated:
+            self._append(Instruction(Opcode.JMP, labels=[header_label]))
+        self._start_block(exit_label)
+
+    def _lower_if(self, stmt: ast.If) -> None:
+        cond, cond_t = self._lower_expr(stmt.cond)
+        if cond_t != INT:
+            raise LowerError("if condition must be logical (integer)", stmt.line)
+        then_label = self._new_label("then")
+        join_label = self._new_label("join")
+        else_label = self._new_label("else") if stmt.else_body else join_label
+        self._append(
+            Instruction(Opcode.CBR, srcs=[cond], labels=[then_label, else_label])
+        )
+        self._start_block(then_label)
+        self._lower_body(stmt.then_body)
+        if not self._terminated:
+            self._append(Instruction(Opcode.JMP, labels=[join_label]))
+        if stmt.else_body:
+            self._start_block(else_label)
+            self._lower_body(stmt.else_body)
+            if not self._terminated:
+                self._append(Instruction(Opcode.JMP, labels=[join_label]))
+        self._start_block(join_label)
+
+    def _lower_return(self, stmt: ast.Return) -> None:
+        expected = self.routine.return_type
+        if stmt.expr is None:
+            if expected is not None:
+                raise LowerError(
+                    f"{self.routine.name} must return a {expected}", stmt.line
+                )
+            self._append(Instruction(Opcode.RET))
+            return
+        if expected is None:
+            raise LowerError(
+                f"{self.routine.name} does not return a value", stmt.line
+            )
+        value, value_t = self._lower_expr(stmt.expr)
+        value = self._promote(value, value_t, expected, stmt.line)
+        self._append(Instruction(Opcode.RET, srcs=[value]))
+
+    # -- entry point ------------------------------------------------------------------
+
+    def lower(self) -> Function:
+        self._start_block("entry")
+        self._lower_body(self.routine.body)
+        if not self._terminated:
+            reachable: set[str] = set()
+            stack = [self.func.entry.label]
+            blocks = self.func.block_map()
+            while stack:
+                label = stack.pop()
+                if label in reachable:
+                    continue
+                reachable.add(label)
+                stack.extend(blocks[label].successor_labels())
+            unreachable = self._block.label not in reachable
+            if self.routine.return_type is not None and not unreachable:
+                raise LowerError(
+                    f"control reaches end of {self.routine.name}, which must "
+                    f"return a {self.routine.return_type}",
+                    self.routine.line,
+                )
+            # an unreachable trailing block (every path already returned)
+            # gets a placeholder terminator and is swept away below
+            self._append(Instruction(Opcode.RET))
+        self.func.remove_unreachable_blocks()
+        self.func.sync_counters()
+        validate_function(self.func)
+        return self.func
+
+
+def lower_routine(
+    routine: ast.Routine, signatures: Optional[dict[str, ast.Routine]] = None
+) -> Function:
+    """Lower a single routine (signatures map callee names for typing)."""
+    signatures = signatures if signatures is not None else {routine.name: routine}
+    return _RoutineLowerer(routine, signatures).lower()
+
+
+def lower_program(program: ast.Program) -> Module:
+    """Lower every routine of a program into one IR module."""
+    signatures = {routine.name: routine for routine in program.routines}
+    return Module(
+        lower_routine(routine, signatures) for routine in program.routines
+    )

@@ -1,0 +1,365 @@
+"""Recursive-descent parser for the mini-FORTRAN language."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.frontend import ast
+from repro.frontend.errors import ParseError
+from repro.frontend.lexer import Token, tokenize
+from repro.frontend.types import INT, REAL, ArrayType, ScalarType
+
+_REL_OPS = ("<", "<=", ">", ">=", "==", "!=")
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def at(self, *kinds: str) -> bool:
+        return self.current.kind in kinds
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "EOF":
+            self.pos += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        if not self.at(kind):
+            raise ParseError(
+                f"expected {kind!r}, found {self.current.kind!r}", self.current.line
+            )
+        return self.advance()
+
+    def skip_newlines(self) -> None:
+        while self.at("NEWLINE"):
+            self.advance()
+
+    def end_statement(self) -> None:
+        if self.at("EOF"):
+            return
+        self.expect("NEWLINE")
+        self.skip_newlines()
+
+    # -- program / routine ----------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        routines = []
+        self.skip_newlines()
+        while not self.at("EOF"):
+            routines.append(self.parse_routine())
+            self.skip_newlines()
+        if not routines:
+            raise ParseError("empty program", self.current.line)
+        names = [r.name for r in routines]
+        dupes = {n for n in names if names.count(n) > 1}
+        if dupes:
+            raise ParseError(f"duplicate routine names {sorted(dupes)}")
+        return ast.Program(routines)
+
+    def parse_routine(self) -> ast.Routine:
+        start = self.expect("routine")
+        name = self.expect("ID").value
+        self.expect("(")
+        params: list[ast.Param] = []
+        if not self.at(")"):
+            params.append(self.parse_param())
+            while self.at(","):
+                self.advance()
+                params.append(self.parse_param())
+        self.expect(")")
+        return_type: Optional[ScalarType] = None
+        if self.at("->"):
+            self.advance()
+            return_type = self.parse_scalar_kind()
+        self.end_statement()
+
+        locals_: dict[str, ScalarType] = {}
+        while self.at("integer", "real"):
+            kind = INT if self.advance().kind == "integer" else REAL
+            while True:
+                var = self.expect("ID").value
+                if var in locals_ or var in {p.name for p in params}:
+                    raise ParseError(f"duplicate declaration of {var!r}", self.current.line)
+                locals_[var] = kind
+                if not self.at(","):
+                    break
+                self.advance()
+            self.end_statement()
+
+        body = self.parse_block()
+        self.expect("end")
+        if not self.at("EOF"):
+            self.end_statement()
+        return ast.Routine(
+            name=str(name),
+            params=params,
+            return_type=return_type,
+            locals=locals_,
+            body=body,
+            line=start.line,
+        )
+
+    def parse_param(self) -> ast.Param:
+        name = self.expect("ID").value
+        self.expect(":")
+        kind = self.parse_scalar_kind()
+        if self.at("["):
+            self.advance()
+            dims = [self.parse_dim()]
+            while self.at(","):
+                self.advance()
+                dims.append(self.parse_dim())
+            self.expect("]")
+            if len(dims) > 2:
+                raise ParseError("arrays have at most 2 dimensions", self.current.line)
+            return ast.Param(str(name), ArrayType(kind, tuple(dims)))
+        return ast.Param(str(name), kind)
+
+    def parse_dim(self) -> int:
+        token = self.expect("NUMBER")
+        if not isinstance(token.value, int) or token.value <= 0:
+            raise ParseError("array dimensions must be positive integers", token.line)
+        return token.value
+
+    def parse_scalar_kind(self) -> ScalarType:
+        if self.at("int", "integer"):
+            self.advance()
+            return INT
+        if self.at("real"):
+            self.advance()
+            return REAL
+        raise ParseError(
+            f"expected a type, found {self.current.kind!r}", self.current.line
+        )
+
+    # -- statements ---------------------------------------------------------------
+
+    def parse_block(self) -> list[ast.Stmt]:
+        """Statements until an ``end`` / ``else`` / ``elseif`` keyword."""
+        body: list[ast.Stmt] = []
+        self.skip_newlines()
+        while not self.at("end", "else", "elseif", "EOF"):
+            body.append(self.parse_statement())
+            self.skip_newlines()
+        return body
+
+    def parse_statement(self) -> ast.Stmt:
+        if self.at("do"):
+            return self.parse_do()
+        if self.at("while"):
+            return self.parse_while()
+        if self.at("if"):
+            return self.parse_if()
+        if self.at("return"):
+            return self.parse_return()
+        if self.at("call"):
+            return self.parse_call_statement()
+        return self.parse_assignment()
+
+    def parse_do(self) -> ast.Do:
+        start = self.expect("do")
+        var = self.expect("ID").value
+        self.expect("=")
+        lo = self.parse_expression()
+        self.expect(",")
+        hi = self.parse_expression()
+        step: Optional[ast.Expr] = None
+        if self.at(","):
+            self.advance()
+            step = self.parse_expression()
+        self.end_statement()
+        body = self.parse_block()
+        self.expect("end")
+        self.end_statement()
+        return ast.Do(str(var), lo, hi, step, body, line=start.line)
+
+    def parse_while(self) -> ast.While:
+        start = self.expect("while")
+        cond = self.parse_expression()
+        self.end_statement()
+        body = self.parse_block()
+        self.expect("end")
+        self.end_statement()
+        return ast.While(cond, body, line=start.line)
+
+    def parse_if(self) -> ast.If:
+        start = self.expect("if")
+        cond = self.parse_expression()
+        self.expect("then")
+        self.end_statement()
+        then_body = self.parse_block()
+        else_body: list[ast.Stmt] = []
+        if self.at("elseif"):
+            nested = self.advance()
+            # rewrite "elseif c then ..." as "else if c then ... end"
+            cond2 = self.parse_expression()
+            self.expect("then")
+            self.end_statement()
+            inner_then = self.parse_block()
+            inner = self.parse_if_tail(cond2, inner_then, nested.line)
+            else_body = [inner]
+        elif self.at("else"):
+            self.advance()
+            self.end_statement()
+            else_body = self.parse_block()
+        self.expect("end")
+        self.end_statement()
+        return ast.If(cond, then_body, else_body, line=start.line)
+
+    def parse_if_tail(
+        self, cond: ast.Expr, then_body: list[ast.Stmt], line: int
+    ) -> ast.If:
+        """Finish an ``elseif`` chain without consuming the shared ``end``."""
+        else_body: list[ast.Stmt] = []
+        if self.at("elseif"):
+            nested = self.advance()
+            cond2 = self.parse_expression()
+            self.expect("then")
+            self.end_statement()
+            inner_then = self.parse_block()
+            else_body = [self.parse_if_tail(cond2, inner_then, nested.line)]
+        elif self.at("else"):
+            self.advance()
+            self.end_statement()
+            else_body = self.parse_block()
+        return ast.If(cond, then_body, else_body, line=line)
+
+    def parse_return(self) -> ast.Return:
+        start = self.expect("return")
+        expr: Optional[ast.Expr] = None
+        if not self.at("NEWLINE", "EOF"):
+            expr = self.parse_expression()
+        self.end_statement()
+        return ast.Return(expr, line=start.line)
+
+    def parse_call_statement(self) -> ast.CallStmt:
+        start = self.expect("call")
+        name = self.expect("ID").value
+        args = self.parse_arguments()
+        self.end_statement()
+        return ast.CallStmt(str(name), args, line=start.line)
+
+    def parse_assignment(self) -> ast.Assign:
+        target = self.parse_lvalue()
+        self.expect("=")
+        expr = self.parse_expression()
+        self.end_statement()
+        return ast.Assign(target, expr, line=target.line)
+
+    def parse_lvalue(self) -> Union[ast.Var, ast.ArrayRef]:
+        name_token = self.expect("ID")
+        name = str(name_token.value)
+        if self.at("("):
+            self.advance()
+            indices = [self.parse_expression()]
+            while self.at(","):
+                self.advance()
+                indices.append(self.parse_expression())
+            self.expect(")")
+            return ast.ArrayRef(name, indices, line=name_token.line)
+        return ast.Var(name, line=name_token.line)
+
+    # -- expressions ------------------------------------------------------------
+
+    def parse_expression(self) -> ast.Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> ast.Expr:
+        left = self.parse_and()
+        while self.at("or"):
+            line = self.advance().line
+            left = ast.BinOp("or", left, self.parse_and(), line=line)
+        return left
+
+    def parse_and(self) -> ast.Expr:
+        left = self.parse_not()
+        while self.at("and"):
+            line = self.advance().line
+            left = ast.BinOp("and", left, self.parse_not(), line=line)
+        return left
+
+    def parse_not(self) -> ast.Expr:
+        if self.at("not"):
+            line = self.advance().line
+            return ast.UnOp("not", self.parse_not(), line=line)
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> ast.Expr:
+        left = self.parse_addsub()
+        if self.at(*_REL_OPS):
+            op = self.advance()
+            right = self.parse_addsub()
+            return ast.BinOp(op.kind, left, right, line=op.line)
+        return left
+
+    def parse_addsub(self) -> ast.Expr:
+        left = self.parse_term()
+        while self.at("+", "-"):
+            op = self.advance()
+            left = ast.BinOp(op.kind, left, self.parse_term(), line=op.line)
+        return left
+
+    def parse_term(self) -> ast.Expr:
+        left = self.parse_factor()
+        while self.at("*", "/"):
+            op = self.advance()
+            left = ast.BinOp(op.kind, left, self.parse_factor(), line=op.line)
+        return left
+
+    def parse_factor(self) -> ast.Expr:
+        if self.at("-"):
+            line = self.advance().line
+            return ast.UnOp("-", self.parse_factor(), line=line)
+        return self.parse_primary()
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.current
+        if self.at("NUMBER"):
+            self.advance()
+            return ast.Num(token.value, line=token.line)
+        if self.at("("):
+            self.advance()
+            inner = self.parse_expression()
+            self.expect(")")
+            return inner
+        if self.at("int"):  # the conversion function is a keyword
+            self.advance()
+            args = self.parse_arguments()
+            return ast.Call("int", args, line=token.line)
+        if self.at("real"):
+            self.advance()
+            args = self.parse_arguments()
+            return ast.Call("real", args, line=token.line)
+        if self.at("ID"):
+            self.advance()
+            name = str(token.value)
+            if self.at("("):
+                args = self.parse_arguments()
+                return ast.Call(name, args, line=token.line)
+            return ast.Var(name, line=token.line)
+        raise ParseError(f"unexpected token {token.kind!r}", token.line)
+
+    def parse_arguments(self) -> list[ast.Expr]:
+        self.expect("(")
+        args: list[ast.Expr] = []
+        if not self.at(")"):
+            args.append(self.parse_expression())
+            while self.at(","):
+                self.advance()
+                args.append(self.parse_expression())
+        self.expect(")")
+        return args
+
+
+def parse_program(source: str) -> ast.Program:
+    """Parse mini-FORTRAN source text into an AST."""
+    return _Parser(tokenize(source)).parse_program()

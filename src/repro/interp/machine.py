@@ -1,0 +1,354 @@
+"""The ILOC interpreter.
+
+Executes a :class:`~repro.ir.function.Module` and accumulates the dynamic
+operation count that Table 1 of the paper reports.  Semantics follow the
+FORTRAN expectations of the front end:
+
+* ``idiv`` and ``ftoi`` truncate toward zero; ``mod`` takes the sign of
+  the dividend (FORTRAN ``MOD``);
+* comparisons produce integer 0/1; ``cbr`` branches on "nonzero";
+* ``phi`` nodes execute with parallel-copy semantics based on the
+  dynamically preceding block (so SSA-form code can be tested
+  differentially) and cost zero dynamic operations — they never survive
+  into final code.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.interp.memory import Memory, Value
+from repro.ir.function import Function, Module
+from repro.ir.opcodes import Opcode
+
+
+class InterpreterError(RuntimeError):
+    """Raised on malformed code or resource exhaustion."""
+
+
+class TrapError(InterpreterError):
+    """Raised on a run-time trap (zero divisor, bad address)."""
+
+
+def trunc_div(a: int, b: int) -> int:
+    """Integer division truncating toward zero (FORTRAN semantics)."""
+    if b == 0:
+        raise TrapError("integer division by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def fortran_mod(a: int, b: int) -> int:
+    """FORTRAN MOD: remainder with the sign of the dividend."""
+    return a - trunc_div(a, b) * b
+
+
+def _sign_transfer(a: float, b: float) -> float:
+    """FORTRAN SIGN(a, b): |a| with the sign of b."""
+    magnitude = abs(a)
+    return magnitude if b >= 0 else -magnitude
+
+
+#: Pure intrinsics callable through ``intrin``.
+INTRINSICS: dict[str, Callable[..., Value]] = {
+    "sqrt": math.sqrt,
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "atan": math.atan,
+    "atan2": math.atan2,
+    "exp": math.exp,
+    "log": math.log,
+    "log10": math.log10,
+    "pow": math.pow,
+    "sign": _sign_transfer,
+    "isign": lambda a, b: int(_sign_transfer(a, b)),
+}
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one routine invocation."""
+
+    value: Optional[Value]
+    dynamic_count: int
+    op_counts: Counter = field(default_factory=Counter)
+    memory: Optional[Memory] = None
+
+    def count_of(self, opcode: Opcode) -> int:
+        return self.op_counts.get(opcode, 0)
+
+
+#: Opcodes that do not contribute to the dynamic operation count.  PHI and
+#: NOP never survive into final optimized code; counting them would skew
+#: comparisons between SSA and non-SSA stages.
+_FREE_OPS = frozenset({Opcode.PHI, Opcode.NOP})
+
+
+class Interpreter:
+    """Executes routines of a module, counting every executed operation."""
+
+    def __init__(
+        self,
+        module: Module,
+        max_steps: int = 50_000_000,
+        intrinsics: Optional[dict[str, Callable[..., Value]]] = None,
+    ) -> None:
+        self.module = module
+        self.max_steps = max_steps
+        self.intrinsics = dict(INTRINSICS)
+        if intrinsics:
+            self.intrinsics.update(intrinsics)
+        self._steps = 0
+        self._op_counts: Counter = Counter()
+
+    def run(
+        self,
+        name: str,
+        args: Sequence[Value] = (),
+        memory: Optional[Memory] = None,
+    ) -> ExecutionResult:
+        """Execute routine ``name`` with ``args``; returns the result.
+
+        The dynamic count covers the routine *and everything it calls*,
+        matching the paper's whole-execution measurements.
+        """
+        self._steps = 0
+        self._op_counts = Counter()
+        memory = memory if memory is not None else Memory()
+        value = self._call(name, list(args), memory, depth=0)
+        return ExecutionResult(
+            value=value,
+            dynamic_count=sum(
+                count for op, count in self._op_counts.items() if op not in _FREE_OPS
+            ),
+            op_counts=self._op_counts,
+            memory=memory,
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _call(
+        self, name: str, args: list[Value], memory: Memory, depth: int
+    ) -> Optional[Value]:
+        if depth > 200:
+            raise InterpreterError(f"call depth exceeded calling {name!r}")
+        if name not in self.module:
+            raise InterpreterError(f"call to unknown routine {name!r}")
+        func = self.module[name]
+        if len(args) != len(func.params):
+            raise InterpreterError(
+                f"{name} expects {len(func.params)} args, got {len(args)}"
+            )
+        regs: dict[str, Value] = dict(zip(func.params, args))
+        blocks = func.block_map()
+        label = func.entry.label
+        prev_label: Optional[str] = None
+        counts = self._op_counts
+
+        while True:
+            block = blocks[label]
+            instructions = block.instructions
+            index = 0
+            # φ-nodes execute as one parallel copy based on the edge taken
+            if instructions and instructions[0].is_phi:
+                phi_values: list[tuple[str, Value]] = []
+                while index < len(instructions) and instructions[index].is_phi:
+                    phi = instructions[index]
+                    try:
+                        pos = phi.phi_labels.index(prev_label)
+                    except ValueError:
+                        raise InterpreterError(
+                            f"{name}/{label}: phi has no input for edge from {prev_label}"
+                        ) from None
+                    phi_values.append((phi.target, self._read(regs, phi.srcs[pos], phi)))
+                    counts[Opcode.PHI] += 1
+                    index += 1
+                for target, value in phi_values:
+                    regs[target] = value
+
+            next_label: Optional[str] = None
+            return_value: Optional[Value] = None
+            returned = False
+            while index < len(instructions):
+                inst = instructions[index]
+                index += 1
+                self._steps += 1
+                if self._steps > self.max_steps:
+                    raise InterpreterError(
+                        f"step limit {self.max_steps} exceeded in {name}"
+                    )
+                op = inst.opcode
+                counts[op] += 1
+                if op is Opcode.CBR:
+                    cond = self._read(regs, inst.srcs[0], inst)
+                    next_label = inst.labels[0] if cond != 0 else inst.labels[1]
+                    break
+                if op is Opcode.JMP:
+                    next_label = inst.labels[0]
+                    break
+                if op is Opcode.RET:
+                    returned = True
+                    if inst.srcs:
+                        return_value = self._read(regs, inst.srcs[0], inst)
+                    break
+                self._execute(inst, regs, memory, depth, name, label)
+
+            if returned:
+                return return_value
+            if next_label is None:
+                raise InterpreterError(f"{name}/{label}: fell off the end of a block")
+            prev_label, label = label, next_label
+
+    def _read(self, regs: dict[str, Value], reg: str, inst) -> Value:
+        try:
+            return regs[reg]
+        except KeyError:
+            raise InterpreterError(f"read of undefined register {reg} in {inst}") from None
+
+    def _execute(
+        self,
+        inst,
+        regs: dict[str, Value],
+        memory: Memory,
+        depth: int,
+        name: str,
+        label: str,
+    ) -> None:
+        op = inst.opcode
+        read = regs.__getitem__
+
+        try:
+            if op is Opcode.LOADI:
+                regs[inst.target] = inst.imm
+                return
+            if op is Opcode.COPY:
+                regs[inst.target] = self._read(regs, inst.srcs[0], inst)
+                return
+            if op is Opcode.ADD:
+                regs[inst.target] = read(inst.srcs[0]) + read(inst.srcs[1])
+                return
+            if op is Opcode.SUB:
+                regs[inst.target] = read(inst.srcs[0]) - read(inst.srcs[1])
+                return
+            if op is Opcode.MUL:
+                regs[inst.target] = read(inst.srcs[0]) * read(inst.srcs[1])
+                return
+            if op is Opcode.LOAD:
+                addr = read(inst.srcs[0])
+                if not isinstance(addr, int):
+                    raise TrapError(f"load from non-integer address {addr!r}")
+                regs[inst.target] = memory.read(addr)
+                return
+            if op is Opcode.STORE:
+                addr = read(inst.srcs[1])
+                if not isinstance(addr, int):
+                    raise TrapError(f"store to non-integer address {addr!r}")
+                memory.write(addr, read(inst.srcs[0]))
+                return
+            if op is Opcode.CMPLT:
+                regs[inst.target] = int(read(inst.srcs[0]) < read(inst.srcs[1]))
+                return
+            if op is Opcode.CMPLE:
+                regs[inst.target] = int(read(inst.srcs[0]) <= read(inst.srcs[1]))
+                return
+            if op is Opcode.CMPGT:
+                regs[inst.target] = int(read(inst.srcs[0]) > read(inst.srcs[1]))
+                return
+            if op is Opcode.CMPGE:
+                regs[inst.target] = int(read(inst.srcs[0]) >= read(inst.srcs[1]))
+                return
+            if op is Opcode.CMPEQ:
+                regs[inst.target] = int(read(inst.srcs[0]) == read(inst.srcs[1]))
+                return
+            if op is Opcode.CMPNE:
+                regs[inst.target] = int(read(inst.srcs[0]) != read(inst.srcs[1]))
+                return
+            if op is Opcode.IDIV:
+                regs[inst.target] = trunc_div(read(inst.srcs[0]), read(inst.srcs[1]))
+                return
+            if op is Opcode.FDIV:
+                divisor = read(inst.srcs[1])
+                if divisor == 0:
+                    raise TrapError("floating-point division by zero")
+                regs[inst.target] = read(inst.srcs[0]) / divisor
+                return
+            if op is Opcode.MOD:
+                regs[inst.target] = fortran_mod(read(inst.srcs[0]), read(inst.srcs[1]))
+                return
+            if op is Opcode.NEG:
+                regs[inst.target] = -read(inst.srcs[0])
+                return
+            if op is Opcode.MIN:
+                regs[inst.target] = min(read(inst.srcs[0]), read(inst.srcs[1]))
+                return
+            if op is Opcode.MAX:
+                regs[inst.target] = max(read(inst.srcs[0]), read(inst.srcs[1]))
+                return
+            if op is Opcode.ABS:
+                regs[inst.target] = abs(read(inst.srcs[0]))
+                return
+            if op is Opcode.AND:
+                regs[inst.target] = read(inst.srcs[0]) & read(inst.srcs[1])
+                return
+            if op is Opcode.OR:
+                regs[inst.target] = read(inst.srcs[0]) | read(inst.srcs[1])
+                return
+            if op is Opcode.XOR:
+                regs[inst.target] = read(inst.srcs[0]) ^ read(inst.srcs[1])
+                return
+            if op is Opcode.NOT:
+                regs[inst.target] = int(read(inst.srcs[0]) == 0)
+                return
+            if op is Opcode.SHL:
+                regs[inst.target] = read(inst.srcs[0]) << read(inst.srcs[1])
+                return
+            if op is Opcode.SHR:
+                regs[inst.target] = read(inst.srcs[0]) >> read(inst.srcs[1])
+                return
+            if op is Opcode.ITOF:
+                regs[inst.target] = float(read(inst.srcs[0]))
+                return
+            if op is Opcode.FTOI:
+                regs[inst.target] = math.trunc(read(inst.srcs[0]))
+                return
+            if op is Opcode.INTRIN:
+                fn = self.intrinsics.get(inst.callee)
+                if fn is None:
+                    raise InterpreterError(f"unknown intrinsic {inst.callee!r}")
+                try:
+                    regs[inst.target] = fn(*(read(s) for s in inst.srcs))
+                except ValueError as exc:  # e.g. sqrt of a negative
+                    raise TrapError(f"intrinsic {inst.callee}: {exc}") from None
+                return
+            if op is Opcode.CALL:
+                result = self._call(
+                    inst.callee, [read(s) for s in inst.srcs], memory, depth + 1
+                )
+                if inst.target is not None:
+                    if result is None:
+                        raise InterpreterError(
+                            f"{inst.callee} returned no value but one was expected"
+                        )
+                    regs[inst.target] = result
+                return
+            if op is Opcode.NOP:
+                return
+        except KeyError as exc:
+            raise InterpreterError(
+                f"{name}/{label}: read of undefined register {exc} in {inst}"
+            ) from None
+        raise InterpreterError(f"{name}/{label}: cannot execute {inst}")
+
+
+def run_function(
+    func: Function,
+    args: Sequence[Value] = (),
+    memory: Optional[Memory] = None,
+    **kwargs,
+) -> ExecutionResult:
+    """Convenience: run a single function as a one-routine module."""
+    return Interpreter(Module([func]), **kwargs).run(func.name, args, memory)

@@ -1,0 +1,67 @@
+"""Byte-addressed memory for the interpreter.
+
+Arrays live in memory; the front end computes byte addresses with the
+naive ``base + offset * elemsize`` arithmetic the paper's reassociation
+targets.  Cells are keyed by their byte address; a load must hit the
+address of a previous store (or an initialized array element) exactly —
+misaligned access is a bug in the generated code and raises.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+Value = int | float
+
+
+class MemoryError_(RuntimeError):
+    """Raised on access to an unallocated or unwritten address."""
+
+
+class Memory:
+    """A sparse byte-addressed memory of scalar cells.
+
+    Every cell remembers the address it was written at; reading any other
+    address (even one inside a multi-byte cell) is an error, which catches
+    address-arithmetic bugs in optimized code immediately.
+    """
+
+    def __init__(self) -> None:
+        self._cells: dict[int, Value] = {}
+        self._next_base = 0x1000  # leave 0 free so "null" addresses trap
+
+    def allocate(self, n_bytes: int, align: int = 8) -> int:
+        """Reserve a region; returns its base address."""
+        base = self._next_base
+        if base % align:
+            base += align - base % align
+        self._next_base = base + n_bytes
+        return base
+
+    def allocate_array(
+        self, values: Iterable[Value], elemsize: int
+    ) -> int:
+        """Allocate and initialize an array; returns the base address."""
+        values = list(values)
+        base = self.allocate(len(values) * elemsize, align=elemsize or 1)
+        for i, value in enumerate(values):
+            self._cells[base + i * elemsize] = value
+        return base
+
+    def read(self, addr: int) -> Value:
+        try:
+            return self._cells[addr]
+        except KeyError:
+            raise MemoryError_(f"load from unwritten address {addr:#x}") from None
+
+    def write(self, addr: int, value: Value) -> None:
+        if addr == 0:
+            raise MemoryError_("store to null address")
+        self._cells[addr] = value
+
+    def read_array(self, base: int, count: int, elemsize: int) -> list[Value]:
+        """Read ``count`` elements starting at ``base`` (for test checks)."""
+        return [self.read(base + i * elemsize) for i in range(count)]
+
+    def __len__(self) -> int:
+        return len(self._cells)

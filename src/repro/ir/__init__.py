@@ -1,0 +1,58 @@
+"""ILOC-like three-address intermediate representation.
+
+This package provides the substrate the paper's optimizer works on: a
+low-level, register-based, three-address code ("most operations have three
+addresses: two source operands and a target", section 2.1 of the paper).
+
+The main entry points are:
+
+* :class:`~repro.ir.instructions.Instruction` and
+  :class:`~repro.ir.opcodes.Opcode` — single operations,
+* :class:`~repro.ir.function.BasicBlock`,
+  :class:`~repro.ir.function.Function` and
+  :class:`~repro.ir.function.Module` — program structure,
+* :class:`~repro.ir.builder.IRBuilder` — convenient construction,
+* :func:`~repro.ir.parser.parse_module` /
+  :func:`~repro.ir.printer.print_module` — a stable textual format,
+* :func:`~repro.ir.validate.validate_function` — structural invariants.
+"""
+
+from repro.ir.builder import IRBuilder
+from repro.ir.function import BasicBlock, Function, Module
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import (
+    ASSOCIATIVE,
+    COMMUTATIVE,
+    COMPARISONS,
+    EXPRESSION_OPCODES,
+    PURE,
+    TERMINATORS,
+    Opcode,
+)
+from repro.ir.parser import IRSyntaxError, parse_function, parse_module
+from repro.ir.printer import print_function, print_instruction, print_module
+from repro.ir.validate import IRValidationError, validate_function, validate_module
+
+__all__ = [
+    "ASSOCIATIVE",
+    "COMMUTATIVE",
+    "COMPARISONS",
+    "EXPRESSION_OPCODES",
+    "PURE",
+    "TERMINATORS",
+    "BasicBlock",
+    "Function",
+    "IRBuilder",
+    "IRSyntaxError",
+    "IRValidationError",
+    "Instruction",
+    "Module",
+    "Opcode",
+    "parse_function",
+    "parse_module",
+    "print_function",
+    "print_instruction",
+    "print_module",
+    "validate_function",
+    "validate_module",
+]

@@ -1,0 +1,151 @@
+"""The Instruction class: one three-address operation."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.ir.opcodes import (
+    COMMUTATIVE,
+    EXPRESSION_OPCODES,
+    PURE,
+    TERMINATORS,
+    Opcode,
+)
+
+#: The type of immediate constants carried by ``LOADI``.
+Immediate = int | float
+
+#: An expression key: the lexical identity PRE works on.  For most
+#: expressions it is ``(opcode, src0, src1, ...)``; for LOADI it is
+#: ``(LOADI, repr(imm))`` and for INTRIN the callee participates.
+ExprKey = tuple
+
+
+class Instruction:
+    """A single ILOC operation.
+
+    Attributes:
+        opcode: the operation.
+        target: the defined virtual register, or ``None``.
+        srcs: virtual-register operands, in order.
+        imm: immediate constant (``LOADI`` only).
+        callee: function or intrinsic name (``CALL``/``INTRIN`` only).
+        labels: branch target labels (``JMP``: one, ``CBR``: taken then
+            fall-through).
+        phi_labels: for ``PHI``, the predecessor block label of each source,
+            parallel to ``srcs``.
+    """
+
+    __slots__ = ("opcode", "target", "srcs", "imm", "callee", "labels", "phi_labels")
+
+    def __init__(
+        self,
+        opcode: Opcode,
+        target: Optional[str] = None,
+        srcs: Sequence[str] = (),
+        imm: Optional[Immediate] = None,
+        callee: Optional[str] = None,
+        labels: Sequence[str] = (),
+        phi_labels: Sequence[str] = (),
+    ) -> None:
+        self.opcode = opcode
+        self.target = target
+        self.srcs = list(srcs)
+        self.imm = imm
+        self.callee = callee
+        self.labels = list(labels)
+        self.phi_labels = list(phi_labels)
+
+    # -- classification -----------------------------------------------------
+
+    @property
+    def is_terminator(self) -> bool:
+        """True for JMP, CBR and RET."""
+        return self.opcode in TERMINATORS
+
+    @property
+    def is_pure(self) -> bool:
+        """True when the instruction has no side effect (LOAD excluded)."""
+        return self.opcode in PURE
+
+    @property
+    def is_expression(self) -> bool:
+        """True when this defines an *expression name* (paper section 2.2).
+
+        An expression is "an instruction other than a branch or copy" that
+        produces a value.  Copies define *variable names* instead.
+        """
+        return self.opcode in EXPRESSION_OPCODES and self.target is not None
+
+    @property
+    def is_copy(self) -> bool:
+        return self.opcode is Opcode.COPY
+
+    @property
+    def is_phi(self) -> bool:
+        return self.opcode is Opcode.PHI
+
+    @property
+    def has_side_effect(self) -> bool:
+        """True when the instruction must not be deleted even if dead."""
+        return self.opcode in (Opcode.STORE, Opcode.CALL, Opcode.RET) or self.is_terminator
+
+    # -- def/use -------------------------------------------------------------
+
+    def defs(self) -> list[str]:
+        """Registers defined by this instruction (zero or one)."""
+        return [self.target] if self.target is not None else []
+
+    def uses(self) -> list[str]:
+        """Registers read by this instruction, in operand order."""
+        return list(self.srcs)
+
+    # -- lexical identity ------------------------------------------------------
+
+    def expr_key(self) -> Optional[ExprKey]:
+        """The lexical key identifying this expression for PRE and CSE.
+
+        Commutative operations are canonicalized by sorting their operands
+        so that ``add ra, rb`` and ``add rb, ra`` share a key.  Returns
+        ``None`` for instructions that do not define an expression name.
+        """
+        if not self.is_expression:
+            return None
+        if self.opcode is Opcode.LOADI:
+            return (self.opcode, repr(self.imm))
+        srcs = tuple(self.srcs)
+        if self.opcode in COMMUTATIVE:
+            srcs = tuple(sorted(srcs))
+        if self.opcode is Opcode.INTRIN:
+            return (self.opcode, self.callee, *srcs)
+        return (self.opcode, *srcs)
+
+    # -- editing ----------------------------------------------------------------
+
+    def replace_uses(self, mapping: dict[str, str]) -> None:
+        """Rewrite source registers through ``mapping`` (identity if absent)."""
+        self.srcs = [mapping.get(s, s) for s in self.srcs]
+
+    def copy(self) -> "Instruction":
+        """A deep-enough copy (lists are duplicated)."""
+        return Instruction(
+            self.opcode,
+            target=self.target,
+            srcs=list(self.srcs),
+            imm=self.imm,
+            callee=self.callee,
+            labels=list(self.labels),
+            phi_labels=list(self.phi_labels),
+        )
+
+    # -- debugging ---------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        from repro.ir.printer import print_instruction
+
+        return f"<Instruction {print_instruction(self)!r}>"
+
+    def __str__(self) -> str:
+        from repro.ir.printer import print_instruction
+
+        return print_instruction(self)

@@ -1,0 +1,223 @@
+"""Opcodes of the ILOC-like intermediate language.
+
+The instruction set follows the paper's description of ILOC: a low-level,
+three-address, register-based code.  Constants enter the register file only
+through ``LOADI`` (so a constant is itself an "expression" with a name and,
+for reassociation, rank zero).  Scalar variables live in virtual registers;
+arrays live in byte-addressed memory accessed with ``LOAD``/``STORE``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Opcode(enum.Enum):
+    """Every operation of the intermediate language.
+
+    The enum value is the mnemonic used by the textual format.
+    """
+
+    # -- arithmetic -------------------------------------------------------
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    IDIV = "idiv"  # integer division, truncating toward zero (FORTRAN)
+    FDIV = "fdiv"  # floating-point division
+    MOD = "mod"  # integer remainder, sign of the dividend (FORTRAN MOD)
+    NEG = "neg"
+    MIN = "min"
+    MAX = "max"
+    ABS = "abs"
+    # -- bitwise / logical -------------------------------------------------
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    SHL = "shl"
+    SHR = "shr"
+    # -- comparisons (produce integer 0/1) ---------------------------------
+    CMPLT = "cmplt"
+    CMPLE = "cmple"
+    CMPGT = "cmpgt"
+    CMPGE = "cmpge"
+    CMPEQ = "cmpeq"
+    CMPNE = "cmpne"
+    # -- conversions --------------------------------------------------------
+    ITOF = "itof"  # integer -> floating point
+    FTOI = "ftoi"  # floating point -> integer (truncate toward zero)
+    # -- constants and copies ----------------------------------------------
+    LOADI = "loadi"  # load immediate constant
+    COPY = "copy"  # register-to-register move (a "variable name" target)
+    # -- memory -------------------------------------------------------------
+    LOAD = "load"  # target <- mem[src0]
+    STORE = "store"  # mem[src1] <- src0
+    # -- control flow --------------------------------------------------------
+    JMP = "jmp"  # unconditional branch
+    CBR = "cbr"  # conditional branch: src0 != 0 -> labels[0] else labels[1]
+    RET = "ret"  # return, with optional value
+    # -- calls ----------------------------------------------------------------
+    CALL = "call"  # call a user routine; may read/write memory
+    INTRIN = "intrin"  # pure intrinsic (sqrt, sin, ...); no memory effect
+    # -- SSA ---------------------------------------------------------------
+    PHI = "phi"
+    # -- misc ----------------------------------------------------------------
+    NOP = "nop"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Operations whose operand order does not matter.
+COMMUTATIVE = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.MUL,
+        Opcode.MIN,
+        Opcode.MAX,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.CMPEQ,
+        Opcode.CMPNE,
+    }
+)
+
+#: Operations global reassociation may flatten into n-ary chains (section 2.1
+#: of the paper: "add, multiply, and, or, min, and max").
+ASSOCIATIVE = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.MUL,
+        Opcode.MIN,
+        Opcode.MAX,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+    }
+)
+
+#: Comparison operations, and how each one flips when operands swap.
+COMPARISONS = frozenset(
+    {
+        Opcode.CMPLT,
+        Opcode.CMPLE,
+        Opcode.CMPGT,
+        Opcode.CMPGE,
+        Opcode.CMPEQ,
+        Opcode.CMPNE,
+    }
+)
+
+#: Instructions that end a basic block.
+TERMINATORS = frozenset({Opcode.JMP, Opcode.CBR, Opcode.RET})
+
+#: Operations with no side effects: they may be removed when their result is
+#: dead and they may be moved by PRE.  ``LOAD`` is pure in the sense of having
+#: no side effect, but it *reads* memory, so transparency analysis must kill
+#: it at stores and calls; it is listed separately.
+PURE = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.IDIV,
+        Opcode.FDIV,
+        Opcode.MOD,
+        Opcode.NEG,
+        Opcode.MIN,
+        Opcode.MAX,
+        Opcode.ABS,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.NOT,
+        Opcode.SHL,
+        Opcode.SHR,
+        Opcode.CMPLT,
+        Opcode.CMPLE,
+        Opcode.CMPGT,
+        Opcode.CMPGE,
+        Opcode.CMPEQ,
+        Opcode.CMPNE,
+        Opcode.ITOF,
+        Opcode.FTOI,
+        Opcode.LOADI,
+        Opcode.COPY,
+        Opcode.INTRIN,
+        Opcode.PHI,
+        Opcode.NOP,
+    }
+)
+
+#: Operations that define an *expression name* in the paper's sense
+#: (section 2.2): "an instruction other than a branch or copy".  These are
+#: the candidates partial redundancy elimination works on.  ``LOAD`` is
+#: included; its transparency is killed by stores and calls.
+EXPRESSION_OPCODES = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.IDIV,
+        Opcode.FDIV,
+        Opcode.MOD,
+        Opcode.NEG,
+        Opcode.MIN,
+        Opcode.MAX,
+        Opcode.ABS,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.NOT,
+        Opcode.SHL,
+        Opcode.SHR,
+        Opcode.CMPLT,
+        Opcode.CMPLE,
+        Opcode.CMPGT,
+        Opcode.CMPGE,
+        Opcode.CMPEQ,
+        Opcode.CMPNE,
+        Opcode.ITOF,
+        Opcode.FTOI,
+        Opcode.LOADI,
+        Opcode.INTRIN,
+        Opcode.LOAD,
+    }
+)
+
+#: IDIV/FDIV/MOD can trap on a zero divisor, so speculative motion (PRE
+#: insertion on paths that did not previously evaluate them) must be careful.
+#: Our PRE only inserts where the expression is *anticipated* (evaluated on
+#: every continuation), which is safe even for these.
+MAYBE_TRAPPING = frozenset({Opcode.IDIV, Opcode.FDIV, Opcode.MOD})
+
+#: Mapping of each comparison to its mirror with swapped operands.
+SWAPPED_COMPARISON = {
+    Opcode.CMPLT: Opcode.CMPGT,
+    Opcode.CMPGT: Opcode.CMPLT,
+    Opcode.CMPLE: Opcode.CMPGE,
+    Opcode.CMPGE: Opcode.CMPLE,
+    Opcode.CMPEQ: Opcode.CMPEQ,
+    Opcode.CMPNE: Opcode.CMPNE,
+}
+
+#: Mapping of each comparison to its negation.
+NEGATED_COMPARISON = {
+    Opcode.CMPLT: Opcode.CMPGE,
+    Opcode.CMPGE: Opcode.CMPLT,
+    Opcode.CMPGT: Opcode.CMPLE,
+    Opcode.CMPLE: Opcode.CMPGT,
+    Opcode.CMPEQ: Opcode.CMPNE,
+    Opcode.CMPNE: Opcode.CMPEQ,
+}
+
+_MNEMONIC_TO_OPCODE = {op.value: op for op in Opcode}
+
+
+def opcode_from_mnemonic(mnemonic: str) -> Opcode:
+    """Return the :class:`Opcode` for a textual mnemonic.
+
+    Raises :class:`KeyError` if the mnemonic is unknown.
+    """
+    return _MNEMONIC_TO_OPCODE[mnemonic]

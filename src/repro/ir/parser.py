@@ -1,0 +1,174 @@
+"""Parser for the textual IR format produced by :mod:`repro.ir.printer`."""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.ir.function import BasicBlock, Function, Module
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode, opcode_from_mnemonic
+
+
+class IRSyntaxError(ValueError):
+    """Raised on malformed textual IR."""
+
+    def __init__(self, message: str, line_no: Optional[int] = None) -> None:
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+
+
+_FUNC_RE = re.compile(r"^function\s+(\w+)\s*\(([^)]*)\)\s*\{$")
+_LABEL_RE = re.compile(r"^(\w+):$")
+_ASSIGN_RE = re.compile(r"^(\w+)\s*<-\s*(.+)$")
+_CALL_RE = re.compile(r"^(call|intrin)\s+(\w+)\s*\(([^)]*)\)$")
+_PHI_RE = re.compile(r"^phi\s*\[(.*)\]$")
+_REG_RE = re.compile(r"^\w+$")
+
+
+def _parse_imm(text: str, line_no: int) -> int | float:
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        raise IRSyntaxError(f"bad immediate {text!r}", line_no) from None
+
+
+def _split_args(text: str) -> list[str]:
+    text = text.strip()
+    if not text:
+        return []
+    return [part.strip() for part in text.split(",")]
+
+
+def _parse_rhs(target: str, rhs: str, line_no: int) -> Instruction:
+    """Parse the right-hand side of ``target <- rhs``."""
+    call_m = _CALL_RE.match(rhs)
+    if call_m:
+        op = Opcode.CALL if call_m.group(1) == "call" else Opcode.INTRIN
+        return Instruction(
+            op, target=target, srcs=_split_args(call_m.group(3)), callee=call_m.group(2)
+        )
+    phi_m = _PHI_RE.match(rhs)
+    if phi_m:
+        srcs: list[str] = []
+        labels: list[str] = []
+        body = phi_m.group(1).strip()
+        if body:
+            for pair in body.split(","):
+                if ":" not in pair:
+                    raise IRSyntaxError(f"bad phi input {pair!r}", line_no)
+                lbl, src = (part.strip() for part in pair.split(":", 1))
+                labels.append(lbl)
+                srcs.append(src)
+        return Instruction(Opcode.PHI, target=target, srcs=srcs, phi_labels=labels)
+    parts = rhs.split(None, 1)
+    mnemonic = parts[0]
+    rest = parts[1] if len(parts) > 1 else ""
+    try:
+        op = opcode_from_mnemonic(mnemonic)
+    except KeyError:
+        raise IRSyntaxError(f"unknown opcode {mnemonic!r}", line_no) from None
+    if op is Opcode.LOADI:
+        return Instruction(op, target=target, imm=_parse_imm(rest.strip(), line_no))
+    srcs = _split_args(rest)
+    for src in srcs:
+        if not _REG_RE.match(src):
+            raise IRSyntaxError(f"bad operand {src!r}", line_no)
+    return Instruction(op, target=target, srcs=srcs)
+
+
+def _parse_instruction(text: str, line_no: int) -> Instruction:
+    assign_m = _ASSIGN_RE.match(text)
+    if assign_m:
+        return _parse_rhs(assign_m.group(1), assign_m.group(2).strip(), line_no)
+    if text == "nop":
+        return Instruction(Opcode.NOP)
+    if text == "ret":
+        return Instruction(Opcode.RET)
+    parts = text.split(None, 1)
+    head, rest = parts[0], (parts[1] if len(parts) > 1 else "")
+    if head == "ret":
+        return Instruction(Opcode.RET, srcs=[rest.strip()])
+    if head == "jmp":
+        if not rest.startswith("->"):
+            raise IRSyntaxError("jmp requires '-> label'", line_no)
+        return Instruction(Opcode.JMP, labels=[rest[2:].strip()])
+    if head == "cbr":
+        m = re.match(r"^(\w+)\s*->\s*(\w+)\s*,\s*(\w+)$", rest)
+        if not m:
+            raise IRSyntaxError("cbr requires 'cond -> l1, l2'", line_no)
+        return Instruction(Opcode.CBR, srcs=[m.group(1)], labels=[m.group(2), m.group(3)])
+    if head == "store":
+        srcs = _split_args(rest)
+        if len(srcs) != 2:
+            raise IRSyntaxError("store requires 'value, address'", line_no)
+        return Instruction(Opcode.STORE, srcs=srcs)
+    if head in ("call", "intrin"):
+        call_m = _CALL_RE.match(text)
+        if not call_m:
+            raise IRSyntaxError(f"bad {head} syntax", line_no)
+        op = Opcode.CALL if head == "call" else Opcode.INTRIN
+        return Instruction(op, srcs=_split_args(call_m.group(3)), callee=call_m.group(2))
+    raise IRSyntaxError(f"cannot parse instruction {text!r}", line_no)
+
+
+def _strip_comment(line: str) -> str:
+    if "#" in line:
+        line = line[: line.index("#")]
+    return line.strip()
+
+
+def parse_function(text: str) -> Function:
+    """Parse the textual form of exactly one function."""
+    module = parse_module(text)
+    funcs = list(module)
+    if len(funcs) != 1:
+        raise IRSyntaxError(f"expected exactly one function, found {len(funcs)}")
+    return funcs[0]
+
+
+def parse_module(text: str) -> Module:
+    """Parse the textual form of a module (one or more functions).
+
+    Lines may carry ``#`` comments.  Raises :class:`IRSyntaxError` on
+    malformed input.
+    """
+    module = Module()
+    func: Optional[Function] = None
+    block: Optional[BasicBlock] = None
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw)
+        if not line:
+            continue
+        func_m = _FUNC_RE.match(line)
+        if func_m:
+            if func is not None:
+                raise IRSyntaxError("nested function", line_no)
+            func = Function(func_m.group(1), params=_split_args(func_m.group(2)))
+            block = None
+            continue
+        if line == "}":
+            if func is None:
+                raise IRSyntaxError("unmatched '}'", line_no)
+            func.sync_counters()
+            module.add(func)
+            func = None
+            block = None
+            continue
+        if func is None:
+            raise IRSyntaxError(f"statement outside function: {line!r}", line_no)
+        label_m = _LABEL_RE.match(line)
+        if label_m:
+            block = func.add_block(label_m.group(1))
+            continue
+        if block is None:
+            raise IRSyntaxError("instruction before first label", line_no)
+        block.instructions.append(_parse_instruction(line, line_no))
+    if func is not None:
+        raise IRSyntaxError("unterminated function (missing '}')")
+    return module

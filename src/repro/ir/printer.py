@@ -1,0 +1,78 @@
+"""Textual form of the IR.
+
+The format round-trips through :mod:`repro.ir.parser`:
+
+.. code-block:: text
+
+    function foo(r0, r1) {
+    entry:
+        r2 <- loadi 0
+        r3 <- add r0, r1
+        cbr r4 -> body, exit
+    body:
+        r5 <- intrin sqrt(r3)
+        store r5, r3
+        jmp -> exit
+    exit:
+        r6 <- phi [entry: r2, body: r5]
+        ret r6
+    }
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode
+
+
+def _format_imm(imm: int | float) -> str:
+    if isinstance(imm, bool):  # guard: bools are ints in Python
+        return str(int(imm))
+    if isinstance(imm, int):
+        return str(imm)
+    return repr(imm)
+
+
+def print_instruction(inst: Instruction) -> str:
+    """Render one instruction (no indentation, no newline)."""
+    op = inst.opcode
+    if op is Opcode.LOADI:
+        return f"{inst.target} <- loadi {_format_imm(inst.imm)}"
+    if op is Opcode.PHI:
+        pairs = ", ".join(
+            f"{lbl}: {src}" for src, lbl in zip(inst.srcs, inst.phi_labels)
+        )
+        return f"{inst.target} <- phi [{pairs}]"
+    if op is Opcode.JMP:
+        return f"jmp -> {inst.labels[0]}"
+    if op is Opcode.CBR:
+        return f"cbr {inst.srcs[0]} -> {inst.labels[0]}, {inst.labels[1]}"
+    if op is Opcode.RET:
+        return f"ret {inst.srcs[0]}" if inst.srcs else "ret"
+    if op is Opcode.STORE:
+        return f"store {inst.srcs[0]}, {inst.srcs[1]}"
+    if op in (Opcode.CALL, Opcode.INTRIN):
+        args = ", ".join(inst.srcs)
+        call = f"{op.value} {inst.callee}({args})"
+        return f"{inst.target} <- {call}" if inst.target else call
+    if op is Opcode.NOP:
+        return "nop"
+    # ordinary computation: target <- op srcs...
+    srcs = ", ".join(inst.srcs)
+    return f"{inst.target} <- {op.value} {srcs}" if srcs else f"{inst.target} <- {op.value}"
+
+
+def print_function(func) -> str:
+    """Render a whole function in the textual format."""
+    lines = [f"function {func.name}({', '.join(func.params)}) {{"]
+    for blk in func.blocks:
+        lines.append(f"{blk.label}:")
+        for inst in blk.instructions:
+            lines.append(f"    {print_instruction(inst)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module) -> str:
+    """Render a whole module (functions separated by blank lines)."""
+    return "\n\n".join(print_function(func) for func in module)

@@ -1,0 +1,148 @@
+"""Structural validation of IR functions.
+
+These checks catch pass bugs early: every optimization in the pipeline
+validates its output in the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function, Module
+from repro.ir.opcodes import Opcode
+
+
+class IRValidationError(ValueError):
+    """Raised when a function violates a structural invariant."""
+
+
+def _fail(func: Function, message: str) -> None:
+    raise IRValidationError(f"{func.name}: {message}")
+
+
+def validate_function(func: Function, ssa: bool = False) -> None:
+    """Check structural invariants; raise :class:`IRValidationError` on failure.
+
+    Always checked:
+
+    * at least one block; unique labels; branch targets exist;
+    * every block ends with exactly one terminator, with none mid-block;
+    * PHIs appear only as a block prefix, and their labels name actual
+      predecessors (one input per predecessor);
+    * instruction shapes (operand/label counts per opcode).
+
+    With ``ssa=True`` additionally:
+
+    * every register has at most one definition;
+    * no register is used without some definition (or being a parameter).
+    """
+    if not func.blocks:
+        _fail(func, "function has no blocks")
+    labels = [blk.label for blk in func.blocks]
+    if len(labels) != len(set(labels)):
+        dupes = sorted({l for l in labels if labels.count(l) > 1})
+        _fail(func, f"duplicate block labels {dupes}")
+    label_set = set(labels)
+
+    preds = func.predecessor_map()
+    if preds[func.entry.label]:
+        # the dominance-frontier and SSA algorithms assume a pred-less entry
+        _fail(func, f"entry block {func.entry.label} has predecessors")
+
+    for blk in func.blocks:
+        if not blk.instructions:
+            _fail(func, f"block {blk.label} is empty (needs a terminator)")
+        seen_nonphi = False
+        for idx, inst in enumerate(blk.instructions):
+            last = idx == len(blk.instructions) - 1
+            if inst.is_terminator and not last:
+                _fail(func, f"block {blk.label}: terminator {inst} mid-block")
+            if not inst.is_terminator and last:
+                _fail(func, f"block {blk.label} does not end with a terminator")
+            if inst.is_phi:
+                if seen_nonphi:
+                    _fail(func, f"block {blk.label}: PHI {inst} after non-PHI")
+            else:
+                seen_nonphi = True
+            _validate_shape(func, blk.label, inst, label_set)
+        for phi in blk.phis():
+            expected = set(preds[blk.label])
+            got = set(phi.phi_labels)
+            if len(phi.phi_labels) != len(got):
+                _fail(func, f"block {blk.label}: PHI {phi} repeats a predecessor")
+            if got != expected:
+                _fail(
+                    func,
+                    f"block {blk.label}: PHI {phi} labels {sorted(got)} != "
+                    f"predecessors {sorted(expected)}",
+                )
+
+    if ssa:
+        _validate_ssa(func)
+
+
+def _validate_shape(func: Function, label: str, inst, label_set: set[str]) -> None:
+    op = inst.opcode
+    for target_label in inst.labels:
+        if target_label not in label_set:
+            _fail(func, f"block {label}: branch to unknown label {target_label!r}")
+    binary = {
+        Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.IDIV, Opcode.FDIV, Opcode.MOD,
+        Opcode.MIN, Opcode.MAX, Opcode.AND, Opcode.OR, Opcode.XOR,
+        Opcode.SHL, Opcode.SHR, Opcode.CMPLT, Opcode.CMPLE, Opcode.CMPGT,
+        Opcode.CMPGE, Opcode.CMPEQ, Opcode.CMPNE,
+    }
+    unary = {Opcode.NEG, Opcode.NOT, Opcode.ABS, Opcode.ITOF, Opcode.FTOI,
+             Opcode.COPY, Opcode.LOAD}
+    if op in binary:
+        if inst.target is None or len(inst.srcs) != 2:
+            _fail(func, f"block {label}: {inst} must be 'target <- op a, b'")
+    elif op in unary:
+        if inst.target is None or len(inst.srcs) != 1:
+            _fail(func, f"block {label}: {inst} must be 'target <- op a'")
+    elif op is Opcode.LOADI:
+        if inst.target is None or inst.imm is None or inst.srcs:
+            _fail(func, f"block {label}: malformed loadi {inst}")
+    elif op is Opcode.STORE:
+        if inst.target is not None or len(inst.srcs) != 2:
+            _fail(func, f"block {label}: malformed store {inst}")
+    elif op is Opcode.JMP:
+        if len(inst.labels) != 1 or inst.srcs:
+            _fail(func, f"block {label}: malformed jmp {inst}")
+    elif op is Opcode.CBR:
+        if len(inst.labels) != 2 or len(inst.srcs) != 1:
+            _fail(func, f"block {label}: malformed cbr {inst}")
+        if inst.labels[0] == inst.labels[1]:
+            _fail(func, f"block {label}: cbr with identical targets {inst}")
+    elif op is Opcode.RET:
+        if len(inst.srcs) > 1:
+            _fail(func, f"block {label}: malformed ret {inst}")
+    elif op in (Opcode.CALL, Opcode.INTRIN):
+        if inst.callee is None:
+            _fail(func, f"block {label}: {op.value} without callee")
+        if op is Opcode.INTRIN and inst.target is None:
+            _fail(func, f"block {label}: intrin must produce a value")
+    elif op is Opcode.PHI:
+        if inst.target is None or len(inst.srcs) != len(inst.phi_labels):
+            _fail(func, f"block {label}: malformed phi {inst}")
+    elif op is Opcode.NOP:
+        if inst.target is not None or inst.srcs:
+            _fail(func, f"block {label}: malformed nop {inst}")
+
+
+def _validate_ssa(func: Function) -> None:
+    defined: set[str] = set(func.params)
+    for inst in func.instructions():
+        for target in inst.defs():
+            if target in defined:
+                _fail(func, f"SSA violation: {target} defined more than once")
+            defined.add(target)
+    for blk in func.blocks:
+        for inst in blk.instructions:
+            for use in inst.uses():
+                if use not in defined:
+                    _fail(func, f"use of undefined register {use} in {inst}")
+
+
+def validate_module(module: Module, ssa: bool = False) -> None:
+    """Validate every function in a module."""
+    for func in module:
+        validate_function(func, ssa=ssa)

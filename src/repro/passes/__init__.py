@@ -1,0 +1,40 @@
+"""Optimization passes.
+
+Each pass is a "Unix filter" in the paper's sense (section 4): it consumes
+a function and produces a transformed function, performing its own
+control-flow and data-flow analyses.  All passes mutate in place and
+return the function for chaining.
+
+Baseline sequence (paper section 4.1):
+    ``constprop`` → ``peephole`` → ``dce`` → ``coalesce`` → ``clean``
+
+Enabling transformations (section 3):
+    ``reassociate`` (global reassociation) and ``gvn_rename``
+    (partition-based global value numbering + renaming)
+
+The optimization itself: ``pre`` (partial redundancy elimination).
+"""
+
+from repro.passes.clean import clean
+from repro.passes.coalesce import coalesce
+from repro.passes.constprop import sparse_conditional_constant_propagation
+from repro.passes.dce import dead_code_elimination
+from repro.passes.gvn import global_value_numbering
+from repro.passes.lvn import local_value_numbering
+from repro.passes.peephole import peephole
+from repro.passes.pre import partial_redundancy_elimination
+from repro.passes.reassociate import global_reassociation
+from repro.passes.strength import strength_reduction
+
+__all__ = [
+    "clean",
+    "coalesce",
+    "dead_code_elimination",
+    "global_reassociation",
+    "global_value_numbering",
+    "local_value_numbering",
+    "partial_redundancy_elimination",
+    "peephole",
+    "sparse_conditional_constant_propagation",
+    "strength_reduction",
+]

@@ -1,0 +1,126 @@
+"""CFG cleanup: the paper's "final pass to eliminate empty basic blocks".
+
+Iterates three rewrites to a fixpoint:
+
+1. fold a conditional branch whose two targets are equal into a jump;
+2. merge a block into its unique successor when that successor has no
+   other predecessors (straight-line concatenation);
+3. bypass blocks that contain only a jump, redirecting their
+   predecessors to the jump target.
+
+Unreachable blocks are removed throughout.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode
+
+
+def clean(func: Function, max_rounds: int = 100) -> Function:
+    """Simplify the CFG (in place); returns ``func``."""
+    func.remove_unreachable_blocks()
+    for _ in range(max_rounds):
+        changed = (
+            _fold_redundant_branches(func)
+            or _merge_straight_line(func)
+            or _bypass_empty_blocks(func)
+        )
+        func.remove_unreachable_blocks()
+        if not changed:
+            break
+    return func
+
+
+def _fold_redundant_branches(func: Function) -> bool:
+    changed = False
+    for blk in func.blocks:
+        term = blk.terminator
+        if term is not None and term.opcode is Opcode.CBR and term.labels[0] == term.labels[1]:
+            blk.instructions[-1] = Instruction(Opcode.JMP, labels=[term.labels[0]])
+            changed = True
+    return changed
+
+
+def _merge_straight_line(func: Function) -> bool:
+    """Concatenate ``blk -> succ`` pairs joined by a unique jump edge."""
+    preds = func.predecessor_map()
+    for blk in func.blocks:
+        term = blk.terminator
+        if term is None or term.opcode is not Opcode.JMP:
+            continue
+        succ_label = term.labels[0]
+        if succ_label == blk.label:
+            continue
+        if preds[succ_label] != [blk.label]:
+            continue
+        succ = func.block(succ_label)
+        if succ.phis():
+            continue
+        blk.instructions = blk.instructions[:-1] + succ.instructions
+        func.blocks.remove(succ)
+        # edges that used to leave succ now leave blk: fix φ labels
+        for next_label in blk.successor_labels():
+            for phi in func.block(next_label).phis():
+                phi.phi_labels = [
+                    blk.label if lbl == succ_label else lbl
+                    for lbl in phi.phi_labels
+                ]
+        return True
+    return False
+
+
+def _bypass_empty_blocks(func: Function) -> bool:
+    """Redirect predecessors around blocks containing only ``jmp``."""
+    preds = func.predecessor_map()
+    for blk in func.blocks:
+        if len(blk.instructions) != 1:
+            continue
+        term = blk.terminator
+        if term is None or term.opcode is not Opcode.JMP:
+            continue
+        target_label = term.labels[0]
+        if target_label == blk.label:
+            continue
+        target = func.block(target_label)
+        incoming = preds[blk.label]
+        if blk is func.entry:
+            # the entry can be dropped only by making the target the
+            # entry, which requires the target to have no other preds
+            if preds[target_label] != [blk.label]:
+                continue
+            if target.phis():
+                continue
+            func.blocks.remove(blk)
+            func.blocks.remove(target)
+            func.blocks.insert(0, target)
+            return True
+        if not incoming:
+            continue  # unreachable; swept by the caller
+        if target.phis():
+            # retargeting preds requires editing φ inputs; only safe when
+            # no pred already reaches the target directly
+            target_preds = set(preds[target_label])
+            if any(p in target_preds for p in incoming):
+                continue
+            for phi in target.phis():
+                pairs = [
+                    (s, l)
+                    for s, l in zip(phi.srcs, phi.phi_labels)
+                    if l != blk.label
+                ]
+                routed = next(
+                    s for s, l in zip(phi.srcs, phi.phi_labels) if l == blk.label
+                )
+                pairs.extend((routed, p) for p in incoming)
+                phi.srcs = [s for s, _ in pairs]
+                phi.phi_labels = [l for _, l in pairs]
+        for pred_label in incoming:
+            pred_term = func.block(pred_label).terminator
+            pred_term.labels = [
+                target_label if lbl == blk.label else lbl for lbl in pred_term.labels
+            ]
+        func.blocks.remove(blk)
+        return True
+    return False

@@ -1,0 +1,169 @@
+"""Global common-subexpression elimination, two ways (paper section 5.3).
+
+The paper ranks three approaches to redundancy elimination:
+
+1. **Dominator-based** (Alpern, Wegman & Zadeck's suggestion): "If a
+   value x is computed at two points, p and q, and p dominates q, then
+   the computation at q is redundant and may be deleted."  It cannot
+   remove the if-then-else redundancy of section 2's first example.
+2. **Available-expressions-based** (the classic global CSE): delete a
+   computation of x at p when x is available on every path reaching p.
+   Removes all full redundancies.
+3. **PRE** — all full redundancies plus many partial ones
+   (:mod:`repro.passes.pre`).
+
+"These methods form a hierarchy."  Both weaker methods are implemented
+here so the hierarchy is measurable (see ``benchmarks/test_hierarchy.py``).
+
+Both passes use the same lexical expression keys and the leaf-based
+transparency of :class:`~repro.dataflow.expressions.ExpressionTable`, and
+both rewrite with the naming-discipline trick PRE uses: an expression
+whose occurrences all target one register is deleted outright; otherwise
+the surviving computation routes through a fresh home register and
+deleted occurrences become copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cfg.dominators import DominatorTree
+from repro.cfg.graph import ControlFlowGraph
+from repro.dataflow.expressions import ExpressionTable
+from repro.dataflow.problems import available_expressions
+from repro.ir.function import Function
+from repro.ir.instructions import ExprKey, Instruction
+from repro.ir.opcodes import Opcode
+
+
+@dataclass
+class CSEReport:
+    """Number of redundant computations removed."""
+
+    deletions: int = 0
+
+
+def dominator_cse(func: Function) -> Function:
+    """Section 5.3 method 1: delete computations dominated by an
+    identical computation (in place); returns ``func``."""
+    dominator_cse_transform(func)
+    return func
+
+
+def dominator_cse_transform(func: Function) -> CSEReport:
+    """AWZ's rule, made sound on non-SSA code.
+
+    On SSA the rule "p dominates q ⇒ q's computation is redundant" is
+    sound because SSA names are never redefined.  On three-address code a
+    kill can hide on a path between p and q that avoids neither, so the
+    rewrite here additionally requires the expression to be *available*
+    at q — which is what the dominance condition buys for free under SSA.
+    The dominance requirement is exactly what makes this the weakest
+    method of the section 5.3 hierarchy: availability through a join of
+    two non-dominating computations (the if-then-else example) never
+    qualifies.
+    """
+    if any(inst.is_phi for inst in func.instructions()):
+        raise ValueError("CSE requires phi-free code (destroy SSA first)")
+    report = CSEReport()
+    func.remove_unreachable_blocks()
+    cfg = ControlFlowGraph(func)
+    dom = DominatorTree(cfg)
+    table = ExpressionTable.build(func)
+    if not table.keys:
+        return report
+    avail = available_expressions(func, table, cfg)
+    reachable = cfg.reachable()
+
+    occurrence_blocks: dict[ExprKey, set[str]] = {}
+    for key, occs in table.occurrences.items():
+        occurrence_blocks[key] = {label for label, _ in occs}
+
+    def dominated_by_occurrence(key: ExprKey, label: str) -> bool:
+        return any(
+            other in reachable and other != label and dom.dominates(other, label)
+            for other in occurrence_blocks[key]
+        )
+
+    for blk in func.blocks:
+        if blk.label not in reachable:
+            continue
+        current = set(avail.at_entry(blk.label))
+        seen_here: set[ExprKey] = set()
+        kept: list[Instruction] = []
+        for inst in blk.instructions:
+            key = inst.expr_key()
+            deleted = False
+            if (
+                key is not None
+                and key in current
+                and key in table.named
+                and (key in seen_here or dominated_by_occurrence(key, blk.label))
+            ):
+                report.deletions += 1
+                deleted = True
+            if not deleted:
+                kept.append(inst)
+            defined = table._variable_defs(inst)
+            if defined:
+                defined_set = set(defined)
+                current = {
+                    k for k in current if not (table.leaves[k] & defined_set)
+                }
+            if key is not None:
+                own = set(table._variable_defs(inst))
+                if not (table.leaves[key] & own):
+                    current.add(key)
+                    seen_here.add(key)
+        blk.instructions = kept
+    return report
+
+
+def available_cse(func: Function) -> Function:
+    """Section 5.3 method 2: classic available-expressions CSE (in place)."""
+    available_cse_transform(func)
+    return func
+
+
+def available_cse_transform(func: Function) -> CSEReport:
+    if any(inst.is_phi for inst in func.instructions()):
+        raise ValueError("CSE requires phi-free code (destroy SSA first)")
+    report = CSEReport()
+    func.remove_unreachable_blocks()
+    cfg = ControlFlowGraph(func)
+    table = ExpressionTable.build(func)
+    if not table.keys:
+        return report
+    avail = available_expressions(func, table, cfg)
+
+    # deleting a computation of e requires reading e's value: only named
+    # expressions (unique home register) support that across arbitrary
+    # join points, so the availability rewrite is restricted to them —
+    # the naming discipline again (section 2.2)
+    reachable = cfg.reachable()
+    for blk in func.blocks:
+        if blk.label not in reachable:
+            continue
+        current = set(avail.at_entry(blk.label))
+        kept: list[Instruction] = []
+        for inst in blk.instructions:
+            key = inst.expr_key()
+            deleted = False
+            if key is not None and key in current and key in table.named:
+                report.deletions += 1
+                deleted = True  # value already in its home register
+            if not deleted:
+                kept.append(inst)
+            # local update of availability through the block
+            defined = table._variable_defs(inst)
+            if defined:
+                defined_set = set(defined)
+                current = {
+                    k for k in current if not (table.leaves[k] & defined_set)
+                }
+            if key is not None:
+                own = set(table._variable_defs(inst))
+                if not (table.leaves[key] & own):
+                    current.add(key)
+        blk.instructions = kept
+    return report

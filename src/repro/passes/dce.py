@@ -1,0 +1,58 @@
+"""Dead-code elimination (Cytron et al. [11], section 7.1 style).
+
+Part of the paper's baseline sequence.  Mark-sweep over SSA form: the
+worklist starts from instructions with observable effects (stores, calls,
+returns, branches) and pulls in everything their operands transitively
+depend on; unmarked instructions are deleted.  Working over SSA lets
+loop-carried cycles of otherwise-unused definitions die too — a liveness
+formulation would see them keeping themselves alive around the back edge.
+
+Branches are always considered live (no control-dependence pruning);
+unreachable-code removal is :mod:`repro.passes.clean`'s job.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode
+from repro.ssa import destroy_ssa, to_ssa
+
+
+def dead_code_elimination(func: Function) -> Function:
+    """Delete instructions whose results are never observably used."""
+    func.remove_unreachable_blocks()
+    to_ssa(func)
+    sweep_dead_ssa(func)
+    destroy_ssa(func)
+    return func
+
+
+def sweep_dead_ssa(func: Function) -> None:
+    """The mark-sweep core, usable on code already in SSA form."""
+    def_of: dict[str, Instruction] = {}
+    for inst in func.instructions():
+        for target in inst.defs():
+            def_of[target] = inst
+
+    marked: set[int] = set()
+    worklist: list[Instruction] = []
+    for inst in func.instructions():
+        if inst.has_side_effect:
+            marked.add(id(inst))
+            worklist.append(inst)
+
+    while worklist:
+        inst = worklist.pop()
+        for use in inst.uses():
+            definition = def_of.get(use)
+            if definition is not None and id(definition) not in marked:
+                marked.add(id(definition))
+                worklist.append(definition)
+
+    for blk in func.blocks:
+        blk.instructions = [
+            inst
+            for inst in blk.instructions
+            if id(inst) in marked or (inst.has_side_effect)
+        ]

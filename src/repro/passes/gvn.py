@@ -1,0 +1,157 @@
+"""Partition-based global value numbering (Alpern, Wegman & Zadeck [2]).
+
+The paper's *global renaming* step (section 3.2).  Instead of building
+equalities up from simpler ones, the algorithm starts from the
+"optimistic" assumption that all values are equivalent and uses the
+statements of the program to disprove equivalences, refining a partition
+of the SSA values until congruent classes remain.  Renaming then encodes
+the discovered equivalences into the name space: every run-time-equal
+value gets one name, which is precisely the naming discipline PRE needs.
+
+As in the paper we use "the simplest variation described by Alpern,
+Wegman, and Zadeck, possibly missing some opportunities discovered by
+their more powerful approaches": operands are compared positionally
+(commutativity is not exploited unless ``commutative=True``), and loads
+and call results are incomparable singletons.
+
+"The names are the only things changed during this phase; no instructions
+are added, deleted, or moved" — except that the φ-nodes introduced for the
+analysis are lowered back to copies at the end, and those copies "only
+target variable names" (the φ classes), exactly as in the paper's
+Figure 8.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import COMMUTATIVE, Opcode
+from repro.ssa import destroy_ssa, to_ssa
+
+
+def global_value_numbering(func: Function, commutative: bool = False) -> Function:
+    """Rename run-time-equal values to a single name (in place).
+
+    Args:
+        func: function to rewrite (converted through SSA internally).
+        commutative: exploit commutativity when comparing operands (an
+            extension beyond the paper's "simplest variation").
+    """
+    to_ssa(func)
+    class_of = _partition(func, commutative)
+    _rename(func, class_of)
+    destroy_ssa(func)
+    return func
+
+
+def _operand_signature(
+    inst: Instruction, class_of: dict[str, int], commutative: bool
+) -> tuple:
+    if inst.is_phi:
+        # compare φ inputs edge-by-edge (same block ⇒ same edge order,
+        # but sort by label for safety)
+        pairs = sorted(zip(inst.phi_labels, inst.srcs))
+        return tuple(class_of[src] for _, src in pairs)
+    classes = tuple(class_of[src] for src in inst.srcs)
+    if commutative and inst.opcode in COMMUTATIVE:
+        return tuple(sorted(classes))
+    return classes
+
+
+def _partition(func: Function, commutative: bool) -> dict[str, int]:
+    """Refine the optimistic partition to congruence classes."""
+    ids = itertools.count()
+    class_of: dict[str, int] = {}
+    members: dict[int, list[str]] = {}
+    def_of: dict[str, Instruction] = {}
+
+    def assign(reg: str, key) -> None:
+        if key not in initial_key_to_class:
+            initial_key_to_class[key] = next(ids)
+        cls = initial_key_to_class[key]
+        class_of[reg] = cls
+        members.setdefault(cls, []).append(reg)
+
+    initial_key_to_class: dict = {}
+    for param in func.params:
+        assign(param, ("param", param))
+    for blk in func.blocks:
+        for inst in blk.instructions:
+            if inst.target is None:
+                continue
+            def_of[inst.target] = inst
+            op = inst.opcode
+            if op is Opcode.LOADI:
+                assign(inst.target, ("const", repr(inst.imm)))
+            elif op is Opcode.PHI:
+                assign(inst.target, ("phi", blk.label, len(inst.srcs)))
+            elif op in (Opcode.LOAD, Opcode.CALL):
+                # incomparable: memory state is not modelled
+                assign(inst.target, ("opaque", inst.target))
+            elif op is Opcode.INTRIN:
+                assign(inst.target, ("intrin", inst.callee, len(inst.srcs)))
+            elif op is Opcode.COPY:
+                # copies are normally folded by to_ssa; treat a surviving
+                # copy as congruent to nothing but itself structurally
+                assign(inst.target, ("copy",))
+            else:
+                assign(inst.target, ("op", op, len(inst.srcs)))
+
+    # fixpoint refinement: split any class whose members disagree on the
+    # classes of their operands
+    changed = True
+    while changed:
+        changed = False
+        for cls in list(members):
+            regs = members[cls]
+            if len(regs) < 2:
+                continue
+            groups: dict[tuple, list[str]] = {}
+            for reg in regs:
+                inst = def_of.get(reg)
+                if inst is None:  # parameters: singleton keys already
+                    signature = ("param", reg)
+                elif inst.opcode is Opcode.COPY:
+                    signature = (class_of[inst.srcs[0]],)
+                else:
+                    signature = _operand_signature(inst, class_of, commutative)
+                groups.setdefault(signature, []).append(reg)
+            if len(groups) == 1:
+                continue
+            changed = True
+            group_lists = sorted(groups.values(), key=len, reverse=True)
+            members[cls] = group_lists[0]
+            for other in group_lists[1:]:
+                new_cls = next(ids)
+                members[new_cls] = other
+                for reg in other:
+                    class_of[reg] = new_cls
+    return class_of
+
+
+def _rename(func: Function, class_of: dict[str, int]) -> None:
+    """Rewrite every name to its congruence-class representative.
+
+    The representative is the class's first-defined name in block order
+    (parameters first), which keeps parameter names stable.
+    """
+    representative: dict[int, str] = {}
+    for param in func.params:
+        representative.setdefault(class_of[param], param)
+    for blk in func.blocks:
+        for inst in blk.instructions:
+            if inst.target is not None:
+                representative.setdefault(class_of[inst.target], inst.target)
+
+    def rep(reg: str) -> str:
+        cls = class_of.get(reg)
+        return representative[cls] if cls is not None else reg
+
+    for blk in func.blocks:
+        for inst in blk.instructions:
+            if inst.target is not None:
+                inst.target = rep(inst.target)
+            inst.srcs = [rep(src) for src in inst.srcs]

@@ -1,0 +1,69 @@
+"""Hash-based local value numbering.
+
+One of the two passes the paper's optimizer lacked (section 4.1,
+"Limitations of the Optimizer": "we are currently missing passes for
+strength reduction and hash-based value numbering ... hash-based value
+numbering should also benefit from reassociation").  Provided here as an
+extension so the benchmark harness can measure exactly what the paper
+predicted.
+
+Within each block, a hash table maps each lexical expression to the
+register currently holding its value.  A re-computation whose value is
+already available is deleted when it targets the same register (the
+naming discipline makes this the common case) or rewritten into a copy
+otherwise.  Facts die when an operand is redefined; loads die at stores
+and calls.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import ExprKey
+from repro.ir.opcodes import Opcode
+
+
+def local_value_numbering(func: Function) -> Function:
+    """Remove block-local redundant computations (in place)."""
+    from repro.ir.instructions import Instruction
+
+    for blk in func.blocks:
+        value_home: dict[ExprKey, str] = {}
+        keys_using: dict[str, set[ExprKey]] = {}
+        load_keys: set[ExprKey] = set()
+        new_instructions: list[Instruction] = []
+
+        for inst in blk.instructions:
+            key = inst.expr_key()
+            if key is not None and key in value_home:
+                home = value_home[key]
+                if home == inst.target:
+                    continue  # value already in the right register
+                inst = Instruction(Opcode.COPY, target=inst.target, srcs=[home])
+                key = None  # the copy is not an expression
+            # record before killing: the instruction's own def kills facts
+            if inst.target is not None:
+                for stale in keys_using.pop(inst.target, set()):
+                    value_home.pop(stale, None)
+                    load_keys.discard(stale)
+                # the target's previous value home is gone
+                stale_homes = [
+                    k for k, reg in value_home.items() if reg == inst.target
+                ]
+                for k in stale_homes:
+                    del value_home[k]
+                    load_keys.discard(k)
+            if inst.opcode in (Opcode.STORE, Opcode.CALL):
+                for k in load_keys:
+                    value_home.pop(k, None)
+                load_keys.clear()
+            if key is not None and not any(
+                src == inst.target for src in inst.srcs
+            ):
+                value_home[key] = inst.target
+                for src in inst.srcs:
+                    keys_using.setdefault(src, set()).add(key)
+                if key[0] is Opcode.LOAD:
+                    load_keys.add(key)
+            new_instructions.append(inst)
+        blk.instructions = new_instructions
+    return func

@@ -1,0 +1,308 @@
+"""Partial redundancy elimination.
+
+The paper's central optimization (section 2), in the Drechsler–Stadel
+edge-placement formulation [14] — the lazy-code-motion-style system of
+unidirectional equations they recommend, which "supports edge placement
+for enhanced optimization and simplifies the data-flow equations that must
+be solved, avoiding the bidirectional equations typical of some other
+approaches".
+
+The pass works on *lexically identical* expressions: the key
+``(opcode, operands...)`` over virtual-register names.  It never lengthens
+any execution path **on code obeying the section 2.2 naming discipline**
+(the paper's pipeline always establishes it before PRE, via the front
+end's hash table or GVN renaming): an expression is inserted on an edge
+only where it is *anticipated*, and every insertion enables a deletion
+downstream.  On undisciplined names the pass stays *correct* through a
+fresh-home-plus-copies fallback, but those reconciliation copies may not
+coalesce away — the caveat behind the paper's section 5.1 discussion.
+
+Equation system (per expression; ∩-meets; local sets from
+:class:`~repro.dataflow.expressions.ExpressionTable`)::
+
+    ANTOUT(b) = ∩_{s∈succ(b)} ANTIN(s)             (∅ at exits)
+    ANTIN(b)  = ANTLOC(b) ∪ (ANTOUT(b) − KILL(b))
+
+    AVIN(b)   = ∩_{p∈pred(b)} AVOUT(p)             (∅ at entry)
+    AVOUT(b)  = COMP(b) ∪ (AVIN(b) − KILL(b))
+
+    EARLIEST(i→j) = ANTIN(j) − AVOUT(i)                           (i = entry)
+                  = (ANTIN(j) − AVOUT(i)) ∩ (KILL(i) ∪ ¬ANTOUT(i))  (else)
+
+    LATERIN(j) = ∩_{i∈pred(j)} LATER(i→j)          (∅ at entry)
+    LATER(i→j) = EARLIEST(i→j) ∪ (LATERIN(i) − ANTLOC(i))
+
+    INSERT(i→j) = LATER(i→j) − LATERIN(j)
+    DELETE(b)   = ANTLOC(b) − LATERIN(b)           (b ≠ entry)
+
+Rewriting: each inserted computation targets a fresh register ``h``; every
+surviving original computation of an involved expression also routes its
+value through ``h`` (``h ← op; t ← copy h``), and each deleted occurrence
+becomes ``t ← copy h``.  The copies are exactly what the paper's
+Chaitin-style coalescing phase removes afterwards (Figure 9 → Figure 10).
+
+Like Morel–Renvoise, the pass removes at most the *upward-exposed*
+occurrence per block: purely local redundancies are local value
+numbering's job, which the paper's optimizer famously lacked
+(section 4.1, "Limitations of the Optimizer").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cfg.edges import split_critical_edges
+from repro.cfg.graph import ControlFlowGraph
+from repro.dataflow.expressions import ExpressionTable
+from repro.dataflow.problems import anticipable_expressions, available_expressions
+from repro.ir.function import Function
+from repro.ir.instructions import ExprKey, Instruction
+from repro.ir.opcodes import Opcode
+
+
+@dataclass
+class PREReport:
+    """What one PRE run did (used by tests and benchmarks)."""
+
+    insertions: int = 0
+    deletions: int = 0
+    inserted_edges: list[tuple[str, str]] = field(default_factory=list)
+
+
+def partial_redundancy_elimination(func: Function) -> Function:
+    """Run PRE over ``func`` (in place); returns ``func``.
+
+    Requires φ-free input (the paper runs PRE after global renaming has
+    destroyed SSA back into copies); raises :class:`ValueError` otherwise.
+    """
+    pre_transform(func)
+    return func
+
+
+def pre_transform(func: Function) -> PREReport:
+    """PRE returning a :class:`PREReport` of the work performed."""
+    if any(inst.is_phi for inst in func.instructions()):
+        raise ValueError("PRE requires phi-free code (destroy SSA first)")
+    report = PREReport()
+    func.remove_unreachable_blocks()
+    split_critical_edges(func)
+
+    cfg = ControlFlowGraph(func)
+    table = ExpressionTable.build(func)
+    if not table.keys:
+        return report
+    universe = table.universe
+    kill = table.kill()
+
+    avail = available_expressions(func, table, cfg)
+    ant = anticipable_expressions(func, table, cfg)
+
+    entry = cfg.entry
+    reachable = cfg.reachable()
+    edges = [(i, j) for i, j in cfg.edges() if i in reachable]
+
+    earliest: dict[tuple[str, str], frozenset] = {}
+    for i, j in edges:
+        value = ant.at_entry(j) - avail.at_exit(i)
+        if i != entry:
+            value &= kill[i] | (universe - ant.at_exit(i))
+        earliest[(i, j)] = value
+
+    # LATER / LATERIN fixpoint (forward over edges)
+    laterin: dict[str, frozenset] = {
+        label: (frozenset() if label == entry else universe) for label in reachable
+    }
+
+    def later(i: str, j: str) -> frozenset:
+        return earliest[(i, j)] | (laterin[i] - table.antloc[i])
+
+    order = cfg.reverse_postorder
+    changed = True
+    while changed:
+        changed = False
+        for j in order:
+            if j == entry:
+                continue
+            preds = [p for p in cfg.preds[j] if p in reachable]
+            if not preds:
+                continue
+            new = later(preds[0], j)
+            for p in preds[1:]:
+                new &= later(p, j)
+            if new != laterin[j]:
+                laterin[j] = new
+                changed = True
+
+    insert_on_edge = {
+        (i, j): later(i, j) - laterin[j] for i, j in edges if j != entry
+    }
+    delete_in_block = {
+        label: (table.antloc[label] - laterin[label]) if label != entry else frozenset()
+        for label in reachable
+    }
+
+    apply_placement(func, cfg, table, insert_on_edge, delete_in_block, report)
+    return report
+
+
+def apply_placement(
+    func: Function,
+    cfg: ControlFlowGraph,
+    table: ExpressionTable,
+    insert_on_edge: dict[tuple[str, str], frozenset],
+    delete_in_block: dict[str, frozenset],
+    report: PREReport,
+    insert_at_end: Optional[dict[str, frozenset]] = None,
+) -> None:
+    """Carry out an edge-placement solution (shared by both PRE solvers).
+
+    The naming discipline (section 2.2) pays off here: an expression
+    whose occurrences all target one otherwise-undefined register keeps
+    that register as its home — deletions just vanish and insertions
+    write the home directly, with no copies for coalescing to chew on.
+    Expressions without the discipline get a fresh home plus copies.
+    """
+    insert_at_end = insert_at_end if insert_at_end is not None else {}
+    involved: set[ExprKey] = set()
+    for keys in insert_on_edge.values():
+        involved |= keys
+    for keys in delete_in_block.values():
+        involved |= keys
+    for keys in insert_at_end.values():
+        involved |= keys
+    if not involved:
+        return
+
+    hoisted_reg: dict[ExprKey, str] = {
+        key: table.named.get(key, None) or func.new_reg() for key in involved
+    }
+    is_named = {key: key in table.named for key in involved}
+    representative: dict[ExprKey, Instruction] = {
+        key: table.occurrences[key][0][1] for key in involved
+    }
+
+    _rewrite_occurrences(
+        func, table, involved, delete_in_block, hoisted_reg, is_named, report
+    )
+    _insert_on_edges(func, cfg, insert_on_edge, hoisted_reg, representative, report)
+    # block-end insertions (the Morel–Renvoise INSERT_i form): executed on
+    # every outgoing edge, placed just before the terminator
+    for label, keys in insert_at_end.items():
+        if not keys:
+            continue
+        blk = func.block(label)
+        instructions = []
+        for key in sorted(keys, key=str):
+            inst = representative[key].copy()
+            inst.target = hoisted_reg[key]
+            instructions.append(inst)
+            report.insertions += 1
+        for inst in _dependency_order(instructions):
+            blk.insert_before_terminator(inst)
+
+
+def _rewrite_occurrences(
+    func: Function,
+    table: ExpressionTable,
+    involved: set[ExprKey],
+    delete_in_block: dict[str, frozenset],
+    hoisted_reg: dict[ExprKey, str],
+    is_named: dict[ExprKey, bool],
+    report: PREReport,
+) -> None:
+    """Delete redundant occurrences; route surviving ones through ``h``."""
+    deleted_ids: set[int] = set()
+    for blk in func.blocks:
+        for key in delete_in_block.get(blk.label, frozenset()):
+            if key not in involved:
+                continue
+            witness = table.upward_exposed_witness(blk, key)
+            if witness is not None:
+                deleted_ids.add(id(witness))
+
+    for blk in func.blocks:
+        rewritten: list[Instruction] = []
+        for inst in blk.instructions:
+            key = inst.expr_key()
+            if key not in involved:
+                rewritten.append(inst)
+                continue
+            h = hoisted_reg[key]
+            if id(inst) in deleted_ids:
+                report.deletions += 1
+                if is_named[key]:
+                    continue  # the home register already holds the value
+                rewritten.append(
+                    Instruction(Opcode.COPY, target=inst.target, srcs=[h])
+                )
+            elif is_named[key]:
+                rewritten.append(inst)  # already computes into the home
+            else:
+                # surviving computation: compute into h, copy to the
+                # original name so downstream deleted occurrences see h
+                compute = inst.copy()
+                compute.target = h
+                rewritten.append(compute)
+                rewritten.append(
+                    Instruction(Opcode.COPY, target=inst.target, srcs=[h])
+                )
+        blk.instructions = rewritten
+
+
+def _insert_on_edges(
+    func: Function,
+    cfg: ControlFlowGraph,
+    insert_on_edge: dict[tuple[str, str], frozenset],
+    hoisted_reg: dict[ExprKey, str],
+    representative: dict[ExprKey, Instruction],
+    report: PREReport,
+) -> None:
+    for (i, j), keys in insert_on_edge.items():
+        if not keys:
+            continue
+        # critical edges were split, so one endpoint owns the edge
+        if len(cfg.succs[i]) == 1:
+            insert_block = func.block(i)
+            at_end = True
+        else:
+            assert len(cfg.preds[j]) == 1, f"unsplit critical edge {i}->{j}"
+            insert_block = func.block(j)
+            at_end = False
+        instructions = []
+        for key in sorted(keys, key=str):  # deterministic across runs
+            inst = representative[key].copy()
+            inst.target = hoisted_reg[key]
+            instructions.append(inst)
+            report.insertions += 1
+            report.inserted_edges.append((i, j))
+        # a nested expression may be inserted on the same edge as its
+        # subexpressions; order them so operands are computed first
+        instructions = _dependency_order(instructions)
+        if at_end:
+            for inst in instructions:
+                insert_block.insert_before_terminator(inst)
+        else:
+            insert_block.instructions[0:0] = instructions
+
+
+def _dependency_order(instructions: list[Instruction]) -> list[Instruction]:
+    """Topologically sort insertions so defs precede uses (DAG by keys)."""
+    remaining = list(instructions)
+    ordered: list[Instruction] = []
+    placed: set[str] = set()
+    pending_targets = {inst.target for inst in remaining}
+    while remaining:
+        progressed = False
+        for inst in list(remaining):
+            if all(
+                src not in pending_targets or src in placed for src in inst.srcs
+            ):
+                ordered.append(inst)
+                placed.add(inst.target)
+                remaining.remove(inst)
+                progressed = True
+        if not progressed:  # pragma: no cover - keys form a DAG
+            ordered.extend(remaining)
+            break
+    return ordered

@@ -1,0 +1,48 @@
+"""Global reassociation — the paper's primary contribution (section 3.1).
+
+See :mod:`repro.passes.reassociate.pipeline` for the pass itself and the
+sibling modules for its pieces:
+
+* :mod:`~repro.passes.reassociate.ranks` — rank computation,
+* :mod:`~repro.passes.reassociate.trees` — expression trees, flattening,
+  rank sorting, the ``x−y → x+(−y)`` rewrite,
+* :mod:`~repro.passes.reassociate.forward_prop` — forward propagation
+  (tree building from SSA) and tree re-emission,
+* :mod:`~repro.passes.reassociate.distribute` — rank-guided distribution
+  of multiplication over addition.
+"""
+
+from repro.passes.reassociate.distribute import distribute_tree
+from repro.passes.reassociate.forward_prop import TreeBuilder, emit_tree
+from repro.passes.reassociate.pipeline import (
+    ReassociationReport,
+    global_reassociation,
+    reassociate_transform,
+)
+from repro.passes.reassociate.ranks import compute_ranks
+from repro.passes.reassociate.trees import (
+    ConstNode,
+    LeafNode,
+    OpNode,
+    make_op,
+    negate,
+    sort_operands,
+    tree_size,
+)
+
+__all__ = [
+    "ConstNode",
+    "LeafNode",
+    "OpNode",
+    "ReassociationReport",
+    "TreeBuilder",
+    "compute_ranks",
+    "distribute_tree",
+    "emit_tree",
+    "global_reassociation",
+    "make_op",
+    "negate",
+    "reassociate_transform",
+    "sort_operands",
+    "tree_size",
+]

@@ -1,0 +1,130 @@
+"""Forward propagation: tracing SSA chains into expression trees.
+
+"We propagate each expression and subexpression as far forward as
+possible, effectively building expression trees for φ-node inputs, values
+used to control program flow, parameters passed to other routines, and
+values returned from the current routine" (section 3.1).  Store operands
+and load addresses are roots for the same reason — the array-address
+arithmetic they carry is the motivating case of section 2.1.
+
+Loads, calls and φ-results are *leaves*: re-materializing a load at its
+use site could move it across a store, so the load instruction itself
+stays anchored and only its address expression is propagated (DESIGN.md
+records this conservative choice).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode
+from repro.passes.reassociate.trees import (
+    ConstNode,
+    LeafNode,
+    OpNode,
+    Tree,
+    make_op,
+    negate,
+)
+
+#: Instruction opcodes whose results stay anchored in place (tree leaves).
+LEAF_OPCODES = frozenset({Opcode.PHI, Opcode.LOAD, Opcode.CALL})
+
+
+class TreeBuilder:
+    """Builds (and memoizes) the expression tree of each SSA value."""
+
+    def __init__(self, def_of: dict[str, Instruction], ranks: dict[str, int]):
+        self.def_of = def_of
+        self.ranks = ranks
+        self._memo: dict[str, Tree] = {}
+
+    def build(self, name: str) -> Tree:
+        """The expression tree of SSA value ``name``."""
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, 10_000))
+        try:
+            return self._build(name)
+        finally:
+            sys.setrecursionlimit(old_limit)
+
+    def _leaf(self, name: str) -> LeafNode:
+        return LeafNode(name, self.ranks.get(name, 0))
+
+    def _build(self, name: str) -> Tree:
+        memoized = self._memo.get(name)
+        if memoized is not None:
+            return memoized
+        inst = self.def_of.get(name)
+        if inst is None or inst.opcode in LEAF_OPCODES:
+            tree: Tree = self._leaf(name)
+        elif inst.opcode is Opcode.LOADI:
+            tree = ConstNode(inst.imm)
+        elif inst.opcode is Opcode.COPY:
+            tree = self._build(inst.srcs[0])
+        elif inst.opcode is Opcode.SUB:
+            # x − y  →  x + (−y): addition is associative, subtraction not
+            tree = make_op(
+                Opcode.ADD,
+                [self._build(inst.srcs[0]), negate(self._build(inst.srcs[1]))],
+            )
+        elif inst.opcode is Opcode.NEG:
+            tree = negate(self._build(inst.srcs[0]))
+        else:
+            tree = make_op(
+                inst.opcode,
+                [self._build(src) for src in inst.srcs],
+                callee=inst.callee,
+            )
+        self._memo[name] = tree
+        return tree
+
+
+def emit_tree(
+    tree: Tree,
+    func: Function,
+    out: list[Instruction],
+    memo: dict[tuple, str],
+) -> str:
+    """Emit three-address code computing ``tree``; returns the result register.
+
+    Identical subtrees within one emission share a register through
+    ``memo`` (keyed by canonical tree key), so a value used twice in one
+    expression is computed once — forward propagation duplicates code
+    *across* sites, not within one site.
+
+    Associative n-ary nodes are emitted as left-leaning chains in operand
+    order, which — after rank sorting — "allows PRE to hoist the maximum
+    number of subexpressions the maximum distance".
+    """
+    if isinstance(tree, LeafNode):
+        return tree.name
+    key = tree.key()
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
+    if isinstance(tree, ConstNode):
+        reg = func.new_reg()
+        out.append(Instruction(Opcode.LOADI, target=reg, imm=tree.value))
+        memo[key] = reg
+        return reg
+    assert isinstance(tree, OpNode)
+    child_regs = [emit_tree(child, func, out, memo) for child in tree.children]
+    if len(child_regs) > 2:
+        # left-leaning chain for flattened associative operations
+        acc = child_regs[0]
+        for nxt in child_regs[1:-1]:
+            step = func.new_reg()
+            out.append(Instruction(tree.op, target=step, srcs=[acc, nxt]))
+            partial_key = ("chain", tree.op.value, acc, nxt)
+            memo[partial_key] = step
+            acc = step
+        child_regs = [acc, child_regs[-1]]
+    reg = func.new_reg()
+    out.append(
+        Instruction(tree.op, target=reg, srcs=child_regs, callee=tree.callee)
+    )
+    memo[key] = reg
+    return reg

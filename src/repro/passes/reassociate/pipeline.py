@@ -1,0 +1,154 @@
+"""The global reassociation pass: ranks → forward propagation → sorting
+(→ distribution) → re-emission.
+
+Section 3.1 of the paper, end to end:
+
+1. build the pruned SSA form, folding copies during renaming;
+2. compute a rank for every expression;
+3. propagate expressions forward to their uses, removing φ-nodes by
+   inserting copies at (split) predecessor edges;
+4. rewrite ``x − y`` as ``x + (−y)``, flatten associative chains and sort
+   their operands by rank;
+5. optionally distribute low-ranked multipliers over higher-ranked sums,
+   re-sorting afterwards;
+6. emit the reshaped trees at every root site and sweep the now-dead
+   original computations.
+
+The pass is an *enabling transformation*: it can grow the code
+(Table 2 measures exactly this growth) and even slow it down; global
+value numbering, PRE, and coalescing afterwards are expected to more than
+recover the cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode
+from repro.passes.dce import sweep_dead_ssa
+from repro.passes.reassociate.distribute import distribute_tree
+from repro.passes.reassociate.forward_prop import TreeBuilder, emit_tree
+from repro.passes.reassociate.ranks import compute_ranks
+from repro.passes.reassociate.trees import Tree, sort_operands
+from repro.ssa import destroy_ssa, to_ssa
+
+
+@dataclass
+class ReassociationReport:
+    """Static counts around the pass (feeds Table 2)."""
+
+    static_before: int = 0
+    static_after: int = 0
+
+    @property
+    def expansion(self) -> float:
+        if self.static_before == 0:
+            return 1.0
+        return self.static_after / self.static_before
+
+
+#: Root operand positions per opcode: where forward propagation
+#: re-materializes full expression trees.
+def _root_indices(inst: Instruction) -> list[int]:
+    op = inst.opcode
+    if op is Opcode.CBR:
+        return [0]
+    if op is Opcode.RET:
+        return [0] if inst.srcs else []
+    if op is Opcode.STORE:
+        return [0, 1]
+    if op is Opcode.CALL:
+        return list(range(len(inst.srcs)))
+    if op is Opcode.LOAD:
+        return [0]
+    return []
+
+
+def global_reassociation(
+    func: Function, distribute: bool = False, share_emission: bool = True
+) -> Function:
+    """Reassociate ``func`` (in place); returns ``func``.
+
+    Args:
+        func: the function to reshape.
+        distribute: also distribute multiplication over addition
+            (the paper's *distribution* optimization level).
+        share_emission: share subexpression temporaries between the trees
+            emitted into one block.  ``True`` (our default) acts as free
+            local CSE during re-emission; ``False`` materializes every
+            tree independently per use, the paper's forward propagation
+            (whose duplication Table 2 measures).
+    """
+    reassociate_transform(func, distribute=distribute, share_emission=share_emission)
+    return func
+
+
+def reassociate_transform(
+    func: Function, distribute: bool = False, share_emission: bool = True
+) -> ReassociationReport:
+    """Reassociation returning the static-count report for Table 2."""
+    report = ReassociationReport(static_before=func.static_count())
+    func.remove_unreachable_blocks()
+    to_ssa(func)
+    ranks = compute_ranks(func)
+    def_of: dict[str, Instruction] = {}
+    for inst in func.instructions():
+        for target in inst.defs():
+            def_of[target] = inst
+    builder = TreeBuilder(def_of, ranks)
+
+    def reshape(name: str) -> Tree:
+        tree = sort_operands(builder.build(name))
+        if distribute:
+            tree = distribute_tree(tree)
+        return tree
+
+    # one emission memo per block: every tree materialized in a block
+    # shares subexpression temps with the others (SSA makes that sound),
+    # so e.g. a loop's bound test and its φ-input share the ``i + 1``.
+    # With share_emission=False every root gets a private memo — the
+    # paper's per-use materialization, whose duplication Table 2 measures.
+    memo_per_block: dict[str, dict] = {}
+
+    def memo_for(label: str) -> dict:
+        if not share_emission:
+            return {}
+        return memo_per_block.setdefault(label, {})
+
+    # -- roots at anchored instructions -----------------------------------
+    for blk in func.blocks:
+        rebuilt: list[Instruction] = []
+        for inst in blk.instructions:
+            for index in _root_indices(inst):
+                out: list[Instruction] = []
+                reg = emit_tree(reshape(inst.srcs[index]), func, out, memo_for(blk.label))
+                rebuilt.extend(out)
+                inst.srcs[index] = reg
+            rebuilt.append(inst)
+        blk.instructions = rebuilt
+
+    # -- roots at φ-inputs --------------------------------------------------
+    # each φ input's tree is materialized at the end of its predecessor
+    # block, exactly where SSA destruction will place the φ-removal copy
+    # (the paper's Figure 6: the sums sit in the loop body, the new
+    # split-edge blocks hold only copies — which coalescing then deletes
+    # and `clean` sweeps away).  Trees share subexpressions with
+    # everything already emitted in the predecessor via the block's memo.
+    for blk in func.blocks:
+        for phi in blk.phis():
+            for index, src in enumerate(list(phi.srcs)):
+                pred = phi.phi_labels[index]
+                out: list[Instruction] = []
+                reg = emit_tree(reshape(src), func, out, memo_for(pred))
+                if out:
+                    pred_blk = func.block(pred)
+                    for emitted in out:
+                        pred_blk.insert_before_terminator(emitted)
+                phi.srcs[index] = reg
+
+    sweep_dead_ssa(func)
+    destroy_ssa(func)
+    report.static_after = func.static_count()
+    return report

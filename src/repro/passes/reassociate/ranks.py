@@ -1,0 +1,60 @@
+"""Rank computation (paper section 3.1, "Computing Ranks").
+
+Ranks guide reassociation: loop-invariant values must rank below
+loop-variant values, and values varying in outer loops below values
+varying in inner loops.  On the pruned SSA form, with blocks numbered by
+a reverse-postorder traversal of the CFG, three rules achieve this:
+
+1. a constant receives rank zero;
+2. the result of a φ-node receives the rank of its block, as do
+   variables modified by procedure calls and the results of loads;
+3. any other expression receives the rank of its highest-ranked operand
+   (SSA guarantees every operand is ranked before it is referenced).
+
+Parameters rank with the entry block (the paper's Figure 4 gives the
+``enter`` results r0, r1 rank 1).
+"""
+
+from __future__ import annotations
+
+from repro.cfg.graph import ControlFlowGraph
+from repro.ir.function import Function
+from repro.ir.opcodes import Opcode
+
+#: Opcodes whose results take their block's rank (rule 2): control-merge
+#: points and values the optimizer cannot see through.
+_BLOCK_RANKED = frozenset({Opcode.PHI, Opcode.LOAD, Opcode.CALL})
+
+
+def compute_ranks(func: Function) -> dict[str, int]:
+    """Rank every register of an SSA-form function.
+
+    Returns a map from register name to rank.  Requires SSA form (each
+    name defined once); behaviour on non-SSA input is undefined.
+    """
+    cfg = ControlFlowGraph(func)
+    block_rank = cfg.rpo_number()
+    ranks: dict[str, int] = {}
+    entry_rank = block_rank[cfg.entry]
+    for param in func.params:
+        ranks[param] = entry_rank
+
+    blocks = func.block_map()
+    for label in cfg.reverse_postorder:
+        rank_here = block_rank[label]
+        for inst in blocks[label].instructions:
+            if inst.target is None:
+                continue
+            if inst.opcode is Opcode.LOADI:
+                ranks[inst.target] = 0
+            elif inst.opcode in _BLOCK_RANKED:
+                ranks[inst.target] = rank_here
+            else:
+                # rule 3; operands of a non-φ are ranked before use in
+                # reducible graphs — fall back to the block's own rank
+                # for operands reached through an irreducible retreat edge
+                ranks[inst.target] = max(
+                    (ranks.get(src, rank_here) for src in inst.srcs),
+                    default=0,
+                )
+    return ranks

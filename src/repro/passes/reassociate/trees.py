@@ -1,0 +1,123 @@
+"""Expression trees for global reassociation.
+
+Forward propagation (paper section 3.1) traces back along the SSA graph
+from each *root* use and builds the full expression tree of the value.
+Associative operations (``add``, ``mul``, ``min``, ``max``, ``and``,
+``or``, ``xor``) become n-ary nodes whose operands reassociation may
+reorder; everything else is an opaque node over subtrees.
+
+``x − y`` is rewritten as ``x + (−y)`` while building (Frailey's unary
+complement rewriting [17]), "since addition is associative and
+subtraction is not"; ``x / y`` is *not* rewritten as ``x × 1/y`` "to
+avoid introducing precision problems".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.ir.opcodes import ASSOCIATIVE, Opcode
+
+
+@dataclass(frozen=True)
+class ConstNode:
+    """A compile-time constant: rank 0 by rule 1 of section 3.1."""
+
+    value: Union[int, float]
+
+    @property
+    def rank(self) -> int:
+        return 0
+
+    def key(self) -> tuple:
+        return ("const", repr(self.value))
+
+
+@dataclass(frozen=True)
+class LeafNode:
+    """An opaque value: parameter, φ result, load result, call result."""
+
+    name: str
+    leaf_rank: int
+
+    @property
+    def rank(self) -> int:
+        return self.leaf_rank
+
+    def key(self) -> tuple:
+        return ("leaf", self.name)
+
+
+@dataclass(frozen=True)
+class OpNode:
+    """An operation over subtrees.
+
+    For associative opcodes ``children`` is the flattened n-ary operand
+    list; for every other opcode it matches the instruction's arity.
+    The node's rank is the maximum of its children's ranks (rule 3).
+    """
+
+    op: Opcode
+    children: tuple
+    callee: Optional[str] = None
+
+    @property
+    def rank(self) -> int:
+        return max((child.rank for child in self.children), default=0)
+
+    def key(self) -> tuple:
+        return ("op", self.op.value, self.callee) + tuple(
+            child.key() for child in self.children
+        )
+
+
+Tree = Union[ConstNode, LeafNode, OpNode]
+
+
+def negate(tree: Tree) -> Tree:
+    """−tree, folding −const and −(−x)."""
+    if isinstance(tree, ConstNode):
+        return ConstNode(-tree.value)
+    if isinstance(tree, OpNode) and tree.op is Opcode.NEG:
+        return tree.children[0]
+    return OpNode(Opcode.NEG, (tree,))
+
+
+def make_op(op: Opcode, children: list[Tree], callee: Optional[str] = None) -> Tree:
+    """Build an operation node, flattening nested associative chains."""
+    if op in ASSOCIATIVE:
+        flat: list[Tree] = []
+        for child in children:
+            if isinstance(child, OpNode) and child.op is op:
+                flat.extend(child.children)
+            else:
+                flat.append(child)
+        if len(flat) == 1:
+            return flat[0]
+        return OpNode(op, tuple(flat))
+    return OpNode(op, tuple(children), callee=callee)
+
+
+def sort_operands(tree: Tree) -> Tree:
+    """Recursively sort associative operands by rank, low first.
+
+    "This allows PRE to hoist the maximum number of subexpressions the
+    maximum distance.  Furthermore, since constants are given rank 0, all
+    the constant operands in a sum will be sorted together."  Ties break
+    on the canonical key so lexically identical trees sort identically at
+    every site.
+    """
+    if not isinstance(tree, OpNode):
+        return tree
+    children = [sort_operands(child) for child in tree.children]
+    if tree.op in ASSOCIATIVE:
+        children.sort(key=lambda child: (child.rank, child.key()))
+    return OpNode(tree.op, tuple(children), callee=tree.callee)
+
+
+def tree_size(tree: Tree) -> int:
+    """Number of operation nodes (for tests and diagnostics)."""
+    if isinstance(tree, OpNode):
+        return 1 + sum(tree_size(child) for child in tree.children)
+    return 0

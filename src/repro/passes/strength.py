@@ -1,0 +1,180 @@
+"""Operator strength reduction (the paper's other missing pass).
+
+Section 4.1: "we are currently missing passes for strength reduction and
+hash-based value numbering"; section 5.2: "Reassociation should let
+strength reduction introduce fewer distinct induction variables" and
+"a separate pass of reassociation will significantly simplify the
+implementation of strength reduction" — which this pass demonstrates: it
+only needs the textbook pattern because reassociation and distribution
+have already flattened the address arithmetic into ``iv × constant``.
+
+On SSA form, for each natural loop with a unique entry edge and latch:
+
+* a **basic induction variable** is a header φ ``x = φ(x₀, xₙ)`` whose
+  loop input is ``xₙ = x + d`` with ``d`` loop-invariant;
+* a **derived** expression ``y = x × c`` (``c`` loop-invariant) is
+  replaced by a new induction variable: ``y₀ = x₀ × c`` in the loop
+  preheader, ``y' = φ(y₀, y' + d×c)`` in the header, and the original
+  multiply becomes a copy of ``y'``.
+
+Dynamic *operation* counts are unchanged (one multiply becomes one add),
+but multiplies — expensive on real machines — move out of the loop; the
+ablation harness measures the dynamic multiply count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cfg.dominators import DominatorTree
+from repro.cfg.graph import ControlFlowGraph
+from repro.cfg.loops import LoopInfo
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode
+from repro.ssa import destroy_ssa, to_ssa
+
+
+@dataclass
+class BasicIV:
+    """One basic induction variable of a loop."""
+
+    phi: Instruction
+    init: str  # value on the entry edge
+    step: str  # loop-invariant increment register
+    next_name: str  # the x + d definition's target
+
+
+def strength_reduction(func: Function) -> Function:
+    """Reduce induction-variable multiplies to additions (in place)."""
+    func.remove_unreachable_blocks()
+    to_ssa(func)
+    cfg = ControlFlowGraph(func)
+    dom = DominatorTree(cfg)
+    loops = LoopInfo(cfg, dom)
+
+    def_block: dict[str, str] = {}
+    def_of: dict[str, Instruction] = {}
+    for blk in func.blocks:
+        for inst in blk.instructions:
+            for target in inst.defs():
+                def_block[target] = blk.label
+                def_of[target] = inst
+
+    changed = False
+    for loop in loops.loops:
+        changed |= _reduce_loop(func, cfg, loop, def_block, def_of)
+    destroy_ssa(func)
+    return func
+
+
+def _invariant(reg: str, loop, def_block: dict[str, str]) -> bool:
+    return def_block.get(reg) not in loop.body
+
+
+def _find_basic_ivs(func, cfg, loop, def_block, def_of) -> tuple[Optional[str], list[BasicIV]]:
+    header = func.block(loop.header)
+    preds = cfg.preds[loop.header]
+    entries = [p for p in preds if p not in loop.body]
+    latches = [p for p in preds if p in loop.body]
+    if len(entries) != 1 or len(latches) != 1:
+        return None, []
+    entry_label, latch_label = entries[0], latches[0]
+
+    ivs = []
+    for phi in header.phis():
+        inputs = dict(zip(phi.phi_labels, phi.srcs))
+        if set(inputs) != {entry_label, latch_label}:
+            continue
+        init, loop_in = inputs[entry_label], inputs[latch_label]
+        definition = def_of.get(loop_in)
+        if definition is None or definition.opcode is not Opcode.ADD:
+            continue
+        operands = list(definition.srcs)
+        if phi.target not in operands:
+            continue
+        operands.remove(phi.target)
+        step = operands[0]
+        if not _invariant(step, loop, def_block):
+            continue
+        ivs.append(BasicIV(phi=phi, init=init, step=step, next_name=loop_in))
+    return entry_label, ivs
+
+
+def _reduce_loop(func, cfg, loop, def_block, def_of) -> bool:
+    entry_label, ivs = _find_basic_ivs(func, cfg, loop, def_block, def_of)
+    if not ivs:
+        return False
+    iv_by_name = {iv.phi.target: iv for iv in ivs}
+    header = func.block(loop.header)
+    preheader = func.block(entry_label)
+
+    # find derived multiplies: y = iv * c with c invariant
+    reduced = False
+    derived_cache: dict[tuple[str, str], str] = {}
+    for label in sorted(loop.body):
+        blk = func.block(label)
+        for index, inst in enumerate(list(blk.instructions)):
+            if inst.opcode is not Opcode.MUL:
+                continue
+            iv_name = next((s for s in inst.srcs if s in iv_by_name), None)
+            if iv_name is None:
+                continue
+            other = inst.srcs[1] if inst.srcs[0] == iv_name else inst.srcs[0]
+            if other == iv_name or not _invariant(other, loop, def_block):
+                continue
+            iv = iv_by_name[iv_name]
+            key = (iv_name, other)
+            if key not in derived_cache:
+                derived_cache[key] = _materialize_derived(
+                    func, loop, iv, other, preheader, header, cfg, def_of, def_block
+                )
+            new_phi_target = derived_cache[key]
+            # the multiply becomes a copy of the derived IV
+            position = blk.instructions.index(inst)
+            blk.instructions[position] = Instruction(
+                Opcode.COPY, target=inst.target, srcs=[new_phi_target]
+            )
+            reduced = True
+    return reduced
+
+
+def _materialize_derived(
+    func, loop, iv: BasicIV, factor: str, preheader, header, cfg, def_of, def_block
+) -> str:
+    """Create the derived IV for ``iv × factor``; returns its φ target."""
+    init_reg = func.new_reg()
+    step_reg = func.new_reg()
+    preheader.insert_before_terminator(
+        Instruction(Opcode.MUL, target=init_reg, srcs=[iv.init, factor])
+    )
+    preheader.insert_before_terminator(
+        Instruction(Opcode.MUL, target=step_reg, srcs=[iv.step, factor])
+    )
+    phi_target = func.new_reg()
+    next_reg = func.new_reg()
+    # φ inputs parallel the basic IV's
+    labels = list(iv.phi.phi_labels)
+    srcs = [
+        init_reg if label not in loop.body else next_reg for label in labels
+    ]
+    header.instructions.insert(
+        0,
+        Instruction(Opcode.PHI, target=phi_target, srcs=srcs, phi_labels=labels),
+    )
+    # the bump goes right after the basic IV's own bump
+    bump_block = func.block(def_block[iv.next_name])
+    bump_index = next(
+        i for i, inst in enumerate(bump_block.instructions)
+        if inst.target == iv.next_name
+    )
+    bump_block.instructions.insert(
+        bump_index + 1,
+        Instruction(Opcode.ADD, target=next_reg, srcs=[phi_target, step_reg]),
+    )
+    def_block[phi_target] = header.label
+    def_block[next_reg] = bump_block.label
+    def_block[init_reg] = preheader.label
+    def_block[step_reg] = preheader.label
+    return phi_target

@@ -1,0 +1,67 @@
+"""Compile-and-run conveniences used by examples, tests and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.frontend import compile_program
+from repro.interp import ExecutionResult, Interpreter, Memory
+from repro.ir.function import Module
+from repro.ir.validate import validate_module
+from repro.pipeline.levels import OptLevel, optimize
+
+
+def compile_source(source: str, level: Optional[OptLevel] = None) -> Module:
+    """Compile mini-FORTRAN source, optionally optimizing at ``level``."""
+    module = compile_program(source)
+    if level is not None:
+        optimize(module, level)
+    validate_module(module)
+    return module
+
+
+@dataclass
+class RoutineRun:
+    """A routine execution with the array state that went in and came out."""
+
+    result: ExecutionResult
+    arrays: list[list] = field(default_factory=list)
+
+    @property
+    def value(self):
+        return self.result.value
+
+    @property
+    def dynamic_count(self) -> int:
+        return self.result.dynamic_count
+
+
+def run_routine(
+    module: Module,
+    name: str,
+    args: Sequence = (),
+    arrays: Sequence[tuple[Sequence, int]] = (),
+) -> RoutineRun:
+    """Run a routine; array parameters are appended after scalar ``args``.
+
+    ``arrays`` is a sequence of ``(initial_values, elemsize)`` pairs; each
+    is allocated in a fresh memory and its base address passed as the next
+    argument.  Final array contents are returned for checking.
+    """
+    memory = Memory()
+    bases: list[tuple[int, int, int]] = []
+    full_args = list(args)
+    for values, elemsize in arrays:
+        values = list(values)
+        base = memory.allocate_array(values, elemsize)
+        bases.append((base, len(values), elemsize))
+        full_args.append(base)
+    result = Interpreter(module).run(name, full_args, memory)
+    return RoutineRun(
+        result=result,
+        arrays=[
+            memory.read_array(base, count, elemsize)
+            for base, count, elemsize in bases
+        ],
+    )

@@ -1,0 +1,104 @@
+"""Optimization levels and pass sequencing."""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+from repro.ir.function import Function, Module
+from repro.passes import (
+    clean,
+    coalesce,
+    dead_code_elimination,
+    global_reassociation,
+    global_value_numbering,
+    partial_redundancy_elimination,
+    peephole,
+    sparse_conditional_constant_propagation,
+)
+
+PassFn = Callable[[Function], Function]
+
+#: The paper's baseline: "global constant propagation, global peephole
+#: optimization, global dead code elimination, coalescing, and a final
+#: pass to eliminate empty basic blocks" (section 4.1).
+BASELINE_SEQUENCE: list[PassFn] = [
+    sparse_conditional_constant_propagation,
+    peephole,
+    dead_code_elimination,
+    coalesce,
+    clean,
+]
+
+
+def _reassociate_no_distribution(func: Function) -> Function:
+    return global_reassociation(func, distribute=False)
+
+
+def _reassociate_with_distribution(func: Function) -> Function:
+    return global_reassociation(func, distribute=True)
+
+
+class OptLevel(enum.Enum):
+    """The four configurations of Table 1."""
+
+    BASELINE = "baseline"
+    PARTIAL = "partial"
+    REASSOCIATION = "reassociation"
+    DISTRIBUTION = "distribution"
+
+    def passes(self) -> list[PassFn]:
+        """The pass sequence for this level, in order."""
+        if self is OptLevel.BASELINE:
+            return list(BASELINE_SEQUENCE)
+        if self is OptLevel.PARTIAL:
+            return [partial_redundancy_elimination, *BASELINE_SEQUENCE]
+        if self is OptLevel.REASSOCIATION:
+            return [
+                _reassociate_no_distribution,
+                global_value_numbering,
+                partial_redundancy_elimination,
+                *BASELINE_SEQUENCE,
+            ]
+        return [
+            _reassociate_with_distribution,
+            global_value_numbering,
+            partial_redundancy_elimination,
+            *BASELINE_SEQUENCE,
+        ]
+
+
+def extended_passes() -> list[PassFn]:
+    """The DISTRIBUTION pipeline plus the passes the paper lacked.
+
+    Section 4.1 names hash-based value numbering and strength reduction
+    as missing; this sequence slots both in (LVN around PRE, strength
+    reduction after it).  Not one of Table 1's four columns — use it to
+    measure the paper's "our results understate the eventual benefits"
+    prediction (see ``python -m repro.bench.ablation``).
+    """
+    from repro.passes import local_value_numbering, strength_reduction
+
+    return [
+        _reassociate_with_distribution,
+        global_value_numbering,
+        local_value_numbering,
+        partial_redundancy_elimination,
+        local_value_numbering,
+        strength_reduction,
+        *BASELINE_SEQUENCE,
+    ]
+
+
+def optimize_function(func: Function, level: OptLevel) -> Function:
+    """Run the level's pass sequence over one function (in place)."""
+    for pass_fn in level.passes():
+        pass_fn(func)
+    return func
+
+
+def optimize(module: Module, level: OptLevel) -> Module:
+    """Optimize every function of a module (in place)."""
+    for func in module:
+        optimize_function(func, level)
+    return module

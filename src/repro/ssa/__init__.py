@@ -1,0 +1,15 @@
+"""Static single assignment form.
+
+* :func:`~repro.ssa.construction.to_ssa` — pruned (default) or minimal SSA
+  construction [Cytron et al. 1991], with the paper's copy folding: "during
+  the renaming step, we remove all copies, effectively folding them into
+  φ-nodes" (section 3.1);
+* :func:`~repro.ssa.destruction.destroy_ssa` — replace φ-nodes with copies
+  at predecessor ends (splitting critical edges, sequentializing parallel
+  copies safely).
+"""
+
+from repro.ssa.construction import to_ssa
+from repro.ssa.destruction import destroy_ssa, sequentialize_parallel_copy
+
+__all__ = ["to_ssa", "destroy_ssa", "sequentialize_parallel_copy"]

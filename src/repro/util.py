@@ -1,0 +1,78 @@
+"""Small shared utilities."""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence
+
+Node = Hashable
+
+
+def strongly_connected_components(
+    graph: Mapping[Node, Sequence[Node]]
+) -> list[list[Node]]:
+    """Tarjan's algorithm, iteratively (no recursion-limit surprises).
+
+    ``graph`` maps each node to its successors; successors absent from the
+    mapping are treated as isolated nodes.  Returns the SCCs in reverse
+    topological order (callees before callers).
+    """
+    index_counter = 0
+    index: dict[Node, int] = {}
+    lowlink: dict[Node, int] = {}
+    on_stack: set[Node] = set()
+    stack: list[Node] = []
+    components: list[list[Node]] = []
+
+    nodes = list(graph)
+    for root in nodes:
+        if root in index:
+            continue
+        work: list[tuple[Node, int]] = [(root, 0)]
+        while work:
+            node, child_index = work[-1]
+            if child_index == 0:
+                index[node] = index_counter
+                lowlink[node] = index_counter
+                index_counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            successors = list(graph.get(node, ()))
+            for i in range(child_index, len(successors)):
+                succ = successors[i]
+                if succ not in index:
+                    work[-1] = (node, i + 1)
+                    work.append((succ, 0))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: list[Node] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def cyclic_nodes(graph: Mapping[Node, Sequence[Node]]) -> set[Node]:
+    """Nodes on at least one directed cycle (incl. self-loops)."""
+    result: set[Node] = set()
+    for component in strongly_connected_components(graph):
+        if len(component) > 1:
+            result.update(component)
+        else:
+            node = component[0]
+            if node in graph.get(node, ()):
+                result.add(node)
+    return result

@@ -1,0 +1,94 @@
+"""Shared test utilities: differential execution of IR before/after passes."""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import pytest
+
+from repro.interp import Interpreter, Memory
+from repro.ir import Function, Module, parse_function, validate_function
+
+
+@dataclass
+class Observation:
+    """Everything observable about one routine execution."""
+
+    value: object
+    arrays: list[list]
+    dynamic_count: int
+    result: object = None  # the full ExecutionResult (per-opcode counts)
+
+
+def observe(
+    module_or_func,
+    name: Optional[str] = None,
+    args: Sequence = (),
+    arrays: Sequence[tuple[Sequence, int]] = (),
+) -> Observation:
+    """Run a routine and capture its observable behaviour.
+
+    ``arrays`` is a sequence of ``(initial_values, elemsize)`` pairs; each
+    array is allocated, its base address appended to ``args``, and its
+    final contents captured.
+    """
+    if isinstance(module_or_func, Function):
+        module = Module([module_or_func])
+        name = module_or_func.name
+    else:
+        module = module_or_func
+    assert name is not None
+    memory = Memory()
+    bases = []
+    full_args = list(args)
+    for values, elemsize in arrays:
+        base = memory.allocate_array(list(values), elemsize)
+        bases.append((base, len(list(values)), elemsize))
+        full_args.append(base)
+    result = Interpreter(module).run(name, full_args, memory)
+    final_arrays = [
+        memory.read_array(base, count, elemsize) for base, count, elemsize in bases
+    ]
+    return Observation(
+        value=result.value,
+        arrays=final_arrays,
+        dynamic_count=result.dynamic_count,
+        result=result,
+    )
+
+
+def deep_copy_function(func: Function) -> Function:
+    """A structurally independent copy of a function."""
+    from repro.ir import parse_function, print_function
+
+    return parse_function(print_function(func))
+
+
+def assert_pass_preserves_behavior(
+    func: Function,
+    pass_fn: Callable[[Function], Function],
+    cases: Sequence[dict],
+) -> Function:
+    """Run ``pass_fn`` and check observable behaviour on every case.
+
+    Each case is a dict with optional ``args`` and ``arrays`` keys as for
+    :func:`observe`.  Returns the transformed function.  The transformed
+    function is also validated structurally.
+    """
+    before = [
+        observe(func, args=c.get("args", ()), arrays=c.get("arrays", ()))
+        for c in cases
+    ]
+    transformed = pass_fn(deep_copy_function(func))
+    validate_function(transformed)
+    for case, expected in zip(cases, before):
+        actual = observe(
+            transformed, args=case.get("args", ()), arrays=case.get("arrays", ())
+        )
+        assert actual.value == expected.value, (
+            f"return value changed for {case}: {expected.value} -> {actual.value}"
+        )
+        assert actual.arrays == expected.arrays, f"memory effects changed for {case}"
+    return transformed

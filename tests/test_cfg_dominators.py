@@ -1,0 +1,167 @@
+"""Dominator tests, including a cross-check against networkx on random CFGs."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg import ControlFlowGraph, DominatorTree
+from repro.ir import parse_function
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode
+
+
+def build_cfg_from_edges(n_blocks: int, edge_choices: list[int]) -> Function:
+    """Build a function whose CFG is derived from hypothesis-chosen edges.
+
+    Block i gets 0, 1 or 2 successors chosen among the other blocks;
+    blocks with no successor get a RET.  The entry block n0 is never a
+    branch target (the IR invariant: entry has no predecessors).
+    """
+    func = Function("g")
+    labels = [f"n{i}" for i in range(n_blocks)]
+    choice_iter = iter(edge_choices)
+
+    def pick() -> str:
+        if n_blocks == 1:
+            return labels[0]
+        return labels[1 + next(choice_iter) % (n_blocks - 1)]
+
+    for i, label in enumerate(labels):
+        blk = BasicBlock(label)
+        kind = next(choice_iter) % 3
+        if kind == 0 or n_blocks == 1:
+            blk.instructions.append(Instruction(Opcode.RET))
+        elif kind == 1:
+            blk.instructions.append(Instruction(Opcode.JMP, labels=[pick()]))
+        else:
+            a, b = pick(), pick()
+            if a == b:
+                blk.instructions.append(Instruction(Opcode.JMP, labels=[a]))
+            else:
+                blk.instructions.append(
+                    Instruction(Opcode.CBR, srcs=["r0"], labels=[a, b])
+                )
+        func.blocks.append(blk)
+    func.params = ["r0"]
+    func.sync_counters()
+    return func
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    n_blocks=st.integers(min_value=1, max_value=8),
+    edge_choices=st.lists(st.integers(min_value=0, max_value=63), min_size=40, max_size=40),
+)
+def test_idom_matches_networkx(n_blocks, edge_choices):
+    func = build_cfg_from_edges(n_blocks, edge_choices)
+    cfg = ControlFlowGraph(func)
+    dom = DominatorTree(cfg)
+
+    graph = nx.DiGraph()
+    graph.add_node(cfg.entry)
+    for src, dst in cfg.edges():
+        graph.add_edge(src, dst)
+    expected = nx.immediate_dominators(graph, cfg.entry)
+
+    for label in cfg.reachable():
+        if label == cfg.entry:
+            assert dom.idom[label] is None
+        else:
+            assert dom.idom[label] == expected[label]
+
+
+@settings(max_examples=75, deadline=None)
+@given(
+    n_blocks=st.integers(min_value=2, max_value=8),
+    edge_choices=st.lists(st.integers(min_value=0, max_value=63), min_size=40, max_size=40),
+)
+def test_frontier_matches_definition(n_blocks, edge_choices):
+    """DF(x) = { y : x dominates a pred of y, x does not strictly dominate y }."""
+    func = build_cfg_from_edges(n_blocks, edge_choices)
+    cfg = ControlFlowGraph(func)
+    dom = DominatorTree(cfg)
+    reachable = cfg.reachable()
+    for x in reachable:
+        expected = set()
+        for y in reachable:
+            if any(
+                p in reachable and dom.dominates(x, p) for p in cfg.preds[y]
+            ) and not dom.strictly_dominates(x, y):
+                expected.add(y)
+        assert dom.frontier[x] == expected
+
+
+IRREDUCIBLE_STYLE = """
+function f(r0) {
+entry:
+    cbr r0 -> a, b
+a:
+    jmp -> b
+b:
+    cbr r0 -> a, exit
+exit:
+    ret
+}
+"""
+
+
+def test_irreducible_like_graph():
+    func = parse_function(IRREDUCIBLE_STYLE)
+    dom = DominatorTree(ControlFlowGraph(func))
+    assert dom.idom["a"] == "entry"
+    assert dom.idom["b"] == "entry"
+    assert dom.idom["exit"] == "b"
+
+
+def test_dominates_reflexive_and_entry():
+    func = parse_function(IRREDUCIBLE_STYLE)
+    dom = DominatorTree(ControlFlowGraph(func))
+    for label in ("entry", "a", "b", "exit"):
+        assert dom.dominates(label, label)
+        assert dom.dominates("entry", label)
+    assert not dom.strictly_dominates("a", "a")
+
+
+def test_preorder_starts_at_entry_and_covers_tree():
+    func = parse_function(IRREDUCIBLE_STYLE)
+    dom = DominatorTree(ControlFlowGraph(func))
+    order = dom.preorder()
+    assert order[0] == "entry"
+    assert set(order) == {"entry", "a", "b", "exit"}
+    # parents precede children
+    position = {label: i for i, label in enumerate(order)}
+    for label, parent in dom.idom.items():
+        if parent is not None:
+            assert position[parent] < position[label]
+
+
+def test_iterated_frontier_simple_loop():
+    func = parse_function(
+        """
+        function f(r0) {
+        entry:
+            jmp -> header
+        header:
+            cbr r0 -> body, exit
+        body:
+            jmp -> header
+        exit:
+            ret
+        }
+        """
+    )
+    dom = DominatorTree(ControlFlowGraph(func))
+    # a definition in body requires a phi at header
+    assert dom.iterated_frontier({"body"}) == {"header"}
+    assert dom.iterated_frontier({"entry"}) == set()
+
+
+def test_unreachable_block_query_raises():
+    func = parse_function(
+        "function f() {\nentry:\n    ret\ndead:\n    ret\n}"
+    )
+    dom = DominatorTree(ControlFlowGraph(func))
+    with pytest.raises(KeyError):
+        dom.dominates("entry", "dead")

@@ -1,0 +1,94 @@
+"""Tests for ControlFlowGraph traversal orders."""
+
+from repro.cfg import ControlFlowGraph
+from repro.ir import parse_function
+
+
+def loop_func():
+    return parse_function(
+        """
+        function f(r0) {
+        entry:
+            jmp -> header
+        header:
+            cbr r0 -> body, exit
+        body:
+            jmp -> header
+        exit:
+            ret
+        }
+        """
+    )
+
+
+def test_succs_and_preds():
+    cfg = ControlFlowGraph(loop_func())
+    assert cfg.succs["header"] == ["body", "exit"]
+    assert sorted(cfg.preds["header"]) == ["body", "entry"]
+    assert cfg.preds["entry"] == []
+
+
+def test_postorder_properties():
+    cfg = ControlFlowGraph(loop_func())
+    po = cfg.postorder
+    assert set(po) == {"entry", "header", "body", "exit"}
+    # entry is last in postorder, first in RPO
+    assert po[-1] == "entry"
+    assert cfg.reverse_postorder[0] == "entry"
+
+
+def test_rpo_visits_header_before_body():
+    cfg = ControlFlowGraph(loop_func())
+    numbers = cfg.rpo_number()
+    assert numbers["entry"] == 1
+    assert numbers["header"] < numbers["body"]
+    # rank intuition: the loop body ranks above the header, the exit after
+    assert numbers["entry"] < numbers["header"]
+
+
+def test_rpo_respects_forward_edges_in_diamond():
+    cfg = ControlFlowGraph(
+        parse_function(
+            """
+            function d(r0) {
+            entry:
+                cbr r0 -> left, right
+            left:
+                jmp -> join
+            right:
+                jmp -> join
+            join:
+                ret
+            }
+            """
+        )
+    )
+    numbers = cfg.rpo_number()
+    assert numbers["entry"] < numbers["left"] < numbers["join"]
+    assert numbers["entry"] < numbers["right"] < numbers["join"]
+
+
+def test_unreachable_blocks_excluded_from_orders():
+    from repro.ir import parse_function as pf
+
+    func = pf(
+        """
+        function f() {
+        entry:
+            ret
+        dead:
+            jmp -> entry
+        }
+        """
+    )
+    cfg = ControlFlowGraph(func)
+    assert "dead" not in cfg.reachable()
+    assert "dead" not in cfg.postorder
+    assert "dead" in cfg.succs  # still present structurally
+
+
+def test_edges_and_exits():
+    cfg = ControlFlowGraph(loop_func())
+    assert ("header", "body") in cfg.edges()
+    assert ("body", "header") in cfg.edges()
+    assert cfg.exit_labels() == ["exit"]

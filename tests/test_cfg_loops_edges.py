@@ -1,0 +1,150 @@
+"""Tests for natural loops and critical-edge splitting."""
+
+from repro.cfg import ControlFlowGraph, LoopInfo, split_critical_edges, split_edge
+from repro.ir import parse_function, validate_function
+
+NESTED = """
+function f(r0) {
+entry:
+    jmp -> outer
+outer:
+    cbr r0 -> inner, exit
+inner:
+    cbr r0 -> inner_body, outer_latch
+inner_body:
+    jmp -> inner
+outer_latch:
+    jmp -> outer
+exit:
+    ret
+}
+"""
+
+
+def test_nested_loops_found():
+    func = parse_function(NESTED)
+    info = LoopInfo(ControlFlowGraph(func))
+    assert info.headers() == {"outer", "inner"}
+    assert len(info.loops) == 2
+
+
+def test_nesting_depths():
+    func = parse_function(NESTED)
+    info = LoopInfo(ControlFlowGraph(func))
+    assert info.depth["entry"] == 0
+    assert info.depth["exit"] == 0
+    assert info.depth["outer"] == 1
+    assert info.depth["outer_latch"] == 1
+    assert info.depth["inner"] == 2
+    assert info.depth["inner_body"] == 2
+
+
+def test_loop_bodies():
+    func = parse_function(NESTED)
+    info = LoopInfo(ControlFlowGraph(func))
+    inner = next(l for l in info.loops if l.header == "inner")
+    outer = next(l for l in info.loops if l.header == "outer")
+    assert inner.body == {"inner", "inner_body"}
+    assert outer.body == {"outer", "inner", "inner_body", "outer_latch"}
+    assert inner.latches == {"inner_body"}
+
+
+def test_loop_of_returns_innermost():
+    func = parse_function(NESTED)
+    info = LoopInfo(ControlFlowGraph(func))
+    assert info.loop_of("inner_body").header == "inner"
+    assert info.loop_of("outer_latch").header == "outer"
+    assert info.loop_of("entry") is None
+
+
+def test_no_loops_in_dag():
+    func = parse_function(
+        """
+        function d(r0) {
+        entry:
+            cbr r0 -> a, b
+        a:
+            jmp -> c
+        b:
+            jmp -> c
+        c:
+            ret
+        }
+        """
+    )
+    info = LoopInfo(ControlFlowGraph(func))
+    assert info.loops == []
+    assert all(d == 0 for d in info.depth.values())
+
+
+def test_split_edge_rewrites_branch_and_phi():
+    func = parse_function(
+        """
+        function f(r0) {
+        entry:
+            cbr r0 -> left, join
+        left:
+            jmp -> join
+        join:
+            r1 <- phi [entry: r0, left: r0]
+            ret r1
+        }
+        """
+    )
+    new_label = split_edge(func, "entry", "join")
+    validate_function(func)
+    assert func.block("entry").terminator.labels[1] == new_label
+    phi = func.block("join").instructions[0]
+    assert set(phi.phi_labels) == {new_label, "left"}
+    assert func.block(new_label).terminator.labels == ["join"]
+
+
+def test_split_critical_edges_loop_exit():
+    # header->exit is critical: header has 2 succs, exit has 2 preds
+    func = parse_function(
+        """
+        function f(r0) {
+        entry:
+            cbr r0 -> header, exit
+        header:
+            cbr r0 -> header, exit
+        exit:
+            ret
+        }
+        """
+    )
+    split = split_critical_edges(func)
+    validate_function(func)
+    srcs_dsts = {(s, d) for s, d, _ in split}
+    # all four edges are critical here
+    assert ("entry", "header") in srcs_dsts
+    assert ("entry", "exit") in srcs_dsts
+    assert ("header", "exit") in srcs_dsts
+    assert ("header", "header") in srcs_dsts
+    cfg = ControlFlowGraph(func)
+    for src, dst in cfg.edges():
+        assert len(cfg.succs[src]) == 1 or len(cfg.preds[dst]) == 1
+
+
+def test_split_critical_edges_noop_on_clean_graph():
+    func = parse_function(
+        """
+        function f(r0) {
+        entry:
+            jmp -> next
+        next:
+            ret
+        }
+        """
+    )
+    assert split_critical_edges(func) == []
+
+
+def test_split_edge_missing_edge_raises():
+    import pytest
+
+    func = parse_function(
+        "function f() {\nentry:\n    jmp -> out\nout:\n    ret\n}"
+    )
+    with pytest.raises(ValueError):
+        split_edge(func, "out", "entry")

@@ -1,0 +1,92 @@
+"""CLI tests."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SOURCE = """
+routine triple(x: int) -> int
+  return 3 * x
+end
+
+routine scale(n: int, s: real, v: real[8])
+  integer i
+  do i = 1, n
+    v(i) = v(i) * s
+  end
+end
+"""
+
+
+@pytest.fixture()
+def source_file(tmp_path):
+    path = tmp_path / "prog.f"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+def test_compile_prints_iloc(source_file, capsys):
+    assert main(["compile", source_file, "--level", "distribution"]) == 0
+    out = capsys.readouterr().out
+    assert "function triple" in out
+    assert "function scale" in out
+
+
+def test_compile_level_none_is_raw_frontend(source_file, capsys):
+    main(["compile", source_file, "--level", "none"])
+    out = capsys.readouterr().out
+    assert "copy" in out  # variable-name copies survive unoptimized
+
+
+def test_run_scalar(source_file, capsys):
+    assert main(["run", source_file, "triple", "14"]) == 0
+    out = capsys.readouterr().out
+    assert "value: 42" in out
+    assert "dynamic operations:" in out
+
+
+def test_run_with_array(source_file, capsys):
+    main(
+        [
+            "run",
+            source_file,
+            "scale",
+            "3",
+            "2.0",
+            "--array",
+            "1.0,2.0,3.0,0,0,0,0,0:8",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert "array 0: [2.0, 4.0, 6.0" in out
+
+
+def test_run_counts(source_file, capsys):
+    main(["run", source_file, "triple", "2", "--counts"])
+    out = capsys.readouterr().out
+    assert "mul" in out
+
+
+def test_bad_array_spec_rejected(source_file):
+    with pytest.raises(SystemExit):
+        main(["run", source_file, "scale", "1", "1.0", "--array", "1,2,3"])
+
+
+def test_parser_has_all_commands():
+    parser = build_parser()
+    text = parser.format_help()
+    for command in ("compile", "run", "table1", "table2", "ablation"):
+        assert command in text
+
+
+def test_module_entry_point(source_file):
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "run", source_file, "triple", "5"],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0
+    assert "value: 15" in result.stdout

@@ -1,0 +1,231 @@
+"""Tests for the dataflow framework and the concrete problems."""
+
+from repro.cfg import ControlFlowGraph
+from repro.dataflow import (
+    ExpressionTable,
+    anticipable_expressions,
+    available_expressions,
+    live_variables,
+)
+from repro.ir import Opcode, parse_function
+
+STRAIGHT = """
+function f(r0, r1) {
+entry:
+    r2 <- add r0, r1
+    r3 <- mul r2, r2
+    ret r3
+}
+"""
+
+
+def test_liveness_straight_line():
+    func = parse_function(STRAIGHT)
+    result = live_variables(func)
+    assert result.at_entry("entry") == frozenset({"r0", "r1"})
+    assert result.at_exit("entry") == frozenset()
+
+
+DIAMOND = """
+function f(r0, r1, r2) {
+entry:
+    cbr r0 -> left, right
+left:
+    r3 <- add r1, r2
+    jmp -> join
+right:
+    r4 <- add r1, r2
+    jmp -> join
+join:
+    r5 <- add r1, r2
+    ret r5
+}
+"""
+
+
+def test_available_expressions_full_redundancy():
+    func = parse_function(DIAMOND)
+    table = ExpressionTable.build(func)
+    avail = available_expressions(func, table)
+    key = (Opcode.ADD, "r1", "r2")
+    # add r1,r2 is computed on both branch arms -> available at join
+    assert key in avail.at_entry("join")
+    assert key not in avail.at_entry("left")
+
+
+def test_anticipable_expressions():
+    func = parse_function(DIAMOND)
+    table = ExpressionTable.build(func)
+    ant = anticipable_expressions(func, table)
+    key = (Opcode.ADD, "r1", "r2")
+    # both continuations from entry evaluate the expression
+    assert key in ant.at_exit("entry")
+    assert key in ant.at_entry("left")
+
+
+PARTIAL = """
+function f(r0, r1, r2) {
+entry:
+    cbr r0 -> left, right
+left:
+    r3 <- add r1, r2
+    jmp -> join
+right:
+    jmp -> join
+join:
+    r5 <- add r1, r2
+    ret r5
+}
+"""
+
+
+def test_partial_redundancy_not_available():
+    func = parse_function(PARTIAL)
+    avail = available_expressions(func)
+    key = (Opcode.ADD, "r1", "r2")
+    # available on only one path -> not available at join
+    assert key not in avail.at_entry("join")
+
+
+def test_redefinition_kills_availability():
+    func = parse_function(
+        """
+        function f(r0, r1) {
+        entry:
+            r2 <- add r0, r1
+            r1 <- loadi 5
+            jmp -> next
+        next:
+            r3 <- add r0, r1
+            ret r3
+        }
+        """
+    )
+    table = ExpressionTable.build(func)
+    key = (Opcode.ADD, "r0", "r1")
+    assert key not in table.comp["entry"]  # killed by r1 redefinition
+    assert key in table.antloc["entry"]  # upward exposed before the kill
+    assert key not in table.transp["entry"]
+    avail = available_expressions(func, table)
+    assert key not in avail.at_entry("next")
+
+
+def test_self_redefinition_not_downward_exposed():
+    func = parse_function(
+        """
+        function f(r1, r2) {
+        entry:
+            r1 <- add r1, r2
+            jmp -> next
+        next:
+            r3 <- add r1, r2
+            ret r3
+        }
+        """
+    )
+    table = ExpressionTable.build(func)
+    key = (Opcode.ADD, "r1", "r2")
+    assert key in table.antloc["entry"]
+    assert key not in table.comp["entry"]
+
+
+def test_store_kills_load_transparency():
+    func = parse_function(
+        """
+        function f(r0, r1) {
+        entry:
+            r2 <- load r0
+            store r1, r0
+            jmp -> next
+        next:
+            r3 <- load r0
+            ret r3
+        }
+        """
+    )
+    table = ExpressionTable.build(func)
+    key = (Opcode.LOAD, "r0")
+    assert key in table.antloc["entry"]
+    assert key not in table.comp["entry"]
+    assert key not in table.transp["entry"]
+    avail = available_expressions(func, table)
+    assert key not in avail.at_entry("next")
+
+
+def test_call_kills_load_but_not_arith():
+    func = parse_function(
+        """
+        function f(r0, r1) {
+        entry:
+            r2 <- load r0
+            r3 <- add r0, r1
+            call g(r0)
+            jmp -> next
+        next:
+            ret r3
+        }
+        """
+    )
+    table = ExpressionTable.build(func)
+    assert (Opcode.LOAD, "r0") not in table.comp["entry"]
+    assert (Opcode.ADD, "r0", "r1") in table.comp["entry"]
+
+
+def test_liveness_in_loop():
+    func = parse_function(
+        """
+        function f(r0, r1) {
+        entry:
+            r2 <- loadi 0
+            jmp -> header
+        header:
+            r3 <- add r2, r1
+            r4 <- cmplt r3, r0
+            cbr r4 -> header2, exit
+        header2:
+            r2 <- copy r3
+            jmp -> header
+        exit:
+            ret r3
+        }
+        """
+    )
+    result = live_variables(func)
+    # r1 and r0 live around the loop
+    assert "r1" in result.at_entry("header")
+    assert "r0" in result.at_entry("header")
+    assert "r2" in result.at_entry("header")
+    assert "r2" not in result.at_entry("entry")
+
+
+def test_liveness_phi_uses_on_edges():
+    func = parse_function(
+        """
+        function f(r0) {
+        entry:
+            cbr r0 -> a, b
+        a:
+            r1 <- loadi 1
+            jmp -> join
+        b:
+            r2 <- loadi 2
+            jmp -> join
+        join:
+            r3 <- phi [a: r1, b: r2]
+            ret r3
+        }
+        """
+    )
+    result = live_variables(func)
+    # r1 live out of a, not live into join (phi input used on the edge)
+    assert "r1" in result.at_exit("a")
+    assert "r1" not in result.at_entry("join")
+    assert "r2" not in result.at_exit("a")
+    # φ target is not live into join
+    assert "r3" not in result.at_entry("join")
+
+
+def test_solver_reports_iterations():
+    func = parse_function(STRAIGHT)
+    result = live_variables(func)
+    assert result.iterations >= 1

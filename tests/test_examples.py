@@ -1,0 +1,77 @@
+"""Every example script must run cleanly and show the expected story."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_examples_directory_contents():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "running_example.py",
+        "array_addressing.py",
+        "code_shape.py",
+        "degradation.py",
+    } <= names
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "baseline" in out and "distribution" in out
+    assert "function dot3" in out
+    # all four levels agree on the value
+    assert out.count("1125") == 4
+
+
+def test_running_example():
+    out = run_example("running_example.py")
+    for figure in ("Figure 2", "Figure 4", "Figure 8", "Figure 10"):
+        assert figure in out
+    assert "foo(1, 2) = 392" in out
+    assert "ranks:" in out
+
+
+def test_array_addressing():
+    out = run_example("array_addressing.py")
+    def count_of(line):
+        parts = line.split()
+        if len(parts) < 2:
+            return None
+        if parts[0] not in ("baseline", "partial", "reassociation", "distribution"):
+            return None
+        try:
+            return int(parts[1].replace(",", ""))
+        except ValueError:
+            return None
+
+    counts = [c for c in map(count_of, out.splitlines()) if c is not None]
+    assert len(counts) == 4
+    # strictly improving through the levels on this kernel
+    assert counts[0] > counts[1] > counts[2] > counts[3]
+
+
+def test_code_shape():
+    out = run_example("code_shape.py")
+    assert "adds remaining after reassociation + folding: 1" in out
+
+
+def test_degradation():
+    out = run_example("degradation.py")
+    assert "case 2" in out and "case 3" in out
+    assert "vs baseline" in out

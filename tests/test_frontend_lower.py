@@ -1,0 +1,361 @@
+"""Lowering tests: naming discipline, code shape, and end-to-end execution."""
+
+import pytest
+
+from repro.frontend import LowerError, compile_program
+from repro.interp import Interpreter, Memory
+from repro.ir import Opcode, validate_function
+
+
+def compile_and_run(source, routine, args=(), memory=None):
+    module = compile_program(source)
+    for func in module:
+        validate_function(func)
+    return Interpreter(module).run(routine, args, memory)
+
+
+def test_simple_arith():
+    result = compile_and_run(
+        "routine f(a: int, b: int) -> int\n  return a + b * 2\nend", "f", [3, 4]
+    )
+    assert result.value == 11
+
+
+def test_scalar_assignment_is_copy():
+    module = compile_program(
+        "routine f(a: int) -> int\n  integer x\n  x = a + 1\n  return x\nend"
+    )
+    func = module["f"]
+    copies = [i for i in func.instructions() if i.opcode is Opcode.COPY]
+    assert any(c.target == "v_x" for c in copies)
+
+
+def test_naming_discipline_lexically_identical_same_name():
+    """Section 2.2: lexically identical expressions get the same name."""
+    module = compile_program(
+        """
+        routine f(a: int, b: int) -> int
+          integer x, y
+          x = a + b
+          y = a + b
+          return x + y
+        end
+        """
+    )
+    adds = [
+        i
+        for i in module["f"].instructions()
+        if i.opcode is Opcode.ADD and i.srcs == ["v_a", "v_b"]
+    ]
+    assert len(adds) == 2
+    assert adds[0].target == adds[1].target  # same expression name
+
+
+def test_different_expressions_different_names():
+    module = compile_program(
+        """
+        routine f(a: int, b: int) -> int
+          integer x, y
+          x = a + b
+          y = a - b
+          return x + y
+        end
+        """
+    )
+    func = module["f"]
+    add = next(i for i in func.instructions() if i.opcode is Opcode.ADD and i.srcs == ["v_a", "v_b"])
+    sub = next(i for i in func.instructions() if i.opcode is Opcode.SUB)
+    assert add.target != sub.target
+
+
+def test_left_to_right_association_shape():
+    """Figure 1: x + y + z lowers as (x + y) + z."""
+    module = compile_program(
+        "routine f(x: int, y: int, z: int) -> int\n  return x + y + z\nend"
+    )
+    adds = [i for i in module["f"].instructions() if i.opcode is Opcode.ADD]
+    assert len(adds) == 2
+    assert adds[0].srcs == ["v_x", "v_y"]
+    assert adds[1].srcs == [adds[0].target, "v_z"]
+
+
+def test_integer_division_truncates():
+    result = compile_and_run(
+        "routine f(a: int, b: int) -> int\n  return a / b\nend", "f", [-7, 2]
+    )
+    assert result.value == -3
+
+
+def test_real_division():
+    result = compile_and_run(
+        "routine f(a: real, b: real) -> real\n  return a / b\nend", "f", [1.0, 4.0]
+    )
+    assert result.value == 0.25
+
+
+def test_mixed_arithmetic_promotes():
+    result = compile_and_run(
+        "routine f(a: int, b: real) -> real\n  return a + b\nend", "f", [1, 0.5]
+    )
+    assert result.value == 1.5
+
+
+def test_int_conversion_required_for_narrowing():
+    with pytest.raises(LowerError, match="int\\(\\)"):
+        compile_program("routine f(a: real) -> int\n  return a\nend")
+
+
+def test_int_conversion():
+    result = compile_and_run(
+        "routine f(a: real) -> int\n  return int(a)\nend", "f", [3.9]
+    )
+    assert result.value == 3
+
+
+def test_do_loop_sum():
+    source = """
+    routine f(n: int) -> int
+      integer i, s
+      s = 0
+      do i = 1, n
+        s = s + i
+      end
+      return s
+    end
+    """
+    assert compile_and_run(source, "f", [10]).value == 55
+    assert compile_and_run(source, "f", [0]).value == 0  # zero-trip guard
+
+
+def test_do_loop_bounds_fixed_at_entry():
+    # FORTRAN: modifying n inside the loop must not change the trip count
+    source = """
+    routine f(n: int) -> int
+      integer i, s
+      s = 0
+      do i = 1, n
+        s = s + 1
+        n = n - 1
+      end
+      return s
+    end
+    """
+    assert compile_and_run(source, "f", [5]).value == 5
+
+
+def test_do_loop_with_step():
+    source = """
+    routine f(n: int) -> int
+      integer i, s
+      s = 0
+      do i = 1, n, 3
+        s = s + i
+      end
+      return s
+    end
+    """
+    assert compile_and_run(source, "f", [10]).value == 1 + 4 + 7 + 10
+
+
+def test_do_loop_is_rotated():
+    """The guard tests once at entry; the latch test is at the bottom."""
+    module = compile_program(
+        """
+        routine f(n: int) -> int
+          integer i, s
+          s = 0
+          do i = 1, n
+            s = s + i
+          end
+          return s
+        end
+        """
+    )
+    func = module["f"]
+    entry_term = func.entry.terminator
+    assert entry_term.opcode is Opcode.CBR  # rotated: guard at entry
+    body = func.block(entry_term.labels[1])
+    assert body.terminator.opcode is Opcode.CBR  # latch test at bottom
+    assert body.terminator.labels[0] == body.label  # back edge to itself
+
+
+def test_while_loop():
+    source = """
+    routine f(n: int) -> int
+      integer i
+      i = 0
+      while i < n
+        i = i + 2
+      end
+      return i
+    end
+    """
+    assert compile_and_run(source, "f", [7]).value == 8
+    assert compile_and_run(source, "f", [0]).value == 0
+
+
+def test_if_else():
+    source = """
+    routine f(a: int) -> int
+      if a > 0 then
+        return 1
+      elseif a == 0 then
+        return 0
+      else
+        return -1
+      end
+    end
+    """
+    assert compile_and_run(source, "f", [5]).value == 1
+    assert compile_and_run(source, "f", [0]).value == 0
+    assert compile_and_run(source, "f", [-5]).value == -1
+
+
+def test_array_1d_roundtrip():
+    source = """
+    routine fill(a: real[10], n: int)
+      integer i
+      do i = 1, n
+        a(i) = real(i) * 2.0
+      end
+    end
+    """
+    module = compile_program(source)
+    mem = Memory()
+    base = mem.allocate_array([0.0] * 10, elemsize=8)
+    Interpreter(module).run("fill", [base, 10], mem)
+    assert mem.read_array(base, 10, 8) == [2.0 * i for i in range(1, 11)]
+
+
+def test_array_2d_column_major():
+    source = """
+    routine put(a: real[3, 4], i: int, j: int, v: real)
+      a(i, j) = v
+    end
+    """
+    module = compile_program(source)
+    mem = Memory()
+    base = mem.allocate_array([0.0] * 12, elemsize=8)
+    Interpreter(module).run("put", [base, 2, 3, 9.5], mem)
+    # column-major: element (2,3) is at (2-1) + (3-1)*3 = 7
+    assert mem.read_array(base, 12, 8)[7] == 9.5
+
+
+def test_array_address_recomputed_naively():
+    """Every access emits the full address computation (the paper's premise)."""
+    module = compile_program(
+        """
+        routine f(a: real[10], i: int) -> real
+          return a(i) + a(i)
+        end
+        """
+    )
+    func = module["f"]
+    loads = [i for i in func.instructions() if i.opcode is Opcode.LOAD]
+    assert len(loads) == 2
+    # and thanks to the naming discipline both loads share names
+    assert loads[0].target == loads[1].target
+    assert loads[0].srcs == loads[1].srcs
+
+
+def test_integer_array_elemsize_4():
+    source = """
+    routine put(a: int[5], i: int, v: int)
+      a(i) = v
+    end
+    """
+    module = compile_program(source)
+    mem = Memory()
+    base = mem.allocate_array([0] * 5, elemsize=4)
+    Interpreter(module).run("put", [base, 3, 77], mem)
+    assert mem.read(base + 2 * 4) == 77
+
+
+def test_user_call_and_recursion():
+    source = """
+    routine fact(n: int) -> int
+      if n <= 1 then
+        return 1
+      end
+      return n * fact(n - 1)
+    end
+    """
+    assert compile_and_run(source, "fact", [6]).value == 720
+
+
+def test_call_passes_arrays_by_reference():
+    source = """
+    routine inner(a: real[4])
+      a(1) = 5.0
+    end
+
+    routine outer(a: real[4])
+      call inner(a)
+    end
+    """
+    module = compile_program(source)
+    mem = Memory()
+    base = mem.allocate_array([0.0] * 4, elemsize=8)
+    Interpreter(module).run("outer", [base], mem)
+    assert mem.read(base) == 5.0
+
+
+def test_intrinsics():
+    source = "routine f(x: real) -> real\n  return sqrt(x) + abs(-x)\nend"
+    assert compile_and_run(source, "f", [4.0]).value == 2.0 + 4.0
+
+
+def test_min_max_nary():
+    source = "routine f(a: int, b: int, c: int) -> int\n  return max(a, b, c) - min(a, b)\nend"
+    assert compile_and_run(source, "f", [3, 9, 5]).value == 9 - 3
+
+
+def test_mod_builtin():
+    source = "routine f(a: int, b: int) -> int\n  return mod(a, b)\nend"
+    assert compile_and_run(source, "f", [-7, 3]).value == -1  # FORTRAN MOD
+
+
+def test_logicals_and_not():
+    source = """
+    routine f(a: int, b: int) -> int
+      if a > 0 and not (b > 0) then
+        return 1
+      end
+      return 0
+    end
+    """
+    assert compile_and_run(source, "f", [1, -1]).value == 1
+    assert compile_and_run(source, "f", [1, 1]).value == 0
+
+
+def test_lower_errors():
+    with pytest.raises(LowerError, match="undeclared"):
+        compile_program("routine f() -> int\n  return q\nend")
+    with pytest.raises(LowerError, match="unknown routine"):
+        compile_program("routine f() -> int\n  return g()\nend")
+    with pytest.raises(LowerError, match="subscripts must be integers"):
+        compile_program("routine f(a: real[5]) -> real\n  return a(1.5)\nend")
+    with pytest.raises(LowerError, match="must return"):
+        compile_program("routine f() -> int\n  integer i\n  i = 0\nend")
+    with pytest.raises(LowerError, match="unreachable"):
+        compile_program("routine f() -> int\n  return 1\n  return 2\nend")
+    with pytest.raises(LowerError, match="do-variable"):
+        compile_program("routine f(x: real)\n  do x = 1, 3\n  end\nend")
+    with pytest.raises(LowerError, match="array"):
+        compile_program("routine f(a: real[5]) -> real\n  return a\nend")
+
+
+def test_gcd_euclid():
+    source = """
+    routine gcd(a: int, b: int) -> int
+      integer t
+      while b != 0
+        t = mod(a, b)
+        a = b
+        b = t
+      end
+      return a
+    end
+    """
+    assert compile_and_run(source, "gcd", [48, 18]).value == 6
+    assert compile_and_run(source, "gcd", [17, 5]).value == 1

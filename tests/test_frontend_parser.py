@@ -1,0 +1,223 @@
+"""Lexer and parser tests for the mini-FORTRAN front end."""
+
+import pytest
+
+from repro.frontend import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Do,
+    If,
+    LexError,
+    Num,
+    ParseError,
+    Return,
+    UnOp,
+    Var,
+    While,
+    parse_program,
+    tokenize,
+)
+from repro.frontend.types import INT, REAL, ArrayType
+
+
+def test_tokenize_numbers():
+    tokens = tokenize("1 2.5 .5 1e3 2.5e-2")
+    values = [t.value for t in tokens if t.kind == "NUMBER"]
+    assert values == [1, 2.5, 0.5, 1000.0, 0.025]
+    assert isinstance(values[0], int)
+    assert isinstance(values[3], float)
+
+
+def test_tokenize_operators():
+    tokens = tokenize("a <= b != c -> d")
+    kinds = [t.kind for t in tokens[:-2]]  # drop NEWLINE, EOF
+    assert kinds == ["ID", "<=", "ID", "!=", "ID", "->", "ID"]
+
+
+def test_tokenize_comments():
+    tokens = tokenize("a = 1  # comment\nb = 2 # another")
+    ids = [t.value for t in tokens if t.kind == "ID"]
+    assert ids == ["a", "b"]
+
+
+def test_tokenize_bad_character():
+    with pytest.raises(LexError):
+        tokenize("a = @")
+
+
+SAXPY = """
+routine saxpy(n: int, da: real, dx: real[200], dy: real[200])
+  integer i
+  do i = 1, n
+    dy(i) = dy(i) + da * dx(i)
+  end
+end
+"""
+
+
+def test_parse_routine_header():
+    program = parse_program(SAXPY)
+    routine = program.routine("saxpy")
+    assert [p.name for p in routine.params] == ["n", "da", "dx", "dy"]
+    assert routine.params[0].type == INT
+    assert routine.params[1].type == REAL
+    assert routine.params[2].type == ArrayType(REAL, (200,))
+    assert routine.return_type is None
+    assert routine.locals == {"i": INT}
+
+
+def test_parse_do_loop_body():
+    routine = parse_program(SAXPY).routine("saxpy")
+    do = routine.body[0]
+    assert isinstance(do, Do)
+    assert do.var == "i"
+    assert isinstance(do.lo, Num) and do.lo.value == 1
+    assert isinstance(do.hi, Var) and do.hi.name == "n"
+    assert do.step is None
+    assign = do.body[0]
+    assert isinstance(assign, Assign)
+    assert isinstance(assign.target, ArrayRef)
+
+
+def test_parse_precedence():
+    program = parse_program(
+        "routine f(a: real, b: real, c: real) -> real\n  return a + b * c\nend"
+    )
+    ret = program.routine("f").body[0]
+    assert isinstance(ret, Return)
+    add = ret.expr
+    assert isinstance(add, BinOp) and add.op == "+"
+    assert isinstance(add.right, BinOp) and add.right.op == "*"
+
+
+def test_parse_left_associativity():
+    program = parse_program(
+        "routine f(a: real, b: real, c: real) -> real\n  return a + b + c\nend"
+    )
+    expr = program.routine("f").body[0].expr
+    # (a + b) + c — the front-end shape the paper calls out in Figure 1
+    assert isinstance(expr.left, BinOp)
+    assert isinstance(expr.right, Var) and expr.right.name == "c"
+
+
+def test_parse_parenthesized_grouping():
+    program = parse_program(
+        "routine f(a: real, b: real, c: real) -> real\n  return a + (b + c)\nend"
+    )
+    expr = program.routine("f").body[0].expr
+    assert isinstance(expr.right, BinOp)
+
+
+def test_parse_comparison_and_logicals():
+    program = parse_program(
+        "routine f(a: int, b: int) -> int\n  return a < b and not (a == 0) or b > 1\nend"
+    )
+    expr = program.routine("f").body[0].expr
+    assert isinstance(expr, BinOp) and expr.op == "or"
+    assert expr.left.op == "and"
+    assert isinstance(expr.left.right, UnOp) and expr.left.right.op == "not"
+
+
+def test_parse_unary_minus():
+    program = parse_program("routine f(a: real) -> real\n  return -a * 2.0\nend")
+    expr = program.routine("f").body[0].expr
+    # unary minus binds tighter than *
+    assert isinstance(expr, BinOp) and expr.op == "*"
+    assert isinstance(expr.left, UnOp)
+
+
+def test_parse_if_else_chain():
+    program = parse_program(
+        """
+        routine f(a: int) -> int
+          if a > 0 then
+            return 1
+          elseif a == 0 then
+            return 0
+          else
+            return -1
+          end
+        end
+        """
+    )
+    top = program.routine("f").body[0]
+    assert isinstance(top, If)
+    assert len(top.else_body) == 1
+    inner = top.else_body[0]
+    assert isinstance(inner, If)
+    assert inner.else_body  # the final else
+
+
+def test_parse_while():
+    program = parse_program(
+        """
+        routine f(a: int) -> int
+          integer i
+          i = 0
+          while i < a
+            i = i + 1
+          end
+          return i
+        end
+        """
+    )
+    stmt = program.routine("f").body[1]
+    assert isinstance(stmt, While)
+
+
+def test_parse_call_statement_and_expr():
+    program = parse_program(
+        """
+        routine helper(x: real) -> real
+          return x
+        end
+
+        routine f(a: real) -> real
+          call helper(a)
+          return helper(a) + 1.0
+        end
+        """
+    )
+    body = program.routine("f").body
+    assert body[0].name == "helper"
+    assert isinstance(body[1].expr.left, Call)
+
+
+def test_parse_do_with_step():
+    program = parse_program(
+        """
+        routine f(n: int) -> int
+          integer i, s
+          s = 0
+          do i = 1, n, 2
+            s = s + i
+          end
+          return s
+        end
+        """
+    )
+    do = program.routine("f").body[1]
+    assert isinstance(do.step, Num) and do.step.value == 2
+
+
+def test_parse_int_conversion_call():
+    program = parse_program("routine f(a: real) -> int\n  return int(a)\nend")
+    expr = program.routine("f").body[0].expr
+    assert isinstance(expr, Call) and expr.name == "int"
+
+
+def test_parse_errors():
+    with pytest.raises(ParseError, match="empty program"):
+        parse_program("")
+    with pytest.raises(ParseError, match="duplicate routine"):
+        parse_program("routine f()\nend\nroutine f()\nend")
+    with pytest.raises(ParseError, match="duplicate declaration"):
+        parse_program("routine f(a: int)\n  integer a\nend")
+    with pytest.raises(ParseError):
+        parse_program("routine f(\nend")
+    with pytest.raises(ParseError, match="at most 2"):
+        parse_program("routine f(a: real[2,2,2])\nend")
+    with pytest.raises(ParseError, match="positive"):
+        parse_program("routine f(a: real[0])\nend")

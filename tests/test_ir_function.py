@@ -1,0 +1,196 @@
+"""Unit tests for BasicBlock / Function / Module structure and validation."""
+
+import pytest
+
+from repro.ir import (
+    IRBuilder,
+    IRValidationError,
+    Instruction,
+    Module,
+    Opcode,
+    parse_function,
+    validate_function,
+)
+
+
+def diamond() -> "Function":
+    """entry -> (left|right) -> join; used by several tests."""
+    return parse_function(
+        """
+        function d(r0) {
+        entry:
+            cbr r0 -> left, right
+        left:
+            r1 <- loadi 1
+            jmp -> join
+        right:
+            r2 <- loadi 2
+            jmp -> join
+        join:
+            r3 <- phi [left: r1, right: r2]
+            ret r3
+        }
+        """
+    )
+
+
+def test_successors_and_predecessors():
+    func = diamond()
+    assert func.successors("entry") == ["left", "right"]
+    assert func.successors("join") == []
+    preds = func.predecessor_map()
+    assert preds["join"] == ["left", "right"]
+    assert preds["entry"] == []
+
+
+def test_phis_and_body_split():
+    func = diamond()
+    join = func.block("join")
+    assert [i.opcode for i in join.phis()] == [Opcode.PHI]
+    assert [i.opcode for i in join.body()] == [Opcode.RET]
+
+
+def test_insert_before_terminator():
+    func = diamond()
+    left = func.block("left")
+    left.insert_before_terminator(Instruction(Opcode.LOADI, target="r9", imm=9))
+    assert left.instructions[-2].target == "r9"
+    assert left.terminator.opcode is Opcode.JMP
+
+
+def test_static_count():
+    func = diamond()
+    assert func.static_count() == 7
+
+
+def test_all_registers():
+    func = diamond()
+    assert func.all_registers() == {"r0", "r1", "r2", "r3"}
+
+
+def test_remove_unreachable_blocks_drops_phi_inputs():
+    func = parse_function(
+        """
+        function f(r0) {
+        entry:
+            r1 <- loadi 1
+            jmp -> join
+        dead:
+            r2 <- loadi 2
+            jmp -> join
+        join:
+            r3 <- phi [entry: r1, dead: r2]
+            ret r3
+        }
+        """
+    )
+    removed = func.remove_unreachable_blocks()
+    assert removed == ["dead"]
+    phi = func.block("join").instructions[0]
+    assert phi.srcs == ["r1"]
+    assert phi.phi_labels == ["entry"]
+    validate_function(func)
+
+
+def test_remove_unreachable_noop_when_all_reachable():
+    func = diamond()
+    assert func.remove_unreachable_blocks() == []
+
+
+def test_block_lookup_keyerror():
+    with pytest.raises(KeyError):
+        diamond().block("nope")
+
+
+def test_module_duplicate_function_rejected():
+    module = Module()
+    module.add(diamond())
+    with pytest.raises(ValueError):
+        module.add(diamond())
+
+
+def test_validate_rejects_empty_block():
+    func = diamond()
+    func.add_block("empty")
+    with pytest.raises(IRValidationError, match="empty"):
+        validate_function(func)
+
+
+def test_validate_rejects_missing_terminator():
+    func = parse_function(
+        "function f() {\nentry:\n    ret\n}"
+    )
+    func.entry.instructions = [Instruction(Opcode.LOADI, target="r0", imm=1)]
+    with pytest.raises(IRValidationError, match="terminator"):
+        validate_function(func)
+
+
+def test_validate_rejects_midblock_terminator():
+    func = parse_function("function f() {\nentry:\n    ret\n}")
+    func.entry.instructions.insert(0, Instruction(Opcode.RET))
+    with pytest.raises(IRValidationError, match="mid-block"):
+        validate_function(func)
+
+
+def test_validate_rejects_unknown_branch_target():
+    func = parse_function("function f() {\nentry:\n    jmp -> entry\n}")
+    func.entry.instructions[-1].labels = ["nowhere"]
+    with pytest.raises(IRValidationError, match="unknown label"):
+        validate_function(func)
+
+
+def test_validate_rejects_phi_after_nonphi():
+    func = diamond()
+    join = func.block("join")
+    join.instructions.insert(
+        0, Instruction(Opcode.LOADI, target="r8", imm=0)
+    )
+    with pytest.raises(IRValidationError, match="after non-PHI"):
+        validate_function(func)
+
+
+def test_validate_rejects_phi_label_mismatch():
+    func = diamond()
+    phi = func.block("join").instructions[0]
+    phi.phi_labels = ["left", "entry"]
+    with pytest.raises(IRValidationError, match="predecessors"):
+        validate_function(func)
+
+
+def test_validate_rejects_cbr_same_targets():
+    func = parse_function(
+        "function f(r0) {\nentry:\n    cbr r0 -> out, out2\nout:\n    ret\nout2:\n    ret\n}"
+    )
+    func.entry.terminator.labels = ["out", "out"]
+    with pytest.raises(IRValidationError, match="identical targets"):
+        validate_function(func)
+
+
+def test_validate_ssa_double_definition():
+    func = parse_function(
+        "function f() {\nentry:\n    r0 <- loadi 1\n    r0 <- loadi 2\n    ret r0\n}"
+    )
+    validate_function(func)  # fine without ssa flag
+    with pytest.raises(IRValidationError, match="more than once"):
+        validate_function(func, ssa=True)
+
+
+def test_validate_ssa_undefined_use():
+    func = parse_function(
+        "function f() {\nentry:\n    r1 <- copy r0\n    ret r1\n}"
+    )
+    with pytest.raises(IRValidationError, match="undefined"):
+        validate_function(func, ssa=True)
+
+
+def test_validate_ssa_params_are_defined():
+    func = parse_function(
+        "function f(r0) {\nentry:\n    r1 <- copy r0\n    ret r1\n}"
+    )
+    validate_function(func, ssa=True)
+
+
+def test_builder_requires_block():
+    b = IRBuilder("f")
+    with pytest.raises(RuntimeError):
+        b.loadi(1)

@@ -1,0 +1,136 @@
+"""Unit tests for Instruction: classification, def/use, expression keys."""
+
+import pytest
+
+from repro.ir import Instruction, Opcode
+from repro.ir.opcodes import (
+    ASSOCIATIVE,
+    COMMUTATIVE,
+    NEGATED_COMPARISON,
+    SWAPPED_COMPARISON,
+    opcode_from_mnemonic,
+)
+
+
+def test_defs_and_uses_binary():
+    inst = Instruction(Opcode.ADD, target="r3", srcs=["r1", "r2"])
+    assert inst.defs() == ["r3"]
+    assert inst.uses() == ["r1", "r2"]
+
+
+def test_defs_and_uses_store():
+    inst = Instruction(Opcode.STORE, srcs=["r1", "r2"])
+    assert inst.defs() == []
+    assert inst.uses() == ["r1", "r2"]
+
+
+def test_terminator_classification():
+    assert Instruction(Opcode.JMP, labels=["b1"]).is_terminator
+    assert Instruction(Opcode.CBR, srcs=["r0"], labels=["a", "b"]).is_terminator
+    assert Instruction(Opcode.RET).is_terminator
+    assert not Instruction(Opcode.ADD, target="r0", srcs=["r1", "r2"]).is_terminator
+
+
+def test_copy_is_not_expression():
+    copy = Instruction(Opcode.COPY, target="r1", srcs=["r0"])
+    assert copy.is_copy
+    assert not copy.is_expression
+    assert copy.expr_key() is None
+
+
+def test_branch_is_not_expression():
+    br = Instruction(Opcode.CBR, srcs=["r0"], labels=["a", "b"])
+    assert not br.is_expression
+    assert br.expr_key() is None
+
+
+def test_add_is_expression():
+    add = Instruction(Opcode.ADD, target="r2", srcs=["r0", "r1"])
+    assert add.is_expression
+    assert add.expr_key() == (Opcode.ADD, "r0", "r1")
+
+
+def test_commutative_key_canonicalized():
+    a = Instruction(Opcode.ADD, target="r2", srcs=["r1", "r0"])
+    b = Instruction(Opcode.ADD, target="r9", srcs=["r0", "r1"])
+    assert a.expr_key() == b.expr_key()
+
+
+def test_noncommutative_key_preserves_order():
+    a = Instruction(Opcode.SUB, target="r2", srcs=["r1", "r0"])
+    b = Instruction(Opcode.SUB, target="r2", srcs=["r0", "r1"])
+    assert a.expr_key() != b.expr_key()
+
+
+def test_loadi_key_distinguishes_int_and_float():
+    one_i = Instruction(Opcode.LOADI, target="r0", imm=1)
+    one_f = Instruction(Opcode.LOADI, target="r1", imm=1.0)
+    assert one_i.expr_key() != one_f.expr_key()
+
+
+def test_loadi_key_same_value_matches():
+    a = Instruction(Opcode.LOADI, target="r0", imm=42)
+    b = Instruction(Opcode.LOADI, target="r5", imm=42)
+    assert a.expr_key() == b.expr_key()
+
+
+def test_intrin_key_includes_callee():
+    s = Instruction(Opcode.INTRIN, target="r1", srcs=["r0"], callee="sqrt")
+    c = Instruction(Opcode.INTRIN, target="r1", srcs=["r0"], callee="cos")
+    assert s.expr_key() != c.expr_key()
+    assert s.is_expression
+
+
+def test_call_is_not_expression():
+    call = Instruction(Opcode.CALL, target="r1", srcs=["r0"], callee="foo")
+    assert not call.is_expression
+    assert call.has_side_effect
+
+
+def test_load_is_expression_but_not_pure_listed():
+    load = Instruction(Opcode.LOAD, target="r1", srcs=["r0"])
+    assert load.is_expression
+    assert not load.has_side_effect
+
+
+def test_store_has_side_effect():
+    assert Instruction(Opcode.STORE, srcs=["r0", "r1"]).has_side_effect
+
+
+def test_replace_uses():
+    inst = Instruction(Opcode.ADD, target="r2", srcs=["r0", "r1"])
+    inst.replace_uses({"r0": "r9"})
+    assert inst.srcs == ["r9", "r1"]
+    assert inst.target == "r2"
+
+
+def test_copy_method_is_independent():
+    inst = Instruction(Opcode.PHI, target="r2", srcs=["r0", "r1"], phi_labels=["a", "b"])
+    dup = inst.copy()
+    dup.srcs[0] = "r9"
+    dup.phi_labels[0] = "z"
+    assert inst.srcs == ["r0", "r1"]
+    assert inst.phi_labels == ["a", "b"]
+
+
+def test_associative_subset_of_commutative():
+    # every associative op we flatten is also commutative, so sorting
+    # operands by rank is semantics-preserving
+    assert ASSOCIATIVE <= COMMUTATIVE
+
+
+def test_comparison_tables_are_involutions():
+    for op, swapped in SWAPPED_COMPARISON.items():
+        assert SWAPPED_COMPARISON[swapped] == op
+    for op, negated in NEGATED_COMPARISON.items():
+        assert NEGATED_COMPARISON[negated] == op
+
+
+def test_opcode_from_mnemonic_round_trip():
+    for op in Opcode:
+        assert opcode_from_mnemonic(op.value) is op
+
+
+def test_opcode_from_mnemonic_unknown():
+    with pytest.raises(KeyError):
+        opcode_from_mnemonic("frobnicate")

@@ -1,0 +1,170 @@
+"""Round-trip and error tests for the textual IR format."""
+
+import pytest
+
+from repro.ir import (
+    IRBuilder,
+    IRSyntaxError,
+    Opcode,
+    parse_function,
+    parse_module,
+    print_function,
+    print_module,
+    validate_function,
+)
+
+EXAMPLE = """
+function foo(r0, r1) {
+entry:
+    r2 <- loadi 0
+    r3 <- add r0, r1
+    r4 <- cmpgt r3, r2
+    cbr r4 -> body, exit
+body:
+    r5 <- intrin sqrt(r3)
+    store r5, r3
+    jmp -> exit
+exit:
+    r6 <- phi [entry: r2, body: r5]
+    ret r6
+}
+"""
+
+
+def test_parse_example_structure():
+    func = parse_function(EXAMPLE)
+    assert func.name == "foo"
+    assert func.params == ["r0", "r1"]
+    assert [blk.label for blk in func.blocks] == ["entry", "body", "exit"]
+    validate_function(func)
+
+
+def test_round_trip_is_fixpoint():
+    func = parse_function(EXAMPLE)
+    text1 = print_function(func)
+    func2 = parse_function(text1)
+    text2 = print_function(func2)
+    assert text1 == text2
+
+
+def test_parse_phi():
+    func = parse_function(EXAMPLE)
+    phi = func.block("exit").instructions[0]
+    assert phi.opcode is Opcode.PHI
+    assert phi.srcs == ["r2", "r5"]
+    assert phi.phi_labels == ["entry", "body"]
+
+
+def test_parse_intrin_and_store():
+    func = parse_function(EXAMPLE)
+    body = func.block("body")
+    intrin, store, jmp = body.instructions
+    assert intrin.opcode is Opcode.INTRIN and intrin.callee == "sqrt"
+    assert store.opcode is Opcode.STORE and store.srcs == ["r5", "r3"]
+    assert jmp.opcode is Opcode.JMP and jmp.labels == ["exit"]
+
+
+def test_parse_float_immediate():
+    func = parse_function(
+        "function f() {\nentry:\n    r0 <- loadi 2.5\n    ret r0\n}"
+    )
+    assert func.entry.instructions[0].imm == 2.5
+
+
+def test_parse_negative_immediate():
+    func = parse_function(
+        "function f() {\nentry:\n    r0 <- loadi -7\n    ret r0\n}"
+    )
+    assert func.entry.instructions[0].imm == -7
+
+
+def test_parse_call_without_target():
+    func = parse_function(
+        "function f(r0) {\nentry:\n    call bar(r0, r0)\n    ret\n}"
+    )
+    call = func.entry.instructions[0]
+    assert call.opcode is Opcode.CALL
+    assert call.target is None
+    assert call.srcs == ["r0", "r0"]
+
+
+def test_parse_call_with_no_args():
+    func = parse_function(
+        "function f() {\nentry:\n    r0 <- call bar()\n    ret r0\n}"
+    )
+    call = func.entry.instructions[0]
+    assert call.srcs == []
+    assert call.target == "r0"
+
+
+def test_comments_and_blank_lines_ignored():
+    text = """
+    # leading comment
+    function f() {
+    entry:  # block comment
+        r0 <- loadi 1   # trailing
+
+        ret r0
+    }
+    """
+    func = parse_function(text)
+    assert len(func.entry.instructions) == 2
+
+
+def test_module_with_two_functions():
+    text = (
+        "function a() {\nentry:\n    ret\n}\n\n"
+        "function b(r0) {\nentry:\n    ret r0\n}"
+    )
+    module = parse_module(text)
+    assert "a" in module and "b" in module
+    assert print_module(parse_module(print_module(module))) == print_module(module)
+
+
+def test_error_unknown_opcode():
+    with pytest.raises(IRSyntaxError, match="unknown opcode"):
+        parse_function("function f() {\nentry:\n    r0 <- bogus r1\n    ret\n}")
+
+
+def test_error_instruction_before_label():
+    with pytest.raises(IRSyntaxError, match="before first label"):
+        parse_function("function f() {\n    r0 <- loadi 1\n}")
+
+
+def test_error_unterminated_function():
+    with pytest.raises(IRSyntaxError, match="unterminated"):
+        parse_function("function f() {\nentry:\n    ret\n")
+
+
+def test_error_duplicate_function():
+    text = "function a() {\nentry:\n    ret\n}\nfunction a() {\nentry:\n    ret\n}"
+    with pytest.raises(ValueError, match="duplicate"):
+        parse_module(text)
+
+
+def test_error_bad_cbr():
+    with pytest.raises(IRSyntaxError, match="cbr"):
+        parse_function("function f() {\nentry:\n    cbr r0 -> only_one\n    ret\n}")
+
+
+def test_error_bad_immediate():
+    with pytest.raises(IRSyntaxError, match="immediate"):
+        parse_function("function f() {\nentry:\n    r0 <- loadi abc\n    ret\n}")
+
+
+def test_parsed_function_gets_fresh_names():
+    func = parse_function(EXAMPLE)
+    assert func.new_reg() == "r7"  # past r0..r6
+    fresh_label = func.new_label()
+    assert fresh_label not in {blk.label for blk in func.blocks}
+
+
+def test_builder_round_trip():
+    b = IRBuilder("double", params=["r0"])
+    b.label("entry")
+    two = b.loadi(2)
+    result = b.emit(Opcode.MUL, "r0", two)
+    b.ret(result)
+    func = b.finish()
+    text = print_function(func)
+    assert print_function(parse_function(text)) == text

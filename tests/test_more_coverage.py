@@ -1,0 +1,234 @@
+"""Additional coverage: round-trip fuzzing, GVN corners, ranks, interp ops."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.helpers import assert_pass_preserves_behavior, observe
+from tests.test_ir_fuzz import build_fuzz_function
+
+from repro.interp import run_function
+from repro.ir import Opcode, parse_function, print_function
+from repro.passes import global_value_numbering as gvn
+from repro.passes.reassociate import compute_ranks
+from repro.ssa import to_ssa
+
+
+# ---------------------------------------------------------------------------
+# textual round trip on fuzzed functions
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n_blocks=st.integers(2, 6),
+    choices=st.lists(st.integers(0, 2 ** 16), min_size=80, max_size=80),
+)
+def test_print_parse_round_trip_on_fuzzed_functions(n_blocks, choices):
+    func = build_fuzz_function(n_blocks, choices)
+    text = print_function(func)
+    assert print_function(parse_function(text)) == text
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_blocks=st.integers(2, 5),
+    choices=st.lists(st.integers(0, 2 ** 16), min_size=80, max_size=80),
+)
+def test_ssa_round_trip_on_fuzzed_functions(n_blocks, choices):
+    from repro.ssa import destroy_ssa
+
+    func = build_fuzz_function(n_blocks, choices)
+    expected = observe(func, args=[7, -2]).value
+    to_ssa(func)
+    from repro.ir import validate_function
+
+    validate_function(func, ssa=True)
+    destroy_ssa(func)
+    validate_function(func)
+    assert observe(func, args=[7, -2]).value == expected
+
+
+# ---------------------------------------------------------------------------
+# GVN corners
+# ---------------------------------------------------------------------------
+
+
+def test_gvn_intrinsics_congruent():
+    func = parse_function(
+        """
+        function f(rx) {
+        entry:
+            r1 <- intrin sqrt(rx)
+            r2 <- intrin sqrt(rx)
+            r3 <- add r1, r2
+            ret r3
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(func, gvn, [{"args": [4.0]}])
+    sqrts = [i for i in out.instructions() if i.opcode is Opcode.INTRIN]
+    assert sqrts[0].target == sqrts[1].target
+
+
+def test_gvn_different_intrinsics_not_congruent():
+    func = parse_function(
+        """
+        function f(rx) {
+        entry:
+            r1 <- intrin sin(rx)
+            r2 <- intrin cos(rx)
+            r3 <- add r1, r2
+            ret r3
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(func, gvn, [{"args": [0.5]}])
+    intrinsics = [i for i in out.instructions() if i.opcode is Opcode.INTRIN]
+    assert intrinsics[0].target != intrinsics[1].target
+
+
+def test_gvn_call_results_opaque():
+    func = parse_function(
+        """
+        function g(rx) {
+        entry:
+            ret rx
+        }
+        """
+    )
+    caller = parse_function(
+        """
+        function f(rx) {
+        entry:
+            r1 <- call g(rx)
+            r2 <- call g(rx)
+            r3 <- sub r1, r2
+            ret r3
+        }
+        """
+    )
+    gvn(caller)
+    calls = [i for i in caller.instructions() if i.opcode is Opcode.CALL]
+    assert calls[0].target != calls[1].target
+
+
+def test_gvn_sub_not_commutative():
+    func = parse_function(
+        """
+        function f(rx, ry) {
+        entry:
+            r1 <- sub rx, ry
+            r2 <- sub ry, rx
+            r3 <- add r1, r2
+            ret r3
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(
+        func, lambda f: gvn(f, commutative=True), [{"args": [5, 2]}]
+    )
+    subs = [i for i in out.instructions() if i.opcode is Opcode.SUB]
+    assert subs[0].target != subs[1].target
+
+
+# ---------------------------------------------------------------------------
+# ranks with calls
+# ---------------------------------------------------------------------------
+
+
+def test_call_results_get_block_rank():
+    func = parse_function(
+        """
+        function f(rx) {
+        entry:
+            r0 <- loadi 2
+            jmp -> second
+        second:
+            r1 <- call g(rx)
+            r2 <- add r1, r0
+            ret r2
+        }
+        """
+    )
+    to_ssa(func)
+    ranks = compute_ranks(func)
+    call = next(i for i in func.instructions() if i.opcode is Opcode.CALL)
+    add = next(i for i in func.instructions() if i.opcode is Opcode.ADD)
+    assert ranks[call.target] == 2  # block rank, rule 2
+    assert ranks[add.target] == 2  # max of operands, rule 3
+
+
+# ---------------------------------------------------------------------------
+# interpreter ops not covered elsewhere
+# ---------------------------------------------------------------------------
+
+
+def run_src(src, args=()):
+    return run_function(parse_function(src), args)
+
+
+def test_shifts():
+    src = """
+    function f(rx, rk) {
+    entry:
+        r1 <- shl rx, rk
+        r2 <- shr r1, rk
+        r3 <- sub r1, r2
+        ret r3
+    }
+    """
+    assert run_src(src, [5, 3]).value == 5 * 8 - 5
+
+
+def test_xor_and_or():
+    src = """
+    function f(rx, ry) {
+    entry:
+        r1 <- xor rx, ry
+        r2 <- and rx, ry
+        r3 <- or r1, r2
+        ret r3
+    }
+    """
+    assert run_src(src, [0b1100, 0b1010]).value == (0b1100 ^ 0b1010) | (0b1100 & 0b1010)
+
+
+def test_itof():
+    src = "function f(rx) {\nentry:\n    r1 <- itof rx\n    ret r1\n}"
+    result = run_src(src, [3]).value
+    assert result == 3.0 and isinstance(result, float)
+
+
+def test_intrin_atan2_and_pow():
+    src = """
+    function f(ry, rx) {
+    entry:
+        r1 <- intrin atan2(ry, rx)
+        r2 <- loadi 2.0
+        r3 <- intrin pow(r1, r2)
+        ret r3
+    }
+    """
+    import math
+
+    assert run_src(src, [1.0, 1.0]).value == math.atan2(1.0, 1.0) ** 2
+
+
+def test_mod_by_zero_traps():
+    import pytest
+
+    from repro.interp import TrapError
+
+    src = "function f(rx, ry) {\nentry:\n    r1 <- mod rx, ry\n    ret r1\n}"
+    with pytest.raises(TrapError):
+        run_src(src, [5, 0])
+
+
+def test_log_of_nonpositive_traps():
+    import pytest
+
+    from repro.interp import TrapError
+
+    src = "function f(rx) {\nentry:\n    r1 <- intrin log(rx)\n    ret r1\n}"
+    with pytest.raises(TrapError):
+        run_src(src, [0.0])

@@ -1,0 +1,130 @@
+"""The naming discipline (sections 2.2 / 5.1) as a checkable property."""
+
+import pytest
+
+from repro.analysis import check_naming_discipline, expression_names
+from repro.bench.suite import suite_routines
+from repro.frontend import compile_program
+from repro.ir import parse_function
+from repro.passes import global_reassociation, global_value_numbering
+
+
+def test_frontend_output_obeys_the_discipline():
+    """The front end implements section 2.2's hash-table scheme."""
+    module = compile_program(
+        """
+        routine f(a: int, b: int, c: real[8]) -> real
+          integer i, x
+          real s
+          s = 0.0
+          x = a + b
+          do i = 1, x
+            s = s + c(i) * 2.0
+          end
+          return s
+        end
+        """
+    )
+    report = check_naming_discipline(module["f"])
+    assert report.clean, report.all_messages()
+
+
+@pytest.mark.parametrize(
+    "routine", suite_routines()[:12], ids=lambda r: r.name
+)
+def test_suite_frontend_output_obeys_the_discipline(routine):
+    module = compile_program(routine.source)
+    for func in module:
+        report = check_naming_discipline(func)
+        assert report.clean, (func.name, report.all_messages()[:3])
+
+
+def test_gvn_restores_the_discipline_after_reassociation():
+    """Section 3.2: renaming 'constructs the name space required by PRE'."""
+    module = compile_program(
+        """
+        routine f(a: int, b: int) -> int
+          integer s, i
+          s = 0
+          do i = 1, a
+            s = s + a * b + i
+          end
+          return s
+        end
+        """
+    )
+    func = module["f"]
+    global_reassociation(func, distribute=True)
+    global_value_numbering(func)
+    report = check_naming_discipline(func)
+    # rule 1 must hold exactly: one name per lexical expression
+    assert not report.multiple_names, report.multiple_names
+    # rule 2: the φ-destruction copies only target variable names
+    assert not report.mixed_definitions, report.mixed_definitions
+
+
+def test_detects_multiple_names():
+    func = parse_function(
+        """
+        function f(rx, ry) {
+        entry:
+            r1 <- add rx, ry
+            r2 <- add rx, ry
+            r3 <- add r1, r2
+            ret r3
+        }
+        """
+    )
+    report = check_naming_discipline(func)
+    assert report.multiple_names
+    assert not report.clean
+
+
+def test_detects_mixed_definition():
+    func = parse_function(
+        """
+        function f(rx, ry) {
+        entry:
+            r1 <- add rx, ry
+            r1 <- copy rx
+            ret r1
+        }
+        """
+    )
+    report = check_naming_discipline(func)
+    assert report.mixed_definitions
+
+
+def test_detects_cross_block_reference():
+    """The section 5.1 hazard: expression name used in another block."""
+    func = parse_function(
+        """
+        function f(rx, ry) {
+        entry:
+            r1 <- add rx, ry
+            jmp -> next
+        next:
+            r2 <- mul r1, r1
+            ret r2
+        }
+        """
+    )
+    report = check_naming_discipline(func)
+    assert report.cross_block_references
+
+
+def test_expression_names_map():
+    func = parse_function(
+        """
+        function f(rx, ry) {
+        entry:
+            r1 <- add rx, ry
+            r1 <- add rx, ry
+            r2 <- mul r1, r1
+            ret r2
+        }
+        """
+    )
+    names = expression_names(func)
+    assert len(names) == 2
+    assert all(len(targets) == 1 for targets in names.values())

@@ -1,0 +1,532 @@
+"""Tests for peephole, DCE, coalescing, and clean."""
+
+import pytest
+
+from tests.helpers import assert_pass_preserves_behavior, deep_copy_function, observe
+
+from repro.ir import Opcode, parse_function, validate_function
+from repro.passes import clean, coalesce, dead_code_elimination, peephole
+
+
+# ---------------------------------------------------------------------------
+# peephole
+# ---------------------------------------------------------------------------
+
+
+def test_peephole_constant_folding():
+    func = parse_function(
+        """
+        function f() {
+        entry:
+            r0 <- loadi 6
+            r1 <- loadi 7
+            r2 <- mul r0, r1
+            ret r2
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(func, peephole, [{}])
+    mul = [i for i in out.instructions() if i.opcode is Opcode.MUL]
+    assert not mul
+
+
+def test_peephole_add_zero_identity():
+    func = parse_function(
+        """
+        function f(rx) {
+        entry:
+            r0 <- loadi 0
+            r1 <- add rx, r0
+            ret r1
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(func, peephole, [{"args": [9]}])
+    assert not any(i.opcode is Opcode.ADD for i in out.instructions())
+
+
+def test_peephole_mul_one_identity():
+    func = parse_function(
+        """
+        function f(rx) {
+        entry:
+            r0 <- loadi 1
+            r1 <- mul r0, rx
+            ret r1
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(func, peephole, [{"args": [9]}])
+    assert not any(i.opcode is Opcode.MUL for i in out.instructions())
+
+
+def test_peephole_does_not_fold_float_zero_add():
+    # 0.0 + int would change the type; identity only applies to integer 0
+    func = parse_function(
+        """
+        function f(rx) {
+        entry:
+            r0 <- loadi 0.0
+            r1 <- add rx, r0
+            ret r1
+        }
+        """
+    )
+    out = peephole(deep_copy_function(func))
+    assert any(i.opcode is Opcode.ADD for i in out.instructions())
+
+
+def test_peephole_reconstructs_subtraction():
+    """add x, (neg y) -> sub x, y (section 3.1's later cleanup)."""
+    func = parse_function(
+        """
+        function f(rx, ry) {
+        entry:
+            r0 <- neg ry
+            r1 <- add rx, r0
+            ret r1
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(
+        func, peephole, [{"args": [10, 3]}, {"args": [-1, -2]}]
+    )
+    sub = next(i for i in out.instructions() if i.opcode is Opcode.SUB)
+    assert sub.srcs == ["rx", "ry"]
+    assert not any(i.opcode is Opcode.ADD for i in out.instructions())
+
+
+def test_peephole_sub_of_neg_becomes_add():
+    func = parse_function(
+        """
+        function f(rx, ry) {
+        entry:
+            r0 <- neg ry
+            r1 <- sub rx, r0
+            ret r1
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(func, peephole, [{"args": [10, 3]}])
+    assert any(i.opcode is Opcode.ADD for i in out.instructions())
+
+
+def test_peephole_double_negation():
+    func = parse_function(
+        """
+        function f(rx) {
+        entry:
+            r0 <- neg rx
+            r1 <- neg r0
+            ret r1
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(func, peephole, [{"args": [5]}])
+    # the second neg becomes a copy of rx
+    copies = [i for i in out.instructions() if i.is_copy]
+    assert any(c.srcs == ["rx"] for c in copies)
+
+
+def test_peephole_folds_decided_branch():
+    func = parse_function(
+        """
+        function f() {
+        entry:
+            r0 <- loadi 0
+            cbr r0 -> a, b
+        a:
+            r1 <- loadi 1
+            ret r1
+        b:
+            r2 <- loadi 2
+            ret r2
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(func, peephole, [{}])
+    assert {blk.label for blk in out.blocks} == {"entry", "b"}
+
+
+def test_peephole_neg_fact_invalidated_by_redefinition():
+    # neg is recorded, then its source is redefined; add must NOT fold
+    func = parse_function(
+        """
+        function f(rx, ry) {
+        entry:
+            r0 <- neg ry
+            ry <- loadi 100
+            r1 <- add rx, r0
+            ret r1
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(func, peephole, [{"args": [1, 2]}])
+    assert not any(i.opcode is Opcode.SUB for i in out.instructions())
+
+
+def test_peephole_mul_to_shift_option():
+    func = parse_function(
+        """
+        function f(rx) {
+        entry:
+            r0 <- loadi 8
+            r1 <- mul rx, r0
+            ret r1
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(
+        func, lambda f: peephole(f, convert_mul_to_shift=True), [{"args": [5]}]
+    )
+    shl = next(i for i in out.instructions() if i.opcode is Opcode.SHL)
+    assert shl.srcs[0] == "rx"
+    # default leaves the multiply alone (section 5.2)
+    out_default = peephole(deep_copy_function(func))
+    assert any(i.opcode is Opcode.MUL for i in out_default.instructions())
+
+
+# ---------------------------------------------------------------------------
+# dead code elimination
+# ---------------------------------------------------------------------------
+
+
+def test_dce_removes_unused_chain():
+    func = parse_function(
+        """
+        function f(rx) {
+        entry:
+            r0 <- loadi 1
+            r1 <- add rx, r0
+            r2 <- mul r1, r1
+            r3 <- add r2, r0
+            ret rx
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(func, dead_code_elimination, [{"args": [5]}])
+    assert out.static_count() == 1  # just the ret
+
+
+def test_dce_keeps_stores_and_calls():
+    func = parse_function(
+        """
+        function f(rx, ra) {
+        entry:
+            r0 <- loadi 9
+            store r0, ra
+            call g(rx)
+            ret rx
+        }
+        """
+    )
+    out = dead_code_elimination(deep_copy_function(func))
+    ops = [i.opcode for i in out.instructions()]
+    assert Opcode.STORE in ops and Opcode.CALL in ops
+    assert Opcode.LOADI in ops  # feeds the store
+
+
+def test_dce_keeps_instructions_feeding_branches():
+    func = parse_function(
+        """
+        function f(rx) {
+        entry:
+            r0 <- loadi 0
+            r1 <- cmpgt rx, r0
+            cbr r1 -> a, b
+        a:
+            ret rx
+        b:
+            ret r0
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(
+        func, dead_code_elimination, [{"args": [1]}, {"args": [-1]}]
+    )
+    assert any(i.opcode is Opcode.CMPGT for i in out.instructions())
+
+
+def test_dce_loop_carried_dead_code():
+    # r9 feeds only itself around the loop; the whole cycle is dead
+    func = parse_function(
+        """
+        function f(rn) {
+        entry:
+            ri <- loadi 0
+            r9 <- loadi 3
+            r1 <- loadi 1
+            jmp -> header
+        header:
+            rc <- cmplt ri, rn
+            cbr rc -> body, exit
+        body:
+            r9 <- add r9, r1
+            ri <- add ri, r1
+            jmp -> header
+        exit:
+            ret ri
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(
+        func, dead_code_elimination, [{"args": [4]}]
+    )
+    assert not any("r9" in i.defs() for i in out.instructions())
+
+
+# ---------------------------------------------------------------------------
+# coalesce
+# ---------------------------------------------------------------------------
+
+
+def test_coalesce_removes_simple_copy():
+    func = parse_function(
+        """
+        function f(rx) {
+        entry:
+            r0 <- loadi 1
+            r1 <- add rx, r0
+            r2 <- copy r1
+            r3 <- mul r2, r2
+            ret r3
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(func, coalesce, [{"args": [4]}])
+    assert not any(i.is_copy for i in out.instructions())
+
+
+def test_coalesce_keeps_interfering_copy():
+    # r1 and r2 are both live after the copy with different values
+    func = parse_function(
+        """
+        function f(rx) {
+        entry:
+            r1 <- loadi 1
+            r2 <- copy r1
+            r1 <- add r1, r2
+            r3 <- add r1, r2
+            ret r3
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(func, coalesce, [{"args": [0]}])
+    assert observe(out, args=[0]).value == 3
+
+
+def test_coalesce_chain_collapses():
+    func = parse_function(
+        """
+        function f(rx) {
+        entry:
+            r1 <- copy rx
+            r2 <- copy r1
+            r3 <- copy r2
+            ret r3
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(func, coalesce, [{"args": [7]}])
+    assert not any(i.is_copy for i in out.instructions())
+    assert out.entry.instructions[0].opcode is Opcode.RET
+
+
+def test_coalesce_preserves_param_names():
+    func = parse_function(
+        """
+        function f(rx, ry) {
+        entry:
+            r1 <- copy rx
+            r2 <- add r1, ry
+            ret r2
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(func, coalesce, [{"args": [2, 3]}])
+    assert out.params == ["rx", "ry"]
+
+
+def test_coalesce_never_merges_two_params():
+    func = parse_function(
+        """
+        function f(rx, ry) {
+        entry:
+            rx <- copy ry
+            ret rx
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(func, coalesce, [{"args": [2, 3]}])
+    assert out.params == ["rx", "ry"]
+    assert observe(out, args=[2, 3]).value == 3
+
+
+def test_coalesce_rejects_phi_input():
+    func = parse_function(
+        """
+        function f(r0) {
+        entry:
+            jmp -> next
+        next:
+            r1 <- phi [entry: r0]
+            ret r1
+        }
+        """
+    )
+    with pytest.raises(ValueError, match="phi-free"):
+        coalesce(func)
+
+
+def test_coalesce_loop_variable():
+    # the paper's Figure 9 -> Figure 10 step: loop-carried copies collapse
+    func = parse_function(
+        """
+        function f(rn) {
+        entry:
+            r0 <- loadi 0
+            ri <- copy r0
+            r1 <- loadi 1
+            jmp -> header
+        header:
+            rc <- cmplt ri, rn
+            cbr rc -> body, exit
+        body:
+            rt <- add ri, r1
+            ri <- copy rt
+            jmp -> header
+        exit:
+            ret ri
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(
+        func, coalesce, [{"args": [5]}, {"args": [0]}]
+    )
+    assert not any(i.is_copy for i in out.instructions())
+
+
+# ---------------------------------------------------------------------------
+# clean
+# ---------------------------------------------------------------------------
+
+
+def test_clean_merges_straight_line():
+    func = parse_function(
+        """
+        function f(rx) {
+        entry:
+            r0 <- loadi 1
+            jmp -> second
+        second:
+            r1 <- add rx, r0
+            jmp -> third
+        third:
+            ret r1
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(func, clean, [{"args": [1]}])
+    assert len(out.blocks) == 1
+
+
+def test_clean_bypasses_empty_block():
+    func = parse_function(
+        """
+        function f(rp) {
+        entry:
+            cbr rp -> hop, other
+        hop:
+            jmp -> target
+        other:
+            r0 <- loadi 0
+            ret r0
+        target:
+            r1 <- loadi 1
+            ret r1
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(func, clean, [{"args": [1]}, {"args": [0]}])
+    # the hop is gone: the taken path goes straight to the loadi 1 / ret
+    assert len(out.blocks) == 3
+    taken = out.block(out.entry.terminator.labels[0])
+    assert taken.instructions[0].opcode is Opcode.LOADI
+    assert taken.instructions[0].imm == 1
+
+
+def test_clean_folds_cbr_same_target():
+    func = parse_function(
+        """
+        function f(rp) {
+        entry:
+            cbr rp -> a, b
+        a:
+            jmp -> join
+        b:
+            jmp -> join
+        join:
+            ret rp
+        }
+        """
+    )
+    # manually create the degenerate cbr
+    func.entry.terminator.labels = ["join", "join"]
+    out = clean(func)
+    validate_function(out)
+    assert len(out.blocks) == 1
+    assert out.entry.terminator.opcode is Opcode.RET
+
+
+def test_clean_removes_unreachable():
+    func = parse_function(
+        """
+        function f() {
+        entry:
+            ret
+        island:
+            jmp -> island
+        }
+        """
+    )
+    out = clean(func)
+    assert [b.label for b in out.blocks] == ["entry"]
+
+
+def test_clean_keeps_loops_intact():
+    func = parse_function(
+        """
+        function f(rn) {
+        entry:
+            ri <- loadi 0
+            r1 <- loadi 1
+            jmp -> header
+        header:
+            rc <- cmplt ri, rn
+            cbr rc -> body, exit
+        body:
+            ri <- add ri, r1
+            jmp -> header
+        exit:
+            ret ri
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(func, clean, [{"args": [3]}, {"args": [0]}])
+    assert observe(out, args=[3]).value == 3
+
+
+def test_clean_empty_entry_collapse():
+    func = parse_function(
+        """
+        function f(rx) {
+        entry:
+            jmp -> real
+        real:
+            ret rx
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(func, clean, [{"args": [1]}])
+    assert len(out.blocks) == 1
+    assert out.entry.terminator.opcode is Opcode.RET

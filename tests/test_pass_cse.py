@@ -1,0 +1,172 @@
+"""Tests for the section 5.3 CSE hierarchy."""
+
+import pytest
+
+from tests.helpers import assert_pass_preserves_behavior, deep_copy_function
+
+from repro.ir import Opcode, parse_function
+from repro.passes.cse import (
+    available_cse,
+    available_cse_transform,
+    dominator_cse,
+    dominator_cse_transform,
+)
+from repro.passes.pre import pre_transform
+
+
+def count_op(func, opcode):
+    return sum(1 for inst in func.instructions() if inst.opcode is opcode)
+
+
+# the section 2 if-then-else example: x+y in both arms and after the join
+IF_THEN_ELSE = """
+function f(rp, rx, ry) {
+entry:
+    cbr rp -> a, b
+a:
+    r1 <- add rx, ry
+    ra <- copy r1
+    jmp -> join
+b:
+    r1 <- add rx, ry
+    rb <- copy r1
+    jmp -> join
+join:
+    r1 <- add rx, ry
+    ret r1
+}
+"""
+
+# a dominating redundancy: straight line
+DOMINATED = """
+function f(rx, ry) {
+entry:
+    r1 <- add rx, ry
+    ra <- copy r1
+    jmp -> next
+next:
+    r1 <- add rx, ry
+    r2 <- mul r1, ra
+    ret r2
+}
+"""
+
+CASES_ITE = [{"args": [0, 2, 3]}, {"args": [1, 2, 3]}]
+CASES_DOM = [{"args": [2, 3]}, {"args": [-1, 5]}]
+
+
+def test_dominator_cse_removes_dominated_redundancy():
+    func = parse_function(DOMINATED)
+    out = assert_pass_preserves_behavior(func, dominator_cse, CASES_DOM)
+    assert count_op(out, Opcode.ADD) == 1
+
+
+def test_dominator_cse_cannot_remove_join_redundancy():
+    """The paper: method 1 'cannot remove the redundancy shown in the
+    first example of Section 2'."""
+    func = parse_function(IF_THEN_ELSE)
+    out = assert_pass_preserves_behavior(func, dominator_cse, CASES_ITE)
+    assert count_op(out, Opcode.ADD) == 3  # nothing deleted
+
+
+def test_available_cse_removes_join_redundancy():
+    """Method 2 'will handle this case; it removes all redundancies.'"""
+    func = parse_function(IF_THEN_ELSE)
+    out = assert_pass_preserves_behavior(func, available_cse, CASES_ITE)
+    assert count_op(out, Opcode.ADD) == 2  # the join copy deleted
+
+
+def test_available_cse_respects_kills():
+    func = parse_function(
+        """
+        function f(rx, ry) {
+        entry:
+            r1 <- add rx, ry
+            ra <- copy r1
+            rx <- loadi 9
+            jmp -> next
+        next:
+            r1 <- add rx, ry
+            ret r1
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(func, available_cse, CASES_DOM)
+    assert count_op(out, Opcode.ADD) == 2
+
+
+def test_available_cse_cannot_remove_partial_redundancy():
+    func = parse_function(
+        """
+        function f(rp, rx, ry) {
+        entry:
+            cbr rp -> a, b
+        a:
+            r1 <- add rx, ry
+            ra <- copy r1
+            jmp -> join
+        b:
+            jmp -> join
+        join:
+            r1 <- add rx, ry
+            ret r1
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(func, available_cse, CASES_ITE)
+    assert count_op(out, Opcode.ADD) == 2  # only PRE can fix this one
+
+
+def test_hierarchy_on_one_function():
+    """dominator ≤ available ≤ PRE in redundancies removed."""
+    source = IF_THEN_ELSE
+    dom_report = dominator_cse_transform(parse_function(source))
+    avail_report = available_cse_transform(parse_function(source))
+    pre_report = pre_transform(parse_function(source))
+    assert dom_report.deletions <= avail_report.deletions <= pre_report.deletions
+    assert avail_report.deletions > dom_report.deletions
+
+
+def test_cse_passes_reject_phis():
+    func = parse_function(
+        "function f(r0) {\nentry:\n    jmp -> n\nn:\n    r1 <- phi [entry: r0]\n    ret r1\n}"
+    )
+    with pytest.raises(ValueError):
+        dominator_cse(deep_copy_function(func))
+    with pytest.raises(ValueError):
+        available_cse(func)
+
+
+def test_cse_loop_availability_around_back_edge():
+    # a loop-invariant computed before the loop and again inside: inside
+    # occurrence is available (all preds compute it) -> deletable by
+    # available CSE, and the before-loop occurrence dominates -> also by
+    # dominator CSE
+    func = parse_function(
+        """
+        function f(rn, rx, ry) {
+        entry:
+            rv <- add rx, ry
+            ri <- loadi 0
+            r1 <- loadi 1
+            rs <- loadi 0
+            rc0 <- cmplt ri, rn
+            cbr rc0 -> body, exit
+        body:
+            rv <- add rx, ry
+            rs <- add rs, rv
+            ri <- add ri, r1
+            rc <- cmplt ri, rn
+            cbr rc -> body, exit
+        exit:
+            ret rs
+        }
+        """
+    )
+    cases = [{"args": [5, 2, 3]}, {"args": [0, 2, 3]}]
+    out = assert_pass_preserves_behavior(func, dominator_cse, cases)
+    adds_xy = [
+        i for i in out.instructions()
+        if i.opcode is Opcode.ADD and set(i.srcs) == {"rx", "ry"}
+    ]
+    assert len(adds_xy) == 1  # the in-loop recomputation is gone

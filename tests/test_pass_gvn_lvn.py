@@ -1,0 +1,349 @@
+"""Tests for partition-based GVN renaming and local value numbering."""
+
+import pytest
+
+from tests.helpers import assert_pass_preserves_behavior, deep_copy_function, observe
+
+from repro.ir import Opcode, parse_function, validate_function
+from repro.passes import (
+    clean,
+    coalesce,
+    dead_code_elimination,
+    global_value_numbering as gvn,
+    local_value_numbering as lvn,
+    partial_redundancy_elimination as pre,
+)
+
+
+def count_op(func, opcode):
+    return sum(1 for inst in func.instructions() if inst.opcode is opcode)
+
+
+# ---------------------------------------------------------------------------
+# GVN
+# ---------------------------------------------------------------------------
+
+
+def test_gvn_section22_example():
+    """The paper's section 2.2 example: copies hide that r1 and r2 are equal.
+
+    x = y + z; a = y; b = a + z — after GVN the two adds carry one name.
+    """
+    func = parse_function(
+        """
+        function f(ry, rz) {
+        entry:
+            r1 <- add ry, rz
+            rx <- copy r1
+            ra <- copy ry
+            r2 <- add ra, rz
+            rb <- copy r2
+            r3 <- add rx, rb
+            ret r3
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(func, gvn, [{"args": [2, 3]}])
+    adds = [i for i in out.instructions() if i.opcode is Opcode.ADD]
+    y_plus_z = [i for i in adds if set(i.srcs) == {"ry", "rz"}]
+    assert len(y_plus_z) == 2
+    assert y_plus_z[0].target == y_plus_z[1].target  # same value, same name
+    assert y_plus_z[0].srcs == y_plus_z[1].srcs  # lexically identical now
+
+
+def test_gvn_then_pre_removes_copy_disguised_redundancy():
+    func = parse_function(
+        """
+        function f(ry, rz) {
+        entry:
+            r1 <- add ry, rz
+            rx <- copy r1
+            ra <- copy ry
+            r2 <- add ra, rz
+            rb <- copy r2
+            r3 <- add rx, rb
+            ret r3
+        }
+        """
+    )
+
+    def full(f):
+        gvn(f)
+        pre(f)
+        dead_code_elimination(f)
+        coalesce(f)
+        clean(f)
+        return f
+
+    out = assert_pass_preserves_behavior(func, full, [{"args": [2, 3]}])
+    assert count_op(out, Opcode.ADD) == 2  # y+z once, final add once
+
+
+def test_gvn_same_constants_share_name():
+    func = parse_function(
+        """
+        function f(rx) {
+        entry:
+            r1 <- loadi 5
+            r2 <- loadi 5
+            r3 <- add rx, r1
+            r4 <- add rx, r2
+            r5 <- add r3, r4
+            ret r5
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(func, gvn, [{"args": [1]}])
+    adds = [i for i in out.instructions() if i.opcode is Opcode.ADD and "rx" in i.srcs]
+    assert adds[0].target == adds[1].target
+
+
+def test_gvn_distinguishes_different_constants():
+    func = parse_function(
+        """
+        function f(rx) {
+        entry:
+            r1 <- loadi 5
+            r2 <- loadi 6
+            r3 <- add rx, r1
+            r4 <- add rx, r2
+            r5 <- add r3, r4
+            ret r5
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(func, gvn, [{"args": [1]}])
+    adds = [i for i in out.instructions() if i.opcode is Opcode.ADD and "rx" in i.srcs]
+    assert adds[0].target != adds[1].target
+
+
+def test_gvn_optimistic_loop_congruence():
+    """The classic case needing the optimistic assumption: two loop
+    variables updated identically are congruent despite the cycle."""
+    func = parse_function(
+        """
+        function f(rn) {
+        entry:
+            ri <- loadi 0
+            rj <- loadi 0
+            r1 <- loadi 1
+            jmp -> header
+        header:
+            rc <- cmplt ri, rn
+            cbr rc -> body, exit
+        body:
+            ri <- add ri, r1
+            rj <- add rj, r1
+            jmp -> header
+        exit:
+            rs <- add ri, rj
+            ret rs
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(func, gvn, [{"args": [3]}, {"args": [0]}])
+    # after renaming, the two increments are lexically identical: same
+    # expression name, same operands — PRE can now remove one
+    adds = [
+        (i.target, tuple(i.srcs))
+        for i in out.instructions()
+        if i.opcode is Opcode.ADD
+    ]
+    assert len(adds) - len(set(adds)) >= 1  # at least one duplicated add
+
+
+def test_gvn_does_not_merge_loads():
+    func = parse_function(
+        """
+        function f(ra) {
+        entry:
+            r1 <- load ra
+            r2 <- load ra
+            r3 <- add r1, r2
+            ret r3
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(
+        func, gvn, [{"arrays": [([7], 8)]}]
+    )
+    loads = [i for i in out.instructions() if i.opcode is Opcode.LOAD]
+    assert loads[0].target != loads[1].target  # opaque singletons
+
+
+def test_gvn_positional_misses_commutation_by_default():
+    func = parse_function(
+        """
+        function f(rx, ry) {
+        entry:
+            r1 <- add rx, ry
+            r2 <- add ry, rx
+            r3 <- add r1, r2
+            ret r3
+        }
+        """
+    )
+    out = gvn(deep_copy_function(func))
+    adds = [i for i in out.instructions() if set(i.srcs) == {"rx", "ry"}]
+    assert adds[0].target != adds[1].target  # the "simplest variation"
+    out2 = gvn(deep_copy_function(func), commutative=True)
+    adds2 = [i for i in out2.instructions() if set(i.srcs) == {"rx", "ry"}]
+    assert adds2[0].target == adds2[1].target  # the extension finds it
+
+
+def test_gvn_branch_values_not_merged_across_different_phis():
+    func = parse_function(
+        """
+        function f(rp, rx) {
+        entry:
+            cbr rp -> a, b
+        a:
+            r1 <- loadi 1
+            ra <- copy r1
+            jmp -> join
+        b:
+            r2 <- loadi 2
+            ra <- copy r2
+            jmp -> join
+        join:
+            r3 <- add ra, rx
+            ret r3
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(
+        func, gvn, [{"args": [0, 10]}, {"args": [1, 10]}]
+    )
+    assert observe(out, args=[1, 10]).value == 11
+    assert observe(out, args=[0, 10]).value == 12
+
+
+def test_gvn_preserves_params():
+    func = parse_function(
+        "function f(rx, ry) {\nentry:\n    r1 <- add rx, ry\n    ret r1\n}"
+    )
+    out = gvn(func)
+    assert out.params == ["rx", "ry"]
+
+
+# ---------------------------------------------------------------------------
+# LVN
+# ---------------------------------------------------------------------------
+
+
+def test_lvn_deletes_same_target_recomputation():
+    func = parse_function(
+        """
+        function f(rx, ry) {
+        entry:
+            r1 <- add rx, ry
+            r1 <- add rx, ry
+            ret r1
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(func, lvn, [{"args": [1, 2]}])
+    assert count_op(out, Opcode.ADD) == 1
+
+
+def test_lvn_rewrites_different_target_to_copy():
+    func = parse_function(
+        """
+        function f(rx, ry) {
+        entry:
+            r1 <- add rx, ry
+            r2 <- add rx, ry
+            r3 <- add r1, r2
+            ret r3
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(func, lvn, [{"args": [1, 2]}])
+    assert count_op(out, Opcode.ADD) == 2
+    assert count_op(out, Opcode.COPY) == 1
+
+
+def test_lvn_respects_operand_kill():
+    func = parse_function(
+        """
+        function f(rx, ry) {
+        entry:
+            r1 <- add rx, ry
+            rx <- loadi 9
+            r2 <- add rx, ry
+            r3 <- add r1, r2
+            ret r3
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(func, lvn, [{"args": [1, 2]}])
+    assert count_op(out, Opcode.ADD) == 3
+
+
+def test_lvn_store_kills_loads():
+    func = parse_function(
+        """
+        function f(rv, ra) {
+        entry:
+            r1 <- load ra
+            store rv, ra
+            r2 <- load ra
+            r3 <- add r1, r2
+            ret r3
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(
+        func, lvn, [{"args": [5], "arrays": [([7], 8)]}]
+    )
+    assert count_op(out, Opcode.LOAD) == 2
+
+
+def test_lvn_commons_loads_without_store():
+    func = parse_function(
+        """
+        function f(ra) {
+        entry:
+            r1 <- load ra
+            r2 <- load ra
+            r3 <- add r1, r2
+            ret r3
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(func, lvn, [{"arrays": [([7], 8)]}])
+    assert count_op(out, Opcode.LOAD) == 1
+
+
+def test_lvn_is_block_local():
+    func = parse_function(
+        """
+        function f(rx, ry) {
+        entry:
+            r1 <- add rx, ry
+            jmp -> next
+        next:
+            r2 <- add rx, ry
+            r3 <- add r1, r2
+            ret r3
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(func, lvn, [{"args": [1, 2]}])
+    assert count_op(out, Opcode.ADD) == 3  # cross-block is PRE's job
+
+
+def test_lvn_commutative_via_canonical_key():
+    func = parse_function(
+        """
+        function f(rx, ry) {
+        entry:
+            r1 <- add rx, ry
+            r2 <- add ry, rx
+            r3 <- add r1, r2
+            ret r3
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(func, lvn, [{"args": [1, 2]}])
+    assert count_op(out, Opcode.ADD) == 2

@@ -1,0 +1,376 @@
+"""PRE tests: the paper's section 2 examples, safety properties, reports."""
+
+import pytest
+
+from tests.helpers import assert_pass_preserves_behavior, deep_copy_function, observe
+
+from repro.ir import Opcode, parse_function, validate_function
+from repro.passes import (
+    clean,
+    coalesce,
+    dead_code_elimination,
+    partial_redundancy_elimination as pre,
+)
+from repro.passes.pre import pre_transform
+
+
+def pre_pipeline(func):
+    """PRE followed by the cleanup the paper applies before measuring."""
+    pre(func)
+    dead_code_elimination(func)
+    coalesce(func)
+    clean(func)
+    return func
+
+
+def count_op(func, opcode):
+    return sum(1 for inst in func.instructions() if inst.opcode is opcode)
+
+
+# ---------------------------------------------------------------------------
+# the first example of section 2: if-then partial redundancy
+# ---------------------------------------------------------------------------
+
+SECTION2_IF = """
+function f(rp, rx, ry) {
+entry:
+    cbr rp -> skip, compute
+compute:
+    r1 <- add rx, ry
+    ra <- copy r1
+    jmp -> join
+skip:
+    ry <- loadi 9
+    jmp -> join
+join:
+    r2 <- add rx, ry
+    ret r2
+}
+"""
+
+
+def test_section2_if_example_behavior_and_counts():
+    func = parse_function(SECTION2_IF)
+    out = assert_pass_preserves_behavior(
+        func, pre_pipeline, [{"args": [0, 3, 4]}, {"args": [1, 3, 4]}]
+    )
+    # the path through `compute` evaluates x+y once, not twice
+    compute_path = observe(out, args=[0, 3, 4])
+    original = observe(parse_function(SECTION2_IF), args=[0, 3, 4])
+    assert compute_path.dynamic_count < original.dynamic_count
+    # the other path is not lengthened
+    skip_path = observe(out, args=[1, 3, 4])
+    original_skip = observe(parse_function(SECTION2_IF), args=[1, 3, 4])
+    assert skip_path.dynamic_count <= original_skip.dynamic_count
+
+
+def test_section2_if_example_inserts_on_skip_path():
+    func = parse_function(SECTION2_IF)
+    report = pre_transform(func)
+    validate_function(func)
+    assert report.insertions >= 1
+    assert report.deletions >= 1
+
+
+# ---------------------------------------------------------------------------
+# the second example of section 2: loop invariant (rotated loop)
+# ---------------------------------------------------------------------------
+
+LOOP_INVARIANT = """
+function f(rn, rx, ry) {
+entry:
+    ri <- loadi 0
+    r1 <- loadi 1
+    rs <- loadi 0
+    rc0 <- cmplt ri, rn
+    cbr rc0 -> body, exit
+body:
+    rv <- add rx, ry
+    rs <- add rs, rv
+    ri <- add ri, r1
+    rc <- cmplt ri, rn
+    cbr rc -> body, exit
+exit:
+    ret rs
+}
+"""
+
+
+def test_loop_invariant_hoisted():
+    func = parse_function(LOOP_INVARIANT)
+    out = assert_pass_preserves_behavior(
+        func, pre_pipeline, [{"args": [10, 3, 4]}, {"args": [0, 3, 4]}]
+    )
+    # x+y must be evaluated once per call, not once per iteration
+    big = observe(out, args=[100, 3, 4])
+    small = observe(out, args=[10, 3, 4])
+    per_iteration = (big.dynamic_count - small.dynamic_count) / 90
+    # loop body: add rs, add ri, cmp, cbr = 4 ops (x+y hoisted away)
+    assert per_iteration == pytest.approx(4.0)
+
+
+def test_loop_invariant_zero_trip_not_lengthened():
+    func = parse_function(LOOP_INVARIANT)
+    before = observe(func, args=[0, 3, 4]).dynamic_count
+    out = pre_pipeline(deep_copy_function(func))
+    after = observe(out, args=[0, 3, 4]).dynamic_count
+    assert after <= before
+
+
+# ---------------------------------------------------------------------------
+# full redundancy (both arms compute it): available-expression case
+# ---------------------------------------------------------------------------
+
+
+def test_full_redundancy_both_arms():
+    func = parse_function(
+        """
+        function f(rp, rx, ry) {
+        entry:
+            cbr rp -> a, b
+        a:
+            r1 <- add rx, ry
+            ra <- copy r1
+            jmp -> join
+        b:
+            r2 <- add rx, ry
+            rb <- copy r2
+            jmp -> join
+        join:
+            r3 <- add rx, ry
+            ret r3
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(
+        func, pre_pipeline, [{"args": [0, 1, 2]}, {"args": [1, 1, 2]}]
+    )
+    # only the two arm computations survive; the join one is deleted
+    assert count_op(out, Opcode.ADD) == 2
+
+
+def test_straightline_redundancy_across_blocks():
+    func = parse_function(
+        """
+        function f(rx, ry) {
+        entry:
+            r1 <- add rx, ry
+            ra <- copy r1
+            jmp -> next
+        next:
+            r2 <- add rx, ry
+            r3 <- add r2, ra
+            ret r3
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(func, pre_pipeline, [{"args": [2, 3]}])
+    assert count_op(out, Opcode.ADD) == 2  # x+y once, plus the final add
+
+
+def test_redundancy_killed_by_redefinition_not_removed():
+    func = parse_function(
+        """
+        function f(rx, ry) {
+        entry:
+            r1 <- add rx, ry
+            ra <- copy r1
+            rx <- loadi 7
+            jmp -> next
+        next:
+            r2 <- add rx, ry
+            r3 <- add r2, ra
+            ret r3
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(func, pre_pipeline, [{"args": [2, 3]}])
+    assert count_op(out, Opcode.ADD) == 3  # nothing removable
+
+
+# ---------------------------------------------------------------------------
+# loads participate; stores kill them
+# ---------------------------------------------------------------------------
+
+
+def test_load_hoisted_from_loop():
+    func = parse_function(
+        """
+        function f(rn, ra) {
+        entry:
+            ri <- loadi 0
+            r1 <- loadi 1
+            rs <- loadi 0
+            rc0 <- cmplt ri, rn
+            cbr rc0 -> body, exit
+        body:
+            rv <- load ra
+            rs <- add rs, rv
+            ri <- add ri, r1
+            rc <- cmplt ri, rn
+            cbr rc -> body, exit
+        exit:
+            ret rs
+        }
+        """
+    )
+    cases = [{"args": [4], "arrays": [([42], 8)]}, {"args": [0], "arrays": [([42], 8)]}]
+    out = assert_pass_preserves_behavior(func, pre_pipeline, cases)
+    big = observe(out, args=[100], arrays=[([42], 8)])
+    small = observe(out, args=[10], arrays=[([42], 8)])
+    per_iteration = (big.dynamic_count - small.dynamic_count) / 90
+    assert per_iteration == pytest.approx(4.0)  # load hoisted out
+
+
+def test_load_not_hoisted_past_store():
+    func = parse_function(
+        """
+        function f(rn, ra) {
+        entry:
+            ri <- loadi 0
+            r1 <- loadi 1
+            rs <- loadi 0
+            rc0 <- cmplt ri, rn
+            cbr rc0 -> body, exit
+        body:
+            store ri, ra
+            rload <- load ra
+            rs <- add rs, rload
+            ri <- add ri, r1
+            rc <- cmplt ri, rn
+            cbr rc -> body, exit
+        exit:
+            ret rs
+        }
+        """
+    )
+    cases = [{"args": [4], "arrays": [([0], 8)]}]
+    out = assert_pass_preserves_behavior(func, pre_pipeline, cases)
+    assert count_op(out, Opcode.LOAD) == 1  # still inside the loop
+    # sanity: the load stays after the store in the body
+    body = next(b for b in out.blocks if any(i.opcode is Opcode.LOAD for i in b))
+    ops = [i.opcode for i in body.instructions]
+    assert ops.index(Opcode.STORE) < ops.index(Opcode.LOAD)
+
+
+# ---------------------------------------------------------------------------
+# safety: PRE never lengthens any path
+# ---------------------------------------------------------------------------
+
+
+def test_never_lengthens_cold_path():
+    # x+y used only in the hot arm; inserting it on the cold path would
+    # lengthen that path — PRE must not
+    func = parse_function(
+        """
+        function f(rp, rx, ry) {
+        entry:
+            cbr rp -> hot, cold
+        hot:
+            r1 <- add rx, ry
+            ret r1
+        cold:
+            r0 <- loadi 0
+            ret r0
+        }
+        """
+    )
+    before_cold = observe(func, args=[0, 1, 2]).dynamic_count
+    out = pre_pipeline(deep_copy_function(func))
+    after_cold = observe(out, args=[0, 1, 2]).dynamic_count
+    assert after_cold <= before_cold
+    assert count_op(out, Opcode.ADD) == 1
+
+
+def test_top_test_while_loop_invariant_not_hoisted():
+    """Top-test loop: hoisting would lengthen the zero-trip path, so PRE
+    leaves the invariant in the loop (the section 4.2 discussion)."""
+    func = parse_function(
+        """
+        function f(rn, rx, ry) {
+        entry:
+            ri <- loadi 0
+            r1 <- loadi 1
+            rs <- loadi 0
+            jmp -> header
+        header:
+            rc <- cmplt ri, rn
+            cbr rc -> body, exit
+        body:
+            rv <- add rx, ry
+            rs <- add rs, rv
+            ri <- add ri, r1
+            jmp -> header
+        exit:
+            ret rs
+        }
+        """
+    )
+    before_zero = observe(func, args=[0, 1, 2]).dynamic_count
+    out = pre_pipeline(deep_copy_function(func))
+    after_zero = observe(out, args=[0, 1, 2]).dynamic_count
+    assert after_zero <= before_zero
+
+
+# ---------------------------------------------------------------------------
+# section 5.1: sqrt example — expression hoisted past a redefinition of its
+# own operand must keep the right version
+# ---------------------------------------------------------------------------
+
+
+def test_section_51_expression_name_across_blocks():
+    func = parse_function(
+        """
+        function f(rp, r9) {
+        entry:
+            r10 <- intrin sqrt(r9)
+            ru <- copy r10
+            cbr rp -> redef, join
+        redef:
+            r9 <- loadi 1000.0
+            jmp -> join
+        join:
+            r20 <- intrin sqrt(r9)
+            ret r20
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(
+        func, pre_pipeline, [{"args": [1, 4.0]}, {"args": [0, 4.0]}]
+    )
+    # along rp=1 the result must be sqrt(1000), not the stale sqrt(4)
+    assert observe(out, args=[1, 4.0]).value == pytest.approx(1000.0 ** 0.5)
+    assert observe(out, args=[0, 4.0]).value == 2.0
+
+
+def test_pre_rejects_phis():
+    func = parse_function(
+        """
+        function f(r0) {
+        entry:
+            jmp -> next
+        next:
+            r1 <- phi [entry: r0]
+            ret r1
+        }
+        """
+    )
+    with pytest.raises(ValueError, match="phi-free"):
+        pre(func)
+
+
+def test_pre_noop_on_expressionless_function():
+    func = parse_function("function f(r0) {\nentry:\n    ret r0\n}")
+    report = pre_transform(func)
+    assert report.insertions == 0 and report.deletions == 0
+
+
+def test_pre_idempotent_on_its_own_output():
+    func = parse_function(LOOP_INVARIANT)
+    pre(func)
+    dead_code_elimination(func)
+    coalesce(func)
+    clean(func)
+    second = pre_transform(func)
+    # nothing more to move after a full round
+    assert second.deletions == 0

@@ -1,0 +1,402 @@
+"""Tests for global reassociation: ranks, trees, sorting, distribution."""
+
+import pytest
+
+from tests.helpers import assert_pass_preserves_behavior, deep_copy_function, observe
+
+from repro.ir import Opcode, parse_function, validate_function
+from repro.passes.reassociate import (
+    ConstNode,
+    LeafNode,
+    OpNode,
+    compute_ranks,
+    distribute_tree,
+    global_reassociation,
+    make_op,
+    negate,
+    reassociate_transform,
+    sort_operands,
+)
+from repro.ssa import to_ssa
+
+# ---------------------------------------------------------------------------
+# ranks
+# ---------------------------------------------------------------------------
+
+RANK_EXAMPLE = """
+function foo(ry, rz) {
+entry:
+    rs <- loadi 0
+    rx <- add ry, rz
+    ri <- copy rx
+    r100 <- loadi 100
+    rc <- cmpgt ri, r100
+    cbr rc -> exit, body
+body:
+    r1 <- loadi 1
+    rt1 <- add r1, rs
+    rt2 <- add rt1, rx
+    rs <- copy rt2
+    ri2 <- add ri, r1
+    ri <- copy ri2
+    rc2 <- cmple ri, r100
+    cbr rc2 -> body, exit
+exit:
+    ret rs
+}
+"""
+
+
+def test_ranks_constants_zero():
+    func = to_ssa(parse_function(RANK_EXAMPLE))
+    ranks = compute_ranks(func)
+    zero_ranked = [name for name, rank in ranks.items() if rank == 0]
+    # every loadi result has rank 0
+    for inst in func.instructions():
+        if inst.opcode is Opcode.LOADI:
+            assert ranks[inst.target] == 0
+
+
+def test_ranks_params_get_entry_rank():
+    func = to_ssa(parse_function(RANK_EXAMPLE))
+    ranks = compute_ranks(func)
+    assert ranks["ry"] == 1
+    assert ranks["rz"] == 1
+
+
+def test_ranks_loop_invariant_below_loop_variant():
+    """The paper's intuition: x = y + z (invariant) ranks below the loop
+    φ values, which rank below values computed deeper in the iteration."""
+    func = to_ssa(parse_function(RANK_EXAMPLE))
+    ranks = compute_ranks(func)
+    # x = y+z has the entry's rank
+    add_x = next(
+        i for i in func.instructions()
+        if i.opcode is Opcode.ADD and set(i.srcs) == {"ry", "rz"}
+    )
+    x_rank = ranks[add_x.target]
+    assert x_rank == 1
+    # φ-results in the loop body rank higher
+    body_phis = [i for b in func.blocks for i in b.phis()]
+    assert body_phis, "loop must have phis"
+    for phi in body_phis:
+        assert ranks[phi.target] > x_rank
+
+
+def test_ranks_load_gets_block_rank():
+    func = to_ssa(
+        parse_function(
+            """
+            function f(ra) {
+            entry:
+                jmp -> second
+            second:
+                rv <- load ra
+                ret rv
+            }
+            """
+        )
+    )
+    ranks = compute_ranks(func)
+    load = next(i for i in func.instructions() if i.opcode is Opcode.LOAD)
+    assert ranks[load.target] == 2  # second block in RPO
+
+
+def test_ranks_expression_takes_max():
+    func = to_ssa(
+        parse_function(
+            """
+            function f(ra, rb) {
+            entry:
+                r0 <- loadi 3
+                r1 <- add ra, r0
+                jmp -> second
+            second:
+                rv <- load ra
+                r2 <- add r1, rv
+                ret r2
+            }
+            """
+        )
+    )
+    ranks = compute_ranks(func)
+    # SSA renaming freshens names; find the adds structurally
+    load = next(i for i in func.instructions() if i.opcode is Opcode.LOAD)
+    adds = [i for i in func.instructions() if i.opcode is Opcode.ADD]
+    entry_add = next(i for i in adds if "ra" in i.srcs)
+    exit_add = next(i for i in adds if load.target in i.srcs)
+    assert ranks[entry_add.target] == 1  # max(param 1, const 0)
+    assert ranks[exit_add.target] == 2  # max(1, load rank 2)
+
+
+# ---------------------------------------------------------------------------
+# trees
+# ---------------------------------------------------------------------------
+
+
+def leaf(name, rank):
+    return LeafNode(name, rank)
+
+
+def test_make_op_flattens_nested_adds():
+    tree = make_op(
+        Opcode.ADD,
+        [make_op(Opcode.ADD, [leaf("a", 1), leaf("b", 2)]), leaf("c", 3)],
+    )
+    assert isinstance(tree, OpNode)
+    assert len(tree.children) == 3
+
+
+def test_sub_becomes_add_of_neg():
+    tree = make_op(Opcode.ADD, [leaf("x", 1), negate(leaf("y", 1))])
+    kinds = [type(c).__name__ for c in tree.children]
+    assert "OpNode" in kinds  # the negation
+
+
+def test_negate_folds_constants_and_double_negation():
+    assert negate(ConstNode(5)).value == -5
+    assert negate(negate(leaf("x", 1))) == leaf("x", 1)
+
+
+def test_sort_operands_by_rank_constants_first():
+    """1 + rc + 2 becomes 1 + 2 + rc (the paper's constant example)."""
+    tree = make_op(Opcode.ADD, [ConstNode(1), leaf("rc", 3), ConstNode(2)])
+    tree = sort_operands(tree)
+    assert [type(c).__name__ for c in tree.children] == [
+        "ConstNode",
+        "ConstNode",
+        "LeafNode",
+    ]
+
+
+def test_sort_is_deterministic_across_equivalent_trees():
+    t1 = sort_operands(make_op(Opcode.ADD, [leaf("b", 2), leaf("a", 2), leaf("c", 1)]))
+    t2 = sort_operands(make_op(Opcode.ADD, [leaf("a", 2), leaf("c", 1), leaf("b", 2)]))
+    assert t1 == t2
+    assert t1.children[0].name == "c"  # lowest rank first
+
+
+def test_rank_of_node_is_max_of_children():
+    tree = make_op(Opcode.MUL, [leaf("a", 1), leaf("b", 4)])
+    assert tree.rank == 4
+
+
+# ---------------------------------------------------------------------------
+# distribution
+# ---------------------------------------------------------------------------
+
+
+def test_distribution_paper_example():
+    """a + b×((c+d)+e), ranks a,b,c,d=1 e=2 → a + b×(c+d) + b×e."""
+    a, b, c, d, e = (leaf(n, r) for n, r in [("a", 1), ("b", 1), ("c", 1), ("d", 1), ("e", 2)])
+    product = make_op(Opcode.MUL, [b, make_op(Opcode.ADD, [c, d, e])])
+    tree = make_op(Opcode.ADD, [a, product])
+    result = distribute_tree(tree)
+    assert isinstance(result, OpNode) and result.op is Opcode.ADD
+    # flattened: a, b×(c+d), b×e
+    assert len(result.children) == 3
+    products = [ch for ch in result.children if isinstance(ch, OpNode) and ch.op is Opcode.MUL]
+    assert len(products) == 2
+    ranks = sorted(p.rank for p in products)
+    assert ranks == [1, 2]
+
+
+def test_distribution_skipped_when_no_rank_split():
+    # all sum operands have one rank > multiplier: w×S unchanged
+    w = leaf("w", 1)
+    s = make_op(Opcode.ADD, [leaf("x", 2), leaf("y", 2)])
+    tree = make_op(Opcode.MUL, [w, s])
+    result = distribute_tree(tree)
+    assert isinstance(result, OpNode) and result.op is Opcode.MUL
+
+
+def test_distribution_skipped_for_high_ranked_multiplier():
+    # the multiplier ranks at the sum's max: no motion gained
+    w = leaf("w", 2)
+    s = make_op(Opcode.ADD, [leaf("x", 1), leaf("y", 2)])
+    tree = make_op(Opcode.MUL, [w, s])
+    result = distribute_tree(tree)
+    assert isinstance(result, OpNode) and result.op is Opcode.MUL
+
+
+# ---------------------------------------------------------------------------
+# the whole pass: behaviour preservation and shape goals
+# ---------------------------------------------------------------------------
+
+
+def test_pass_preserves_straight_line():
+    func = parse_function(
+        """
+        function f(rx, ry, rz) {
+        entry:
+            r1 <- add rx, ry
+            r2 <- add r1, rz
+            r3 <- sub r2, rx
+            ret r3
+        }
+        """
+    )
+    assert_pass_preserves_behavior(
+        func, global_reassociation, [{"args": [2, 3, 4]}, {"args": [-1, 0, 7]}]
+    )
+
+
+def test_pass_preserves_loops_and_branches():
+    func = parse_function(RANK_EXAMPLE)
+    assert_pass_preserves_behavior(
+        func, global_reassociation, [{"args": [3, 4]}, {"args": [200, 0]}]
+    )
+
+
+def test_pass_preserves_memory_ops():
+    func = parse_function(
+        """
+        function f(rn, ra) {
+        entry:
+            ri <- loadi 0
+            r1 <- loadi 1
+            rc0 <- cmplt ri, rn
+            cbr rc0 -> body, exit
+        body:
+            r8 <- loadi 8
+            roff <- mul ri, r8
+            raddr <- add ra, roff
+            rv <- load raddr
+            rv2 <- add rv, r1
+            store rv2, raddr
+            ri <- add ri, r1
+            rc <- cmplt ri, rn
+            cbr rc -> body, exit
+        exit:
+            ret ri
+        }
+        """
+    )
+    cases = [{"args": [3], "arrays": [([10, 20, 30], 8)]}]
+    out = assert_pass_preserves_behavior(func, global_reassociation, cases)
+    # loads and stores survive in order
+    assert any(i.opcode is Opcode.LOAD for i in out.instructions())
+    assert any(i.opcode is Opcode.STORE for i in out.instructions())
+
+
+def test_pass_with_distribution_preserves_behavior():
+    func = parse_function(
+        """
+        function f(rn, ra) {
+        entry:
+            ri <- loadi 0
+            r1 <- loadi 1
+            rc0 <- cmplt ri, rn
+            cbr rc0 -> body, exit
+        body:
+            rjp <- add ri, rn
+            r8 <- loadi 8
+            rsum <- add ri, rjp
+            roff <- mul rsum, r8
+            raddr <- add ra, roff
+            store ri, raddr
+            ri <- add ri, r1
+            rc <- cmplt ri, rn
+            cbr rc -> body, exit
+        exit:
+            ret ri
+        }
+        """
+    )
+    cases = [{"args": [2], "arrays": [([0] * 8, 8)]}]
+    assert_pass_preserves_behavior(
+        func, lambda f: global_reassociation(f, distribute=True), cases
+    )
+
+
+def test_constants_grouped_for_later_folding():
+    """x + 1 + y + 2: reassociation groups 1+2 so constprop can fold."""
+    func = parse_function(
+        """
+        function f(rx, ry) {
+        entry:
+            r1 <- loadi 1
+            r2 <- loadi 2
+            ra <- add rx, r1
+            rb <- add ra, ry
+            rc <- add rb, r2
+            ret rc
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(func, global_reassociation, [{"args": [10, 20]}])
+    # some add now has two constant (loadi) operands
+    loadi_targets = {
+        i.target for i in out.instructions() if i.opcode is Opcode.LOADI
+    }
+    assert any(
+        i.opcode is Opcode.ADD and set(i.srcs) <= loadi_targets
+        for i in out.instructions()
+    )
+
+
+def test_loop_invariant_subexpression_grouped():
+    """(inv + var) + inv2 regroups as (inv + inv2) + var so PRE can hoist."""
+    func = parse_function(
+        """
+        function f(rn, ra, rb) {
+        entry:
+            ri <- loadi 0
+            r1 <- loadi 1
+            rs <- loadi 0
+            rc0 <- cmplt ri, rn
+            cbr rc0 -> body, exit
+        body:
+            rt1 <- add ra, ri
+            rt2 <- add rt1, rb
+            rs <- add rs, rt2
+            ri <- add ri, r1
+            rc <- cmplt ri, rn
+            cbr rc -> body, exit
+        exit:
+            ret rs
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(
+        func, global_reassociation, [{"args": [5, 10, 20]}, {"args": [0, 1, 2]}]
+    )
+    # after reassociation some add combines the two invariant params
+    assert any(
+        i.opcode is Opcode.ADD and set(i.srcs) == {"ra", "rb"}
+        for i in out.instructions()
+    ), "ra + rb must be grouped together"
+
+
+def test_report_measures_expansion():
+    func = parse_function(RANK_EXAMPLE)
+    report = reassociate_transform(deep_copy_function(func))
+    assert report.static_before == func.static_count()
+    assert report.static_after >= 1
+    assert report.expansion > 0
+
+
+def test_phi_input_trees_on_split_edges():
+    # a phi input computed on a critical edge must not leak computation
+    # onto the other path
+    func = parse_function(
+        """
+        function f(rp, rx, ry) {
+        entry:
+            r1 <- add rx, ry
+            cbr rp -> other, join
+        other:
+            r2 <- mul rx, ry
+            jmp -> join
+        join:
+            rv <- phi [entry: r1, other: r2]
+            ret rv
+        }
+        """
+    )
+    # phi-free input expected by the differential helper? reassociation
+    # handles phis internally (rebuilds SSA), so this is fine
+    out = assert_pass_preserves_behavior(
+        func, global_reassociation, [{"args": [0, 3, 4]}, {"args": [1, 3, 4]}]
+    )
+    validate_function(out)

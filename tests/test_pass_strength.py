@@ -1,0 +1,213 @@
+"""Strength reduction tests."""
+
+import pytest
+
+from tests.helpers import assert_pass_preserves_behavior, observe
+
+from repro.ir import Opcode, parse_function
+from repro.passes.strength import strength_reduction
+
+IV_MUL = """
+function f(rn) {
+entry:
+    ri <- loadi 0
+    r1 <- loadi 1
+    r8 <- loadi 8
+    rs <- loadi 0
+    rc0 <- cmplt ri, rn
+    cbr rc0 -> body, exit
+body:
+    roff <- mul ri, r8
+    rs <- add rs, roff
+    ri <- add ri, r1
+    rc <- cmplt ri, rn
+    cbr rc -> body, exit
+exit:
+    ret rs
+}
+"""
+
+
+def test_behavior_preserved():
+    func = parse_function(IV_MUL)
+    assert_pass_preserves_behavior(
+        func, strength_reduction, [{"args": [10]}, {"args": [0]}, {"args": [1]}]
+    )
+
+
+def test_multiply_leaves_the_loop():
+    func = parse_function(IV_MUL)
+    before = observe(func, args=[50])
+    out = strength_reduction(func)
+    after = observe(out, args=[50])
+    assert after.value == before.value
+    # the per-iteration multiply became an add: dynamic MUL count is now O(1)
+    assert after.result.op_counts[Opcode.MUL] <= 2
+    assert before.result.op_counts[Opcode.MUL] == 50
+
+
+def test_noop_without_induction_multiplies():
+    func = parse_function(
+        """
+        function f(rn) {
+        entry:
+            ri <- loadi 0
+            r1 <- loadi 1
+            rs <- loadi 0
+            rc0 <- cmplt ri, rn
+            cbr rc0 -> body, exit
+        body:
+            rs <- add rs, ri
+            ri <- add ri, r1
+            rc <- cmplt ri, rn
+            cbr rc -> body, exit
+        exit:
+            ret rs
+        }
+        """
+    )
+    assert_pass_preserves_behavior(func, strength_reduction, [{"args": [5]}])
+
+
+def test_invariant_times_invariant_untouched():
+    func = parse_function(
+        """
+        function f(rn, ra, rb) {
+        entry:
+            ri <- loadi 0
+            r1 <- loadi 1
+            rs <- loadi 0
+            rc0 <- cmplt ri, rn
+            cbr rc0 -> body, exit
+        body:
+            rp <- mul ra, rb
+            rs <- add rs, rp
+            ri <- add ri, r1
+            rc <- cmplt ri, rn
+            cbr rc -> body, exit
+        exit:
+            ret rs
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(
+        func, strength_reduction, [{"args": [4, 3, 5]}]
+    )
+    assert any(i.opcode is Opcode.MUL for i in out.instructions())
+
+
+def test_variant_times_variant_untouched():
+    func = parse_function(
+        """
+        function f(rn) {
+        entry:
+            ri <- loadi 0
+            r1 <- loadi 1
+            rs <- loadi 0
+            rc0 <- cmplt ri, rn
+            cbr rc0 -> body, exit
+        body:
+            rsq <- mul ri, ri
+            rs <- add rs, rsq
+            ri <- add ri, r1
+            rc <- cmplt ri, rn
+            cbr rc -> body, exit
+        exit:
+            ret rs
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(func, strength_reduction, [{"args": [6]}])
+    # i*i is not iv*invariant; it must survive
+    body_muls = [i for i in out.instructions() if i.opcode is Opcode.MUL]
+    assert body_muls
+
+
+def test_nested_loop_iv():
+    func = parse_function(
+        """
+        function f(rn) {
+        entry:
+            rj <- loadi 0
+            r1 <- loadi 1
+            r4 <- loadi 4
+            rs <- loadi 0
+            rcj0 <- cmplt rj, rn
+            cbr rcj0 -> outer, exit
+        outer:
+            ri <- loadi 0
+            rci0 <- cmplt ri, rn
+            cbr rci0 -> inner, latcho
+        inner:
+            roff <- mul ri, r4
+            rs <- add rs, roff
+            ri <- add ri, r1
+            rci <- cmplt ri, rn
+            cbr rci -> inner, latcho
+        latcho:
+            rj <- add rj, r1
+            rcj <- cmplt rj, rn
+            cbr rcj -> outer, exit
+        exit:
+            ret rs
+        }
+        """
+    )
+    out = assert_pass_preserves_behavior(
+        func, strength_reduction, [{"args": [5]}, {"args": [0]}, {"args": [1]}]
+    )
+    after = observe(out, args=[8])
+    # inner multiply reduced: MUL executes at most twice per outer iteration
+    assert after.result.op_counts[Opcode.MUL] <= 2 * 8
+
+
+def test_after_full_pipeline_on_frontend_code():
+    """SR composes with the distribution pipeline on array code."""
+    from repro.frontend import compile_program
+    from repro.interp import Interpreter, Memory
+    from repro.passes import (
+        clean,
+        coalesce,
+        dead_code_elimination,
+        global_reassociation,
+        global_value_numbering,
+        partial_redundancy_elimination,
+        peephole,
+        sparse_conditional_constant_propagation,
+    )
+
+    src = """
+    routine fill(n: int, a: real[64]) -> real
+      integer i
+      real s
+      s = 0.0
+      do i = 1, n
+        a(i) = real(i)
+        s = s + a(i)
+      end
+      return s
+    end
+    """
+
+    def run(with_sr):
+        module = compile_program(src)
+        func = module["fill"]
+        global_reassociation(func, distribute=True)
+        global_value_numbering(func)
+        partial_redundancy_elimination(func)
+        if with_sr:
+            strength_reduction(func)
+        sparse_conditional_constant_propagation(func)
+        peephole(func)
+        dead_code_elimination(func)
+        coalesce(func)
+        clean(func)
+        memory = Memory()
+        base = memory.allocate_array([0.0] * 64, 8)
+        result = Interpreter(module).run("fill", [60, base], memory)
+        return result
+
+    plain = run(with_sr=False)
+    reduced = run(with_sr=True)
+    assert reduced.value == pytest.approx(plain.value)
+    assert reduced.op_counts[Opcode.MUL] < plain.op_counts[Opcode.MUL]

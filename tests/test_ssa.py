@@ -1,0 +1,178 @@
+"""SSA construction and destruction tests."""
+
+from repro.cfg import ControlFlowGraph
+from repro.ir import Opcode, parse_function, validate_function
+from repro.ssa import destroy_ssa, sequentialize_parallel_copy, to_ssa
+
+LOOP = """
+function f(r0) {
+entry:
+    ri <- loadi 0
+    jmp -> header
+header:
+    rc <- cmplt ri, r0
+    cbr rc -> body, exit
+body:
+    r1 <- loadi 1
+    ri <- add ri, r1
+    jmp -> header
+exit:
+    ret ri
+}
+"""
+
+
+def test_to_ssa_single_assignment():
+    func = to_ssa(parse_function(LOOP))
+    validate_function(func, ssa=True)
+
+
+def test_to_ssa_places_phi_at_loop_header():
+    func = to_ssa(parse_function(LOOP))
+    header_phis = func.block("header").phis()
+    assert len(header_phis) == 1  # only ri needs a phi (rc, r1 are local)
+
+
+def test_pruned_ssa_has_fewer_phis_than_minimal():
+    minimal = to_ssa(parse_function(LOOP), pruned=False)
+    pruned = to_ssa(parse_function(LOOP), pruned=True)
+    count = lambda f: sum(len(b.phis()) for b in f.blocks)
+    assert count(pruned) <= count(minimal)
+
+
+def test_copy_folding_removes_copies():
+    func = parse_function(
+        """
+        function f(r0) {
+        entry:
+            ra <- copy r0
+            rb <- add ra, ra
+            ret rb
+        }
+        """
+    )
+    ssa = to_ssa(func, fold_copies=True)
+    ops = [inst.opcode for inst in ssa.instructions()]
+    assert Opcode.COPY not in ops
+    add = next(i for i in ssa.instructions() if i.opcode is Opcode.ADD)
+    assert add.srcs == ["r0", "r0"]
+
+
+def test_copy_folding_through_diamond_becomes_phi_input():
+    # the paper's section 2.2 example: a = y; b = a + z should look like y + z
+    func = parse_function(
+        """
+        function f(ry, rz) {
+        entry:
+            r1 <- add ry, rz
+            ra <- copy ry
+            r2 <- add ra, rz
+            ret r2
+        }
+        """
+    )
+    ssa = to_ssa(func)
+    adds = [i for i in ssa.instructions() if i.opcode is Opcode.ADD]
+    # after folding, both adds have identical operands
+    assert adds[0].srcs == adds[1].srcs == ["ry", "rz"]
+
+
+def test_destroy_ssa_round_trip_structure():
+    func = to_ssa(parse_function(LOOP))
+    destroy_ssa(func)
+    validate_function(func)
+    assert all(not inst.is_phi for inst in func.instructions())
+
+
+def test_destroy_ssa_splits_critical_edges():
+    func = parse_function(
+        """
+        function f(r0) {
+        entry:
+            cbr r0 -> a, join
+        a:
+            jmp -> join
+        join:
+            rx <- phi [entry: r0, a: r0]
+            ret rx
+        }
+        """
+    )
+    destroy_ssa(func)
+    validate_function(func)
+    # the entry->join edge was critical; a new block carries the copy
+    cfg = ControlFlowGraph(func)
+    assert len(func.blocks) == 4
+
+
+def test_sequentialize_no_cycle():
+    order = sequentialize_parallel_copy([("a", "x"), ("b", "y")], lambda: "tmp")
+    assert set(order) == {("a", "x"), ("b", "y")}
+
+
+def test_sequentialize_chain_ordering():
+    # b <- a must run before a <- x overwrites a
+    order = sequentialize_parallel_copy([("a", "x"), ("b", "a")], lambda: "tmp")
+    assert order.index(("b", "a")) < order.index(("a", "x"))
+
+
+def test_sequentialize_swap_uses_temp():
+    fresh_names = iter(["t0"])
+    order = sequentialize_parallel_copy(
+        [("a", "b"), ("b", "a")], lambda: next(fresh_names)
+    )
+    # simulate
+    env = {"a": 1, "b": 2}
+    for t, s in order:
+        env[t] = env[s]
+    assert env["a"] == 2 and env["b"] == 1
+
+
+def test_sequentialize_three_cycle():
+    fresh_names = iter(["t0", "t1"])
+    pairs = [("a", "b"), ("b", "c"), ("c", "a")]
+    order = sequentialize_parallel_copy(pairs, lambda: next(fresh_names))
+    env = {"a": 1, "b": 2, "c": 3}
+    for t, s in order:
+        env[t] = env[s]
+    assert (env["a"], env["b"], env["c"]) == (2, 3, 1)
+
+
+def test_sequentialize_drops_self_copy():
+    assert sequentialize_parallel_copy([("a", "a")], lambda: "t") == []
+
+
+def test_sequentialize_duplicate_target_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        sequentialize_parallel_copy([("a", "x"), ("a", "y")], lambda: "t")
+
+
+def test_ssa_uses_dominated_by_defs():
+    """Every SSA use must be dominated by its definition."""
+    func = to_ssa(parse_function(LOOP))
+    cfg = ControlFlowGraph(func)
+    from repro.cfg import DominatorTree
+
+    dom = DominatorTree(cfg)
+    def_site: dict[str, str] = {p: func.entry.label for p in func.params}
+    position: dict[str, tuple[str, int]] = {}
+    for blk in func.blocks:
+        for idx, inst in enumerate(blk.instructions):
+            for target in inst.defs():
+                def_site[target] = blk.label
+                position[target] = (blk.label, idx)
+    for blk in func.blocks:
+        for idx, inst in enumerate(blk.instructions):
+            if inst.is_phi:
+                for src, pred in zip(inst.srcs, inst.phi_labels):
+                    assert dom.dominates(def_site[src], pred)
+                continue
+            for src in inst.uses():
+                if def_site[src] == blk.label and src in position:
+                    assert position[src][1] < idx
+                else:
+                    assert dom.strictly_dominates(def_site[src], blk.label) or (
+                        def_site[src] == blk.label
+                    )

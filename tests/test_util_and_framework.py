@@ -1,0 +1,201 @@
+"""Unit tests for the SCC utility and the generic dataflow solver."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg import ControlFlowGraph
+from repro.dataflow.framework import DataflowProblem, solve
+from repro.interp.memory import Memory, MemoryError_
+from repro.ir import parse_function
+from repro.util import cyclic_nodes, strongly_connected_components
+
+
+def test_scc_simple_cycle():
+    graph = {1: [2], 2: [3], 3: [1], 4: [1]}
+    components = strongly_connected_components(graph)
+    as_sets = [frozenset(c) for c in components]
+    assert frozenset({1, 2, 3}) in as_sets
+    assert frozenset({4}) in as_sets
+
+
+def test_scc_self_loop():
+    graph = {"a": ["a"], "b": []}
+    assert cyclic_nodes(graph) == {"a"}
+
+
+def test_scc_dag_has_no_cycles():
+    graph = {1: [2, 3], 2: [4], 3: [4], 4: []}
+    assert cyclic_nodes(graph) == set()
+    assert len(strongly_connected_components(graph)) == 4
+
+
+def test_scc_reverse_topological_order():
+    graph = {1: [2], 2: [3], 3: []}
+    components = strongly_connected_components(graph)
+    order = [c[0] for c in components]
+    assert order.index(3) < order.index(2) < order.index(1)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 7), st.integers(0, 7)), max_size=25
+    )
+)
+def test_scc_matches_networkx(edges):
+    graph = {n: [] for n in range(8)}
+    for a, b in edges:
+        graph[a].append(b)
+    ours = {frozenset(c) for c in strongly_connected_components(graph)}
+    g = nx.DiGraph()
+    g.add_nodes_from(range(8))
+    g.add_edges_from(edges)
+    theirs = {frozenset(c) for c in nx.strongly_connected_components(g)}
+    assert ours == theirs
+
+
+def test_scc_deep_chain_no_recursion_error():
+    n = 5000
+    graph = {i: [i + 1] for i in range(n)}
+    graph[n] = []
+    assert len(strongly_connected_components(graph)) == n + 1
+
+
+# ---------------------------------------------------------------------------
+# the generic solver on a handmade problem
+# ---------------------------------------------------------------------------
+
+
+def _diamond_cfg():
+    return ControlFlowGraph(
+        parse_function(
+            """
+            function f(rp) {
+            entry:
+                cbr rp -> a, b
+            a:
+                jmp -> join
+            b:
+                jmp -> join
+            join:
+                ret
+            }
+            """
+        )
+    )
+
+
+def test_forward_union_reaches_join_from_either_arm():
+    cfg = _diamond_cfg()
+    universe = frozenset({"x", "y"})
+    problem = DataflowProblem(
+        direction="forward",
+        meet="union",
+        universe=universe,
+        gen={"entry": frozenset(), "a": frozenset({"x"}), "b": frozenset({"y"}), "join": frozenset()},
+        kill={label: frozenset() for label in ("entry", "a", "b", "join")},
+    )
+    result = solve(problem, cfg)
+    assert result.at_entry("join") == {"x", "y"}
+
+
+def test_forward_intersection_requires_both_arms():
+    cfg = _diamond_cfg()
+    universe = frozenset({"x", "y"})
+    problem = DataflowProblem(
+        direction="forward",
+        meet="intersection",
+        universe=universe,
+        gen={"entry": frozenset(), "a": frozenset({"x", "y"}), "b": frozenset({"y"}), "join": frozenset()},
+        kill={label: frozenset() for label in ("entry", "a", "b", "join")},
+    )
+    result = solve(problem, cfg)
+    assert result.at_entry("join") == {"y"}
+
+
+def test_backward_union():
+    cfg = _diamond_cfg()
+    universe = frozenset({"u"})
+    problem = DataflowProblem(
+        direction="backward",
+        meet="union",
+        universe=universe,
+        gen={"entry": frozenset(), "a": frozenset({"u"}), "b": frozenset(), "join": frozenset()},
+        kill={label: frozenset() for label in ("entry", "a", "b", "join")},
+    )
+    result = solve(problem, cfg)
+    assert "u" in result.at_exit("entry")
+    assert "u" not in result.at_entry("join")
+
+
+def test_solution_is_a_fixpoint():
+    """Re-running the transfer functions must not change the solution."""
+    cfg = _diamond_cfg()
+    universe = frozenset({"x", "y", "z"})
+    gen = {
+        "entry": frozenset({"z"}),
+        "a": frozenset({"x"}),
+        "b": frozenset({"y"}),
+        "join": frozenset(),
+    }
+    kill = {
+        "entry": frozenset(),
+        "a": frozenset({"z"}),
+        "b": frozenset(),
+        "join": frozenset(),
+    }
+    problem = DataflowProblem(
+        direction="forward", meet="intersection", universe=universe, gen=gen, kill=kill
+    )
+    result = solve(problem, cfg)
+    for label in cfg.reachable():
+        preds = cfg.preds[label]
+        if label == cfg.entry:
+            incoming = problem.boundary
+        else:
+            incoming = universe
+            for p in preds:
+                incoming &= result.at_exit(p)
+        assert result.at_entry(label) == incoming
+        assert result.at_exit(label) == gen[label] | (incoming - kill[label])
+
+
+# ---------------------------------------------------------------------------
+# memory
+# ---------------------------------------------------------------------------
+
+
+def test_memory_null_store_rejected():
+    with pytest.raises(MemoryError_):
+        Memory().write(0, 1.0)
+
+
+def test_memory_unwritten_read_rejected():
+    mem = Memory()
+    base = mem.allocate(16)
+    with pytest.raises(MemoryError_):
+        mem.read(base)
+
+
+def test_memory_alignment():
+    mem = Memory()
+    mem.allocate(3, align=1)
+    base = mem.allocate(8, align=8)
+    assert base % 8 == 0
+
+
+def test_memory_distinct_allocations_do_not_overlap():
+    mem = Memory()
+    a = mem.allocate_array([1, 2, 3], 4)
+    b = mem.allocate_array([9, 9], 8)
+    assert mem.read_array(a, 3, 4) == [1, 2, 3]
+    assert mem.read_array(b, 2, 8) == [9, 9]
+    assert a + 3 * 4 <= b
+
+
+def test_memory_len_counts_cells():
+    mem = Memory()
+    mem.allocate_array([1.0, 2.0], 8)
+    assert len(mem) == 2

@@ -23,96 +23,48 @@ Run as a script::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
 from repro.bench.report import format_count, format_pct, format_table
 from repro.bench.suite import SuiteRoutine, suite_routines
 from repro.frontend import compile_program
 from repro.interp import Interpreter, Memory
-from repro.ir.function import Function, Module
-from repro.passes import (
-    clean,
-    coalesce,
-    dead_code_elimination,
-    global_reassociation,
-    global_value_numbering,
-    local_value_numbering,
-    partial_redundancy_elimination,
-    peephole,
-    sparse_conditional_constant_propagation,
-)
+from repro.pipeline.levels import BASELINE_SPECS
+from repro.pm.manager import ManagerStats, PassManager
+from repro.pm.registry import PassSpec, register_sequence
 
-_BASELINE = [
-    sparse_conditional_constant_propagation,
-    peephole,
-    dead_code_elimination,
-    coalesce,
-    clean,
-]
+_DISTRIBUTE = ("reassociate", {"distribute": True})
 
-PassFn = Callable[[Function], Function]
-
-
-def _reassoc(**kwargs) -> PassFn:
-    def run(func: Function) -> Function:
-        return global_reassociation(func, **kwargs)
-
-    return run
-
-
-def _gvn(**kwargs) -> PassFn:
-    def run(func: Function) -> Function:
-        return global_value_numbering(func, **kwargs)
-
-    return run
-
-
-def _shift_peephole(func: Function) -> Function:
-    return peephole(func, convert_mul_to_shift=True)
-
-
-#: Every ablation variant, as ordered pass lists.
-VARIANTS: dict[str, list[PassFn]] = {
-    "reference": [
-        _reassoc(distribute=True),
-        _gvn(),
-        partial_redundancy_elimination,
-        *_BASELINE,
-    ],
-    "no_gvn": [
-        _reassoc(distribute=True),
-        partial_redundancy_elimination,
-        *_BASELINE,
-    ],
-    "no_reassoc": [partial_redundancy_elimination, *_BASELINE],
+#: Every ablation variant, as ordered registry spec lists (the registry
+#: also carries them as named sequences ``ablation/<variant>``).
+VARIANTS: dict[str, list[PassSpec]] = {
+    "reference": [_DISTRIBUTE, "gvn", "pre", *BASELINE_SPECS],
+    "no_gvn": [_DISTRIBUTE, "pre", *BASELINE_SPECS],
+    "no_reassoc": ["pre", *BASELINE_SPECS],
     "unshared_emission": [
-        _reassoc(distribute=True, share_emission=False),
-        _gvn(),
-        partial_redundancy_elimination,
-        *_BASELINE,
+        ("reassociate", {"distribute": True, "share_emission": False}),
+        "gvn",
+        "pre",
+        *BASELINE_SPECS,
     ],
-    "with_lvn": [
-        _reassoc(distribute=True),
-        _gvn(),
-        local_value_numbering,
-        partial_redundancy_elimination,
-        local_value_numbering,
-        *_BASELINE,
-    ],
+    "with_lvn": [_DISTRIBUTE, "gvn", "lvn", "pre", "lvn", *BASELINE_SPECS],
     "premature_shift": [
-        _shift_peephole,
-        _reassoc(distribute=True),
-        _gvn(),
-        partial_redundancy_elimination,
-        *_BASELINE,
+        ("peephole", {"convert_mul_to_shift": True}),
+        _DISTRIBUTE,
+        "gvn",
+        "pre",
+        *BASELINE_SPECS,
     ],
     "commutative_gvn": [
-        _reassoc(distribute=True),
-        _gvn(commutative=True),
-        partial_redundancy_elimination,
-        *_BASELINE,
+        _DISTRIBUTE,
+        ("gvn", {"commutative": True}),
+        "pre",
+        *BASELINE_SPECS,
     ],
 }
+
+for _variant, _specs in VARIANTS.items():
+    register_sequence(f"ablation/{_variant}", _specs)
 
 #: Routines exercising the interesting behaviours, kept small so the
 #: whole ablation matrix runs quickly.
@@ -130,11 +82,15 @@ DEFAULT_ROUTINES = (
 )
 
 
-def _execute_variant(routine: SuiteRoutine, passes: list[PassFn]):
+def _execute_variant(
+    routine: SuiteRoutine,
+    specs: Sequence[PassSpec],
+    manager: Optional[PassManager] = None,
+):
     module = compile_program(routine.source)
-    for func in module:
-        for pass_fn in passes:
-            pass_fn(func)
+    if manager is None:
+        manager = PassManager(specs)
+    manager.run_module(module)
     memory = Memory()
     args = list(routine.args)
     for values, elemsize in routine.fresh_arrays():
@@ -142,9 +98,9 @@ def _execute_variant(routine: SuiteRoutine, passes: list[PassFn]):
     return Interpreter(module).run(routine.entry_name, args, memory)
 
 
-def run_variant(routine: SuiteRoutine, passes: list[PassFn]) -> int:
+def run_variant(routine: SuiteRoutine, specs: Sequence[PassSpec]) -> int:
     """Dynamic count of the routine compiled under one variant."""
-    return _execute_variant(routine, passes).dynamic_count
+    return _execute_variant(routine, specs).dynamic_count
 
 
 @dataclass
@@ -155,16 +111,25 @@ class AblationRow:
 
 def generate_ablation(
     routine_names: Iterable[str] = DEFAULT_ROUTINES,
-    variants: Optional[dict[str, list[PassFn]]] = None,
+    variants: Optional[dict[str, list[PassSpec]]] = None,
+    *,
+    jobs: int = 1,
+    stats: Optional[ManagerStats] = None,
 ) -> list[AblationRow]:
     variants = variants if variants is not None else VARIANTS
+    managers = {
+        variant: PassManager(specs, jobs=jobs, stats=stats)
+        for variant, specs in variants.items()
+    }
     rows = []
     all_routines = {r.name: r for r in suite_routines()}
     for name in routine_names:
         routine = all_routines[name]
         counts = {
-            variant: run_variant(routine, passes)
-            for variant, passes in variants.items()
+            variant: _execute_variant(
+                routine, specs, managers[variant]
+            ).dynamic_count
+            for variant, specs in variants.items()
         }
         rows.append(AblationRow(name=name, counts=counts))
     return rows
@@ -201,15 +166,8 @@ def measure_strength_reduction(
     cares about — multiplies were the expensive operation.
     """
     from repro.ir.opcodes import Opcode
-    from repro.passes import strength_reduction
 
-    with_sr = [
-        _reassoc(distribute=True),
-        _gvn(),
-        partial_redundancy_elimination,
-        strength_reduction,
-        *_BASELINE,
-    ]
+    with_sr = [_DISTRIBUTE, "gvn", "pre", "strength", *BASELINE_SPECS]
     all_routines = {r.name: r for r in suite_routines()}
     rows = []
     for name in routine_names:
@@ -230,8 +188,15 @@ def measure_strength_reduction(
     return rows
 
 
-def main() -> None:  # pragma: no cover - exercised via CLI
-    rows = generate_ablation()
+def main(
+    jobs: int = 1, show_stats: bool = False
+) -> None:  # pragma: no cover - exercised via CLI
+    import sys
+
+    stats = ManagerStats()
+    rows = generate_ablation(jobs=jobs, stats=stats)
+    if show_stats:
+        print(stats.format(), file=sys.stderr)
     print(format_ablation(rows))
     print()
     print("cells show variant count (its deficit vs the reference pipeline)")

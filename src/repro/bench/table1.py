@@ -25,6 +25,9 @@ from typing import Iterable, Optional
 from repro.bench.report import format_count, format_pct, format_table, improvement
 from repro.bench.suite import SuiteRoutine, suite_routines
 from repro.pipeline import OptLevel, compile_source, run_routine
+from repro.pm.cache import PassCache
+from repro.pm.manager import ManagerStats, PassManager
+from repro.pm.remarks import RemarkCollector
 
 
 @dataclass
@@ -48,11 +51,41 @@ class Table1Row:
         return improvement(self.baseline, self.distribution)
 
 
-def measure_routine(routine: SuiteRoutine) -> Table1Row:
+def build_level_managers(
+    *,
+    jobs: int = 1,
+    executor: str = "thread",
+    cache: Optional[PassCache] = None,
+    collector: Optional[RemarkCollector] = None,
+    stats: Optional[ManagerStats] = None,
+    verify: str = "final",
+) -> dict[OptLevel, PassManager]:
+    """One manager per Table 1 level, sharing stats/cache/remarks."""
+    stats = stats if stats is not None else ManagerStats()
+    return {
+        level: PassManager(
+            level.value,
+            verify=verify,
+            jobs=jobs,
+            executor=executor,
+            cache=cache,
+            collector=collector,
+            stats=stats,
+        )
+        for level in OptLevel
+    }
+
+
+def measure_routine(
+    routine: SuiteRoutine,
+    managers: Optional[dict[OptLevel, PassManager]] = None,
+) -> Table1Row:
     """Compile and run one routine at every level."""
+    if managers is None:
+        managers = build_level_managers()
     counts = {}
     for level in OptLevel:
-        module = compile_source(routine.source, level=level)
+        module = compile_source(routine.source, manager=managers[level])
         run = run_routine(
             module, routine.entry_name, routine.args, routine.fresh_arrays()
         )
@@ -68,10 +101,13 @@ def measure_routine(routine: SuiteRoutine) -> Table1Row:
 
 def generate_table1(
     routines: Optional[Iterable[SuiteRoutine]] = None,
+    managers: Optional[dict[OptLevel, PassManager]] = None,
 ) -> list[Table1Row]:
     """Measure every routine; rows sorted by the *new* column (paper order)."""
     routines = list(routines) if routines is not None else suite_routines()
-    rows = [measure_routine(routine) for routine in routines]
+    if managers is None:
+        managers = build_level_managers()
+    rows = [measure_routine(routine, managers) for routine in routines]
     rows.sort(key=lambda row: row.new_improvement, reverse=True)
     return rows
 
@@ -129,8 +165,34 @@ def summarize(rows: list[Table1Row]) -> dict:
     }
 
 
-def main() -> None:  # pragma: no cover - exercised via CLI
-    rows = generate_table1()
+def main(
+    jobs: int = 1,
+    executor: str = "thread",
+    cache_dir: Optional[str] = None,
+    show_stats: bool = False,
+    remarks_path: Optional[str] = None,
+    stats_json: Optional[str] = None,
+    verify: str = "final",
+) -> None:  # pragma: no cover - exercised via CLI
+    """Print Table 1 to stdout; diagnostics (``--stats``) go to stderr.
+
+    Keeping stdout limited to the table means warm-cache, parallel and
+    instrumented runs all produce byte-identical table output.
+    """
+    import sys
+
+    pm_stats = ManagerStats()
+    cache = PassCache(cache_dir) if cache_dir else None
+    collector = RemarkCollector() if remarks_path else None
+    managers = build_level_managers(
+        jobs=jobs,
+        executor=executor,
+        cache=cache,
+        collector=collector,
+        stats=pm_stats,
+        verify=verify,
+    )
+    rows = generate_table1(managers=managers)
     print(format_table1(rows))
     stats = summarize(rows)
     print()
@@ -142,6 +204,12 @@ def main() -> None:  # pragma: no cover - exercised via CLI
         f"{stats['routines_new_improved']} routines improve, "
         f"{stats['routines_new_degraded']} degrade."
     )
+    if remarks_path:
+        collector.write(remarks_path)
+    if stats_json:
+        pm_stats.write_json(stats_json)
+    if show_stats:
+        print(pm_stats.format(), file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -4,11 +4,20 @@
 
     python -m repro compile prog.f --level distribution        # print optimized ILOC
     python -m repro run prog.f saxpy 100 2.0 --array 0,0,0:8   # execute + count
+    python -m repro passes                                     # registry + sequences
     python -m repro table1 | table2 | ablation                 # the experiments
 
 The source language is the mini-FORTRAN of :mod:`repro.frontend`; array
 arguments are comma-separated element lists suffixed with the element
 size (``:8`` for REAL, ``:4`` for INTEGER), appended after the scalars.
+
+Pipeline knobs (``compile``/``run``/``table1``/``ablation``): ``--jobs N``
+fans compilation out per function, ``--verify {each,final,off}`` controls
+inter-pass validation, ``--remarks out.jsonl`` saves structured
+optimization remarks, and ``--stats`` prints per-pass wall-clock and
+IR-delta totals to stderr (stdout stays byte-identical).  ``table1``
+keeps a content-addressed IR cache in ``.repro_cache/`` by default, so a
+second run replays compiles from disk (``--no-cache`` to disable).
 """
 
 from __future__ import annotations
@@ -20,6 +29,9 @@ from typing import Optional, Sequence
 from repro.interp import Interpreter, Memory
 from repro.ir import print_module
 from repro.pipeline import OptLevel, compile_source
+from repro.pm import ManagerStats, PassCache, PassManager, RemarkCollector
+
+VERIFY_CHOICES = ("each", "final", "off")
 
 
 def _parse_scalar(text: str):
@@ -54,6 +66,41 @@ def _add_level_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_pipeline_arguments(
+    parser: argparse.ArgumentParser, verify_default: str = "final"
+) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="optimize N functions concurrently (output identical to serial)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=["thread", "process"],
+        default="thread",
+        help="worker type for --jobs > 1 (default: thread)",
+    )
+    parser.add_argument(
+        "--verify",
+        choices=list(VERIFY_CHOICES),
+        default=verify_default,
+        help="validate IR after each pass, once at the end, or never "
+        f"(default: {verify_default})",
+    )
+    parser.add_argument(
+        "--remarks",
+        metavar="OUT.JSONL",
+        help="write structured optimization remarks as JSON Lines",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-pass timing/IR-delta totals to stderr",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -64,6 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
     compile_cmd = commands.add_parser("compile", help="compile and print ILOC")
     compile_cmd.add_argument("source", help="mini-FORTRAN source file")
     _add_level_argument(compile_cmd)
+    _add_pipeline_arguments(compile_cmd)
 
     run_cmd = commands.add_parser("run", help="compile, execute and count")
     run_cmd.add_argument("source", help="mini-FORTRAN source file")
@@ -81,25 +129,86 @@ def build_parser() -> argparse.ArgumentParser:
         "--counts", action="store_true", help="print per-opcode dynamic counts"
     )
     _add_level_argument(run_cmd)
+    _add_pipeline_arguments(run_cmd)
 
-    commands.add_parser("table1", help="regenerate the paper's Table 1")
+    passes_cmd = commands.add_parser(
+        "passes", help="list registered passes and level sequences"
+    )
+    passes_cmd.add_argument(
+        "--sequence",
+        metavar="NAME",
+        help="show only this named sequence",
+    )
+
+    table1_cmd = commands.add_parser("table1", help="regenerate the paper's Table 1")
+    _add_pipeline_arguments(table1_cmd)
+    table1_cmd.add_argument(
+        "--cache-dir",
+        default=".repro_cache",
+        metavar="DIR",
+        help="content-addressed IR cache directory (default: .repro_cache)",
+    )
+    table1_cmd.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="compile everything from scratch, no cache reads or writes",
+    )
+    table1_cmd.add_argument(
+        "--stats-json",
+        metavar="OUT.JSON",
+        help="write per-pass timing totals as JSON (CI benchmark artifact)",
+    )
+
     commands.add_parser("table2", help="regenerate the paper's Table 2")
-    commands.add_parser("ablation", help="run the design-choice ablations")
+
+    ablation_cmd = commands.add_parser(
+        "ablation", help="run the design-choice ablations"
+    )
+    ablation_cmd.add_argument("--jobs", type=int, default=1, metavar="N")
+    ablation_cmd.add_argument("--stats", action="store_true")
     return parser
+
+
+def _build_manager(options, stats: ManagerStats, collector) -> Optional[PassManager]:
+    level = _level(options.level)
+    if level is None:
+        return None
+    return PassManager(
+        level.value,
+        verify=options.verify,
+        jobs=options.jobs,
+        executor=options.executor,
+        collector=collector,
+        stats=stats,
+    )
+
+
+def _finish_pipeline(options, stats: ManagerStats, collector) -> None:
+    if getattr(options, "remarks", None) and collector is not None:
+        collector.write(options.remarks)
+    if getattr(options, "stats", False):
+        print(stats.format(), file=sys.stderr)
 
 
 def _cmd_compile(options) -> int:
     with open(options.source) as handle:
         source = handle.read()
-    module = compile_source(source, level=_level(options.level))
+    stats = ManagerStats()
+    collector = RemarkCollector() if options.remarks else None
+    manager = _build_manager(options, stats, collector)
+    module = compile_source(source, manager=manager, verify=options.verify)
     print(print_module(module))
+    _finish_pipeline(options, stats, collector)
     return 0
 
 
 def _cmd_run(options) -> int:
     with open(options.source) as handle:
         source = handle.read()
-    module = compile_source(source, level=_level(options.level))
+    stats = ManagerStats()
+    collector = RemarkCollector() if options.remarks else None
+    manager = _build_manager(options, stats, collector)
+    module = compile_source(source, manager=manager, verify=options.verify)
     memory = Memory()
     args = [_parse_scalar(a) for a in options.args]
     arrays = []
@@ -116,6 +225,37 @@ def _cmd_run(options) -> int:
     if options.counts:
         for opcode, count in result.op_counts.most_common():
             print(f"  {opcode.value:<8} {count}")
+    _finish_pipeline(options, stats, collector)
+    return 0
+
+
+def _cmd_passes(options) -> int:
+    from repro.bench import ablation  # noqa: F401  (registers ablation/*)
+    from repro.pm import all_passes, get_sequence, sequence_names, spec_label
+    from repro.pm.registry import sequence_description
+
+    if options.sequence:
+        specs = get_sequence(options.sequence)
+        print(" -> ".join(spec_label(spec) for spec in specs))
+        return 0
+    print("registered passes:")
+    for info in all_passes():
+        tags = info.kind + (", invalidates-ssa" if info.invalidates_ssa else "")
+        print(f"  {info.name:<16} [{tags}] {info.description}")
+        if info.options:
+            rendered = ", ".join(
+                f"{key}={value!r}" for key, value in sorted(info.options.items())
+            )
+            print(f"  {'':<16} options: {rendered}")
+    print()
+    print("sequences:")
+    for name in sequence_names():
+        specs = get_sequence(name)
+        chain = " -> ".join(spec_label(spec) for spec in specs)
+        doc = sequence_description(name)
+        print(f"  {name:<22} {chain}")
+        if doc:
+            print(f"  {'':<22} ({doc})")
     return 0
 
 
@@ -125,10 +265,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_compile(options)
     if options.command == "run":
         return _cmd_run(options)
+    if options.command == "passes":
+        return _cmd_passes(options)
     if options.command == "table1":
         from repro.bench.table1 import main as table1_main
 
-        table1_main()
+        table1_main(
+            jobs=options.jobs,
+            executor=options.executor,
+            cache_dir=None if options.no_cache else options.cache_dir,
+            show_stats=options.stats,
+            remarks_path=options.remarks,
+            stats_json=options.stats_json,
+            verify=options.verify,
+        )
         return 0
     if options.command == "table2":
         from repro.bench.table2 import main as table2_main
@@ -137,7 +287,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     from repro.bench.ablation import main as ablation_main
 
-    ablation_main()
+    ablation_main(jobs=options.jobs, show_stats=options.stats)
     return 0
 
 

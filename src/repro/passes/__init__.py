@@ -18,21 +18,26 @@ The optimization itself: ``pre`` (partial redundancy elimination).
 from repro.passes.clean import clean
 from repro.passes.coalesce import coalesce
 from repro.passes.constprop import sparse_conditional_constant_propagation
+from repro.passes.cse import available_cse, dominator_cse
 from repro.passes.dce import dead_code_elimination
 from repro.passes.gvn import global_value_numbering
 from repro.passes.lvn import local_value_numbering
 from repro.passes.peephole import peephole
 from repro.passes.pre import partial_redundancy_elimination
+from repro.passes.pre_mr import morel_renvoise_pre
 from repro.passes.reassociate import global_reassociation
 from repro.passes.strength import strength_reduction
 
 __all__ = [
+    "available_cse",
     "clean",
     "coalesce",
     "dead_code_elimination",
+    "dominator_cse",
     "global_reassociation",
     "global_value_numbering",
     "local_value_numbering",
+    "morel_renvoise_pre",
     "partial_redundancy_elimination",
     "peephole",
     "sparse_conditional_constant_propagation",

@@ -16,8 +16,10 @@ from __future__ import annotations
 from repro.ir.function import Function
 from repro.ir.instructions import Instruction
 from repro.ir.opcodes import Opcode
+from repro.pm.registry import register_pass
 
 
+@register_pass("clean", kind="cleanup", options={"max_rounds": 100})
 def clean(func: Function, max_rounds: int = 100) -> Function:
     """Simplify the CFG (in place); returns ``func``."""
     func.remove_unreachable_blocks()

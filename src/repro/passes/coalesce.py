@@ -16,6 +16,7 @@ from __future__ import annotations
 from repro.dataflow.problems import live_variables
 from repro.ir.function import Function
 from repro.ir.opcodes import Opcode
+from repro.pm.registry import register_pass
 
 
 def _build_interference(func: Function) -> dict[str, set[str]]:
@@ -50,6 +51,9 @@ def _build_interference(func: Function) -> dict[str, set[str]]:
     return interference
 
 
+@register_pass(
+    "coalesce", kind="cleanup", invalidates_ssa=True, options={"max_rounds": 25}
+)
 def coalesce(func: Function, max_rounds: int = 25) -> Function:
     """Merge non-interfering copy-connected registers (in place).
 

@@ -15,6 +15,7 @@ from repro.ir.function import Function
 from repro.ir.instructions import Instruction
 from repro.ir.opcodes import Opcode
 from repro.passes.fold import fold_operation
+from repro.pm.registry import register_pass
 from repro.ssa import destroy_ssa, to_ssa
 
 
@@ -221,6 +222,7 @@ class _SCCP:
         func.remove_unreachable_blocks()
 
 
+@register_pass("constprop", kind="transform")
 def sparse_conditional_constant_propagation(func: Function) -> Function:
     """Run SCCP over ``func`` (in place); returns ``func``.
 

@@ -34,6 +34,7 @@ from repro.dataflow.problems import available_expressions
 from repro.ir.function import Function
 from repro.ir.instructions import ExprKey, Instruction
 from repro.ir.opcodes import Opcode
+from repro.pm.registry import register_pass
 
 
 @dataclass
@@ -43,6 +44,7 @@ class CSEReport:
     deletions: int = 0
 
 
+@register_pass("cse-dominator", kind="transform")
 def dominator_cse(func: Function) -> Function:
     """Section 5.3 method 1: delete computations dominated by an
     identical computation (in place); returns ``func``."""
@@ -119,6 +121,7 @@ def dominator_cse_transform(func: Function) -> CSEReport:
     return report
 
 
+@register_pass("cse-available", kind="transform")
 def available_cse(func: Function) -> Function:
     """Section 5.3 method 2: classic available-expressions CSE (in place)."""
     available_cse_transform(func)

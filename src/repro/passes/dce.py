@@ -16,9 +16,11 @@ from __future__ import annotations
 from repro.ir.function import Function
 from repro.ir.instructions import Instruction
 from repro.ir.opcodes import Opcode
+from repro.pm.registry import register_pass
 from repro.ssa import destroy_ssa, to_ssa
 
 
+@register_pass("dce", kind="cleanup")
 def dead_code_elimination(func: Function) -> Function:
     """Delete instructions whose results are never observably used."""
     func.remove_unreachable_blocks()

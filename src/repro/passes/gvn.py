@@ -29,9 +29,14 @@ from typing import Optional
 from repro.ir.function import Function
 from repro.ir.instructions import Instruction
 from repro.ir.opcodes import COMMUTATIVE, Opcode
+from repro.pm import remarks
+from repro.pm.registry import register_pass
 from repro.ssa import destroy_ssa, to_ssa
 
 
+@register_pass(
+    "gvn", kind="enabling", invalidates_ssa=True, options={"commutative": False}
+)
 def global_value_numbering(func: Function, commutative: bool = False) -> Function:
     """Rename run-time-equal values to a single name (in place).
 
@@ -42,6 +47,11 @@ def global_value_numbering(func: Function, commutative: bool = False) -> Functio
     """
     to_ssa(func)
     class_of = _partition(func, commutative)
+    remarks.emit(
+        "congruence",
+        registers=len(class_of),
+        classes=len(set(class_of.values())),
+    )
     _rename(func, class_of)
     destroy_ssa(func)
     return func

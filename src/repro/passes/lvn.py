@@ -20,8 +20,10 @@ from __future__ import annotations
 from repro.ir.function import Function
 from repro.ir.instructions import ExprKey
 from repro.ir.opcodes import Opcode
+from repro.pm.registry import register_pass
 
 
+@register_pass("lvn", kind="transform")
 def local_value_numbering(func: Function) -> Function:
     """Remove block-local redundant computations (in place)."""
     from repro.ir.instructions import Instruction

@@ -27,6 +27,7 @@ from repro.ir.function import Function
 from repro.ir.instructions import Instruction
 from repro.ir.opcodes import Opcode
 from repro.passes.fold import fold_operation
+from repro.pm.registry import register_pass
 
 Const = Union[int, float]
 
@@ -67,6 +68,7 @@ class _BlockState:
         return reg
 
 
+@register_pass("peephole", kind="transform", options={"convert_mul_to_shift": False})
 def peephole(func: Function, convert_mul_to_shift: bool = False) -> Function:
     """Run peephole simplification over every block (in place)."""
     folded_branch = False

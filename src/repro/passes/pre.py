@@ -59,6 +59,8 @@ from repro.dataflow.problems import anticipable_expressions, available_expressio
 from repro.ir.function import Function
 from repro.ir.instructions import ExprKey, Instruction
 from repro.ir.opcodes import Opcode
+from repro.pm import remarks
+from repro.pm.registry import register_pass
 
 
 @dataclass
@@ -70,6 +72,7 @@ class PREReport:
     inserted_edges: list[tuple[str, str]] = field(default_factory=list)
 
 
+@register_pass("pre", kind="transform", invalidates_ssa=True)
 def partial_redundancy_elimination(func: Function) -> Function:
     """Run PRE over ``func`` (in place); returns ``func``.
 
@@ -143,6 +146,12 @@ def pre_transform(func: Function) -> PREReport:
     }
 
     apply_placement(func, cfg, table, insert_on_edge, delete_in_block, report)
+    remarks.emit(
+        "placement",
+        insertions=report.insertions,
+        deletions=report.deletions,
+        edges=len(report.inserted_edges),
+    )
     return report
 
 

@@ -30,8 +30,11 @@ from repro.dataflow.expressions import ExpressionTable
 from repro.dataflow.problems import anticipable_expressions, available_expressions
 from repro.ir.function import Function
 from repro.passes.pre import PREReport, apply_placement
+from repro.pm import remarks
+from repro.pm.registry import register_pass
 
 
+@register_pass("pre-mr", kind="transform", invalidates_ssa=True)
 def morel_renvoise_pre(func: Function) -> Function:
     """Run the bidirectional PRE over ``func`` (in place)."""
     morel_renvoise_transform(func)
@@ -118,5 +121,11 @@ def morel_renvoise_transform(func: Function) -> PREReport:
     apply_placement(
         func, cfg, table, insert_on_edge, delete_in_block, report,
         insert_at_end=insert_at_end,
+    )
+    remarks.emit(
+        "placement",
+        insertions=report.insertions,
+        deletions=report.deletions,
+        edges=len(report.inserted_edges),
     )
     return report

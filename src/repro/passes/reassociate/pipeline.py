@@ -28,6 +28,8 @@ from repro.ir.function import Function
 from repro.ir.instructions import Instruction
 from repro.ir.opcodes import Opcode
 from repro.passes.dce import sweep_dead_ssa
+from repro.pm import remarks
+from repro.pm.registry import register_pass
 from repro.passes.reassociate.distribute import distribute_tree
 from repro.passes.reassociate.forward_prop import TreeBuilder, emit_tree
 from repro.passes.reassociate.ranks import compute_ranks
@@ -66,6 +68,12 @@ def _root_indices(inst: Instruction) -> list[int]:
     return []
 
 
+@register_pass(
+    "reassociate",
+    kind="enabling",
+    invalidates_ssa=True,
+    options={"distribute": False, "share_emission": True},
+)
 def global_reassociation(
     func: Function, distribute: bool = False, share_emission: bool = True
 ) -> Function:
@@ -151,4 +159,11 @@ def reassociate_transform(
     sweep_dead_ssa(func)
     destroy_ssa(func)
     report.static_after = func.static_count()
+    remarks.emit(
+        "rewrite",
+        static_before=report.static_before,
+        static_after=report.static_after,
+        distribute=distribute,
+        share_emission=share_emission,
+    )
     return report

@@ -33,6 +33,7 @@ from repro.cfg.loops import LoopInfo
 from repro.ir.function import Function
 from repro.ir.instructions import Instruction
 from repro.ir.opcodes import Opcode
+from repro.pm.registry import register_pass
 from repro.ssa import destroy_ssa, to_ssa
 
 
@@ -46,6 +47,7 @@ class BasicIV:
     next_name: str  # the x + d definition's target
 
 
+@register_pass("strength", kind="transform", invalidates_ssa=True)
 def strength_reduction(func: Function) -> Function:
     """Reduce induction-variable multiplies to additions (in place)."""
     func.remove_unreachable_blocks()

@@ -9,15 +9,48 @@ from repro.frontend import compile_program
 from repro.interp import ExecutionResult, Interpreter, Memory
 from repro.ir.function import Module
 from repro.ir.validate import validate_module
-from repro.pipeline.levels import OptLevel, optimize
+from repro.pipeline.levels import OptLevel
+from repro.pm.cache import PassCache
+from repro.pm.manager import PassManager
+from repro.pm.remarks import RemarkCollector
 
 
-def compile_source(source: str, level: Optional[OptLevel] = None) -> Module:
-    """Compile mini-FORTRAN source, optionally optimizing at ``level``."""
+def compile_source(
+    source: str,
+    level: Optional[OptLevel] = None,
+    *,
+    manager: Optional[PassManager] = None,
+    verify: str = "final",
+    jobs: int = 1,
+    executor: str = "thread",
+    cache: Optional[PassCache] = None,
+    collector: Optional[RemarkCollector] = None,
+    stats=None,
+) -> Module:
+    """Compile mini-FORTRAN source, optionally optimizing at ``level``.
+
+    Optimization routes through a :class:`repro.pm.manager.PassManager`:
+    either the ``manager`` given (its sequence/verify/cache settings
+    win, and its stats accumulate across calls) or one built from
+    ``level`` and the keyword knobs.  ``verify="final"`` (the default)
+    matches the seed's behavior of validating every compiled module;
+    cache hits replay already-validated IR and skip re-validation.
+    """
     module = compile_program(source)
-    if level is not None:
-        optimize(module, level)
-    validate_module(module)
+    if manager is None and level is not None:
+        manager = PassManager(
+            level.value,
+            verify=verify,
+            jobs=jobs,
+            executor=executor,
+            cache=cache,
+            collector=collector,
+            stats=stats,
+        )
+    if manager is not None:
+        manager.run_module(module)
+    elif verify != "off":
+        validate_module(module)
     return module
 
 

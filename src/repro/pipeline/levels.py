@@ -1,4 +1,12 @@
-"""Optimization levels and pass sequencing."""
+"""Optimization levels as *data*: named sequences in the pass registry.
+
+The paper's four Table 1 configurations are registered with
+:mod:`repro.pm.registry` as named sequences of ``(pass, options)``
+specs — no closures, no duplicated wrappers.  :class:`OptLevel` is a
+thin lookup over them; running happens through
+:class:`repro.pm.manager.PassManager` (timing, verification, caching,
+parallel fan-out) or the legacy :func:`optimize` helpers below.
+"""
 
 from __future__ import annotations
 
@@ -6,37 +14,72 @@ import enum
 from typing import Callable
 
 from repro.ir.function import Function, Module
-from repro.passes import (
-    clean,
-    coalesce,
-    dead_code_elimination,
-    global_reassociation,
-    global_value_numbering,
-    partial_redundancy_elimination,
-    peephole,
-    sparse_conditional_constant_propagation,
-)
+from repro.pm.registry import register_sequence, resolve_spec
 
 PassFn = Callable[[Function], Function]
 
 #: The paper's baseline: "global constant propagation, global peephole
 #: optimization, global dead code elimination, coalescing, and a final
 #: pass to eliminate empty basic blocks" (section 4.1).
-BASELINE_SEQUENCE: list[PassFn] = [
-    sparse_conditional_constant_propagation,
-    peephole,
-    dead_code_elimination,
-    coalesce,
-    clean,
+BASELINE_SPECS: tuple = ("constprop", "peephole", "dce", "coalesce", "clean")
+
+#: The four configurations of Table 1, as registry specs.
+LEVEL_SEQUENCES: dict[str, list] = {
+    "baseline": [*BASELINE_SPECS],
+    "partial": ["pre", *BASELINE_SPECS],
+    "reassociation": [
+        ("reassociate", {"distribute": False}),
+        "gvn",
+        "pre",
+        *BASELINE_SPECS,
+    ],
+    "distribution": [
+        ("reassociate", {"distribute": True}),
+        "gvn",
+        "pre",
+        *BASELINE_SPECS,
+    ],
+}
+
+#: The DISTRIBUTION pipeline plus the passes the paper lacked (section
+#: 4.1 names hash-based value numbering and strength reduction; LVN
+#: slots in around PRE, strength reduction after it).  Not one of
+#: Table 1's columns — it measures the paper's "our results understate
+#: the eventual benefits" prediction (``python -m repro.bench.ablation``).
+EXTENDED_SPECS: list = [
+    ("reassociate", {"distribute": True}),
+    "gvn",
+    "lvn",
+    "pre",
+    "lvn",
+    "strength",
+    *BASELINE_SPECS,
 ]
 
+register_sequence(
+    "baseline", LEVEL_SEQUENCES["baseline"], "the paper's section 4.1 baseline"
+)
+register_sequence(
+    "partial", LEVEL_SEQUENCES["partial"], "PRE, then the baseline sequence"
+)
+register_sequence(
+    "reassociation",
+    LEVEL_SEQUENCES["reassociation"],
+    "reassociation (no distribution) + GVN before PRE",
+)
+register_sequence(
+    "distribution",
+    LEVEL_SEQUENCES["distribution"],
+    "reassociation with distribution + GVN before PRE (the paper's best)",
+)
+register_sequence(
+    "extended",
+    EXTENDED_SPECS,
+    "distribution plus the LVN and strength reduction the paper lacked",
+)
 
-def _reassociate_no_distribution(func: Function) -> Function:
-    return global_reassociation(func, distribute=False)
-
-
-def _reassociate_with_distribution(func: Function) -> Function:
-    return global_reassociation(func, distribute=True)
+#: Resolved baseline callables (kept for compatibility with direct users).
+BASELINE_SEQUENCE: list[PassFn] = [resolve_spec(spec) for spec in BASELINE_SPECS]
 
 
 class OptLevel(enum.Enum):
@@ -47,58 +90,33 @@ class OptLevel(enum.Enum):
     REASSOCIATION = "reassociation"
     DISTRIBUTION = "distribution"
 
+    def specs(self) -> list:
+        """The level's pass sequence as registry ``(name, options)`` specs."""
+        from repro.pm.registry import get_sequence
+
+        return get_sequence(self.value)
+
     def passes(self) -> list[PassFn]:
-        """The pass sequence for this level, in order."""
-        if self is OptLevel.BASELINE:
-            return list(BASELINE_SEQUENCE)
-        if self is OptLevel.PARTIAL:
-            return [partial_redundancy_elimination, *BASELINE_SEQUENCE]
-        if self is OptLevel.REASSOCIATION:
-            return [
-                _reassociate_no_distribution,
-                global_value_numbering,
-                partial_redundancy_elimination,
-                *BASELINE_SEQUENCE,
-            ]
-        return [
-            _reassociate_with_distribution,
-            global_value_numbering,
-            partial_redundancy_elimination,
-            *BASELINE_SEQUENCE,
-        ]
+        """The pass sequence for this level, resolved to callables."""
+        return [resolve_spec(spec) for spec in self.specs()]
 
 
 def extended_passes() -> list[PassFn]:
-    """The DISTRIBUTION pipeline plus the passes the paper lacked.
+    """The registered ``extended`` sequence, resolved (see EXTENDED_SPECS)."""
+    from repro.pm.registry import get_sequence
 
-    Section 4.1 names hash-based value numbering and strength reduction
-    as missing; this sequence slots both in (LVN around PRE, strength
-    reduction after it).  Not one of Table 1's four columns — use it to
-    measure the paper's "our results understate the eventual benefits"
-    prediction (see ``python -m repro.bench.ablation``).
-    """
-    from repro.passes import local_value_numbering, strength_reduction
-
-    return [
-        _reassociate_with_distribution,
-        global_value_numbering,
-        local_value_numbering,
-        partial_redundancy_elimination,
-        local_value_numbering,
-        strength_reduction,
-        *BASELINE_SEQUENCE,
-    ]
+    return [resolve_spec(spec) for spec in get_sequence("extended")]
 
 
 def optimize_function(func: Function, level: OptLevel) -> Function:
     """Run the level's pass sequence over one function (in place)."""
-    for pass_fn in level.passes():
-        pass_fn(func)
-    return func
+    from repro.pm.manager import PassManager
+
+    return PassManager(level.value).run_function(func)
 
 
 def optimize(module: Module, level: OptLevel) -> Module:
     """Optimize every function of a module (in place)."""
-    for func in module:
-        optimize_function(func, level)
-    return module
+    from repro.pm.manager import PassManager
+
+    return PassManager(level.value).run_module(module)

@@ -1,0 +1,105 @@
+"""Content-addressed IR cache.
+
+The Table 1 / Table 2 / ablation sweeps recompile the same routines at
+several levels, and repeated CLI invocations recompile everything from
+scratch.  The cache keys an optimized function on
+
+``sha256(printed input IR + "\\x00" + pass-sequence fingerprint)``
+
+and stores the *printed optimized IR*, so a hit replays as a parse
+instead of a full pipeline run.  Because the printer/parser round-trip
+is exact (``print(parse(text)) == text``), warm-cache output is
+byte-identical to a cold run.
+
+Entries live in an in-process dict and, when a directory is given, as
+one ``<key>.iloc`` file each, so the cache survives across processes
+(the CLI bench commands default to ``.repro_cache/`` in the working
+directory).  Writes are atomic (temp file + ``os.replace``) so
+concurrent processes and the parallel executor never observe torn
+entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+import threading
+from typing import Optional
+
+
+def cache_key(ir_text: str, fingerprint: str) -> str:
+    """The content address of (input function, pass sequence)."""
+    digest = hashlib.sha256()
+    digest.update(ir_text.encode())
+    digest.update(b"\x00")
+    digest.update(fingerprint.encode())
+    return digest.hexdigest()
+
+
+class PassCache:
+    """In-memory (and optionally on-disk) printed-IR cache with counters."""
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self.directory = directory
+        self._memory: dict[str, str] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+
+    def lookup(self, ir_text: str, fingerprint: str) -> Optional[str]:
+        """The cached optimized IR, or ``None`` (counting hit/miss)."""
+        key = cache_key(ir_text, fingerprint)
+        with self._lock:
+            text = self._memory.get(key)
+        if text is None and self.directory:
+            try:
+                with open(self._path(key)) as handle:
+                    text = handle.read()
+            except FileNotFoundError:
+                text = None
+            if text is not None:
+                with self._lock:
+                    self._memory[key] = text
+        with self._lock:
+            if text is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+        return text
+
+    def store(self, ir_text: str, fingerprint: str, optimized_text: str) -> None:
+        """Record the optimized form of (input, sequence)."""
+        key = cache_key(ir_text, fingerprint)
+        with self._lock:
+            self._memory[key] = optimized_text
+        if self.directory:
+            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(optimized_text)
+                os.replace(tmp, self._path(key))
+            except BaseException:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                raise
+
+    def clear(self) -> None:
+        """Drop every entry (memory and disk) and zero the counters."""
+        with self._lock:
+            self._memory.clear()
+            self.hits = 0
+            self.misses = 0
+        if self.directory and os.path.isdir(self.directory):
+            for name in os.listdir(self.directory):
+                if name.endswith(".iloc"):
+                    os.unlink(os.path.join(self.directory, name))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.iloc")

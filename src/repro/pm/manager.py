@@ -1,0 +1,284 @@
+"""The pass manager: named sequences, timing, verification, caching.
+
+This is the layer the paper's Unix-filter optimizer never had.  A
+:class:`PassManager` owns one pass sequence (a registry name like
+``"distribution"`` or an explicit spec list), and per function:
+
+* checks the content-addressed :class:`~repro.pm.cache.PassCache`;
+* runs each pass inside a :func:`~repro.pm.remarks.remark_context` so
+  the pass's :func:`repro.pm.remarks.emit` calls land in the manager's
+  collector;
+* times each pass and records IR-size deltas (instructions, blocks,
+  registers) into a :class:`ManagerStats`;
+* optionally validates the function after every pass
+  (``verify="each"``), once at the end (``"final"``), or never
+  (``"off"``).
+
+``jobs > 1`` fans out per function through
+:mod:`repro.pm.parallel`; output is bit-identical to serial because
+every pass is function-local and results are merged in module order.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from repro.ir.function import Function, Module
+from repro.ir.parser import parse_function
+from repro.ir.printer import print_function
+from repro.ir.validate import IRValidationError, validate_function
+from repro.pm.cache import PassCache
+from repro.pm.registry import (
+    PassSpec,
+    get_sequence,
+    normalize_spec,
+    resolve_spec,
+    sequence_fingerprint,
+    spec_label,
+)
+from repro.pm.remarks import Remark, RemarkCollector, remark_context
+
+VERIFY_MODES = ("each", "final", "off")
+
+
+class PassVerificationError(Exception):
+    """A pass broke an IR invariant (caught by ``verify="each"|"final"``)."""
+
+    def __init__(self, pass_label: str, function: str, cause: IRValidationError):
+        super().__init__(
+            f"pass {pass_label!r} broke function {function!r}: {cause}"
+        )
+        self.pass_label = pass_label
+        self.function = function
+        self.cause = cause
+
+
+@dataclass
+class PassStat:
+    """Accumulated cost and effect of one pass across functions."""
+
+    label: str
+    runs: int = 0
+    seconds: float = 0.0
+    delta_instructions: int = 0
+    delta_blocks: int = 0
+    delta_registers: int = 0
+
+    def record(self, seconds: float, di: int, db: int, dr: int) -> None:
+        self.runs += 1
+        self.seconds += seconds
+        self.delta_instructions += di
+        self.delta_blocks += db
+        self.delta_registers += dr
+
+
+@dataclass
+class ManagerStats:
+    """Per-pass totals plus cache counters for one or more managers.
+
+    Several managers may share one instance (the Table 1 sweep builds
+    four — one per level — all writing here) so ``format()`` shows the
+    whole run.
+    """
+
+    passes: dict = field(default_factory=dict)  # label -> PassStat
+    functions: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    seconds: float = 0.0
+
+    def stat(self, label: str) -> PassStat:
+        if label not in self.passes:
+            self.passes[label] = PassStat(label)
+        return self.passes[label]
+
+    def merge(self, other: "ManagerStats") -> None:
+        for label, stat in other.passes.items():
+            mine = self.stat(label)
+            mine.runs += stat.runs
+            mine.seconds += stat.seconds
+            mine.delta_instructions += stat.delta_instructions
+            mine.delta_blocks += stat.delta_blocks
+            mine.delta_registers += stat.delta_registers
+        self.functions += other.functions
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.seconds += other.seconds
+
+    def to_jsonable(self) -> dict:
+        return {
+            "functions": self.functions,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "seconds": self.seconds,
+            "passes": [
+                {
+                    "pass": stat.label,
+                    "runs": stat.runs,
+                    "seconds": stat.seconds,
+                    "delta_instructions": stat.delta_instructions,
+                    "delta_blocks": stat.delta_blocks,
+                    "delta_registers": stat.delta_registers,
+                }
+                for stat in self.passes.values()
+            ],
+        }
+
+    @classmethod
+    def from_jsonable(cls, record: dict) -> "ManagerStats":
+        stats = cls(
+            functions=record["functions"],
+            cache_hits=record["cache_hits"],
+            cache_misses=record["cache_misses"],
+            seconds=record["seconds"],
+        )
+        for entry in record["passes"]:
+            stat = stats.stat(entry["pass"])
+            stat.runs = entry["runs"]
+            stat.seconds = entry["seconds"]
+            stat.delta_instructions = entry["delta_instructions"]
+            stat.delta_blocks = entry["delta_blocks"]
+            stat.delta_registers = entry["delta_registers"]
+        return stats
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_jsonable(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def format(self) -> str:
+        """A human-readable per-pass cost table (``--stats`` output)."""
+        lines = [
+            f"{'pass':<34} {'runs':>6} {'ms':>10} {'Δinstr':>8} "
+            f"{'Δblocks':>8} {'Δregs':>8}"
+        ]
+        for label, stat in sorted(
+            self.passes.items(), key=lambda item: -item[1].seconds
+        ):
+            lines.append(
+                f"{label:<34} {stat.runs:>6} {stat.seconds * 1e3:>10.2f} "
+                f"{stat.delta_instructions:>+8} {stat.delta_blocks:>+8} "
+                f"{stat.delta_registers:>+8}"
+            )
+        lines.append(
+            f"{self.functions} function-compilations in "
+            f"{self.seconds * 1e3:.2f} ms; cache {self.cache_hits} hits / "
+            f"{self.cache_misses} misses"
+        )
+        return "\n".join(lines)
+
+
+def _sizes(func: Function) -> tuple[int, int, int]:
+    return func.static_count(), len(func.blocks), len(func.all_registers())
+
+
+def _adopt(func: Function, parsed: Function) -> None:
+    """Replace ``func``'s body with ``parsed``'s (cache-hit replay)."""
+    func.params = parsed.params
+    func.blocks = parsed.blocks
+    func.sync_counters()
+
+
+class PassManager:
+    """Runs a named (or literal) pass sequence over functions and modules."""
+
+    def __init__(
+        self,
+        sequence: Union[str, Sequence[PassSpec]],
+        *,
+        verify: str = "off",
+        cache: Optional[PassCache] = None,
+        collector: Optional[RemarkCollector] = None,
+        stats: Optional[ManagerStats] = None,
+        jobs: int = 1,
+        executor: str = "thread",
+    ) -> None:
+        if verify not in VERIFY_MODES:
+            raise ValueError(f"verify must be one of {VERIFY_MODES}, got {verify!r}")
+        if isinstance(sequence, str):
+            self.sequence_name: Optional[str] = sequence
+            self.specs = get_sequence(sequence)
+        else:
+            self.sequence_name = None
+            self.specs = [normalize_spec(spec) for spec in sequence]
+        self.labels = [spec_label(spec) for spec in self.specs]
+        self.fingerprint = sequence_fingerprint(self.specs)
+        self.verify = verify
+        self.cache = cache
+        self.collector = collector
+        self.stats = stats if stats is not None else ManagerStats()
+        self.jobs = max(1, int(jobs))
+        self.executor = executor
+        self._resolved = [resolve_spec(spec) for spec in self.specs]
+
+    # -- single function ---------------------------------------------------------
+
+    def run_function(self, func: Function) -> Function:
+        """Optimize one function (cache-aware, in place)."""
+        if self.cache is not None:
+            source_text = print_function(func)
+            cached = self.cache.lookup(source_text, self.fingerprint)
+            if cached is not None:
+                _adopt(func, parse_function(cached))
+                self.stats.cache_hits += 1
+                self.stats.functions += 1
+                if self.collector is not None:
+                    self.collector.add(
+                        Remark("pm", func.name, "cache-hit", {})
+                    )
+                return func
+            self.stats.cache_misses += 1
+        self._run_passes(func, self.stats, self.collector)
+        if self.cache is not None:
+            self.cache.store(source_text, self.fingerprint, print_function(func))
+        return func
+
+    def _run_passes(
+        self,
+        func: Function,
+        stats: ManagerStats,
+        collector: Optional[RemarkCollector],
+    ) -> None:
+        """The uncached pipeline: every pass, instrumented."""
+        started = time.perf_counter()
+        for label, pass_fn in zip(self.labels, self._resolved):
+            before = _sizes(func)
+            t0 = time.perf_counter()
+            with remark_context(collector, label, func.name):
+                pass_fn(func)
+            elapsed = time.perf_counter() - t0
+            after = _sizes(func)
+            stats.stat(label).record(
+                elapsed,
+                after[0] - before[0],
+                after[1] - before[1],
+                after[2] - before[2],
+            )
+            if self.verify == "each":
+                self._check(func, label)
+        if self.verify == "final":
+            self._check(func, self.labels[-1] if self.labels else "<empty>")
+        stats.functions += 1
+        stats.seconds += time.perf_counter() - started
+
+    def _check(self, func: Function, label: str) -> None:
+        try:
+            validate_function(func)
+        except IRValidationError as error:
+            raise PassVerificationError(label, func.name, error) from error
+
+    # -- whole module ------------------------------------------------------------
+
+    def run_module(self, module: Module) -> Module:
+        """Optimize every function; fans out when ``jobs > 1``."""
+        if self.jobs > 1:
+            from repro.pm.parallel import run_module_parallel
+
+            run_module_parallel(self, module)
+        else:
+            for func in module:
+                self.run_function(func)
+        return module

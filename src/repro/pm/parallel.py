@@ -1,0 +1,135 @@
+"""Per-function parallel fan-out for :class:`repro.pm.manager.PassManager`.
+
+Every pass in the repo is function-local, so a module's functions can be
+optimized independently.  The fan-out keeps a determinism guarantee:
+each function's pipeline sees exactly the state it would see serially,
+and stats/remarks/cache-stores are merged *in module order* after all
+workers finish, so parallel output — IR bytes, remark order, table
+bytes — is identical to ``jobs=1``.
+
+Two executors:
+
+* ``"thread"`` (default) — shares the in-process ``Function`` objects;
+  cheap, and correct because workers touch disjoint functions.  (Pure
+  Python passes serialize on the GIL, so this bounds latency rather
+  than adding throughput — the structure is what later native/subproc
+  backends plug into.)
+* ``"process"`` — ships each function as printed IR to a
+  ``ProcessPoolExecutor`` worker, which re-parses, runs the pipeline,
+  and returns printed IR plus JSON-able stats and remarks.
+
+Cache lookups and stores happen only in the coordinating process, so
+the executor choice never changes hit/miss accounting.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import TYPE_CHECKING, Optional
+
+from repro.ir.function import Module
+from repro.ir.parser import parse_function
+from repro.ir.printer import print_function
+from repro.pm.remarks import Remark, RemarkCollector
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pm.manager import PassManager
+
+EXECUTORS = ("thread", "process")
+
+
+def _process_worker(payload: tuple) -> tuple:
+    """Optimize one printed function in a worker process."""
+    from repro.pm.manager import ManagerStats, PassManager
+
+    text, specs, verify, want_remarks = payload
+    func = parse_function(text)
+    manager = PassManager(specs, verify=verify)
+    stats = ManagerStats()
+    collector = RemarkCollector() if want_remarks else None
+    manager._run_passes(func, stats, collector)
+    remarks = [r.as_dict() for r in collector.remarks] if collector else []
+    return print_function(func), stats.to_jsonable(), remarks
+
+
+def run_module_parallel(
+    manager: "PassManager",
+    module: Module,
+    jobs: Optional[int] = None,
+    executor: Optional[str] = None,
+) -> Module:
+    """Optimize ``module`` with per-function workers; bit-identical to serial."""
+    from repro.pm.manager import ManagerStats, _adopt
+
+    jobs = jobs if jobs is not None else manager.jobs
+    executor = executor if executor is not None else manager.executor
+    if executor not in EXECUTORS:
+        raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+
+    # cache triage stays in the coordinator: hits replay immediately,
+    # misses go to the pool.
+    pending: list[tuple[int, object, Optional[str]]] = []
+    for index, func in enumerate(module):
+        source_text = None
+        if manager.cache is not None:
+            source_text = print_function(func)
+            cached = manager.cache.lookup(source_text, manager.fingerprint)
+            if cached is not None:
+                _adopt(func, parse_function(cached))
+                manager.stats.cache_hits += 1
+                manager.stats.functions += 1
+                if manager.collector is not None:
+                    manager.collector.add(Remark("pm", func.name, "cache-hit", {}))
+                continue
+            manager.stats.cache_misses += 1
+        pending.append((index, func, source_text))
+    if not pending:
+        return module
+
+    # (ManagerStats, list[Remark]) per pending entry, in submission order
+    results: list[tuple[ManagerStats, list[Remark]]] = []
+    if executor == "thread":
+
+        def work(item):
+            _, func, _ = item
+            stats = ManagerStats()
+            collector = (
+                RemarkCollector() if manager.collector is not None else None
+            )
+            manager._run_passes(func, stats, collector)
+            return stats, collector.remarks if collector else []
+
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            results = list(pool.map(work, pending))
+    else:
+        payloads = [
+            (
+                source_text if source_text is not None else print_function(func),
+                manager.specs,
+                manager.verify,
+                manager.collector is not None,
+            )
+            for _, func, source_text in pending
+        ]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for (_, func, _), (opt_text, stats_json, remark_dicts) in zip(
+                pending, pool.map(_process_worker, payloads)
+            ):
+                _adopt(func, parse_function(opt_text))
+                results.append(
+                    (
+                        ManagerStats.from_jsonable(stats_json),
+                        [Remark.from_dict(r) for r in remark_dicts],
+                    )
+                )
+
+    # deterministic merge: module order, regardless of completion order
+    for (index, func, source_text), (stats, remarks) in zip(pending, results):
+        manager.stats.merge(stats)
+        if manager.collector is not None:
+            manager.collector.extend(iter(remarks))
+        if manager.cache is not None and source_text is not None:
+            manager.cache.store(
+                source_text, manager.fingerprint, print_function(func)
+            )
+    return module

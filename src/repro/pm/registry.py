@@ -1,0 +1,203 @@
+"""The pass registry: named, introspectable descriptors for every pass.
+
+The paper ran each optimization as an anonymous Unix filter; the
+registry gives every filter a name, a kind, an option schema and a
+docstring so that pipelines become *data* — lists of ``(name, options)``
+specs — instead of hard-coded closures.  :mod:`repro.pm.manager`
+resolves specs back into callables at run time.
+
+Pass modules self-register with the :func:`register_pass` decorator::
+
+    @register_pass("pre", kind="transform")
+    def partial_redundancy_elimination(func): ...
+
+Named sequences (the Table 1 levels, the extended pipeline, the
+ablation variants) are registered with :func:`register_sequence` and
+looked up by :class:`repro.pm.manager.PassManager`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Optional, Sequence, Union
+
+#: A pass spec: a registered name, optionally with option overrides.
+#: ``"pre"`` and ``("reassociate", {"distribute": True})`` are both specs.
+PassSpec = Union[str, tuple]
+
+
+@dataclass(frozen=True)
+class PassInfo:
+    """Descriptor for one registered pass."""
+
+    name: str
+    fn: Callable
+    kind: str  # "transform" | "enabling" | "cleanup" | "analysis"
+    invalidates_ssa: bool
+    options: Mapping[str, object] = field(default_factory=dict)
+    description: str = ""
+
+    def bind(self, options: Mapping[str, object]) -> Callable:
+        """The pass callable with ``options`` applied.
+
+        Returns the raw registered function when no options are given so
+        identity comparisons (and ``__name__``) survive for the common
+        case; otherwise a wrapper named after :func:`spec_label`.
+        """
+        if not options:
+            return self.fn
+        unknown = set(options) - set(self.options)
+        if unknown:
+            raise KeyError(
+                f"pass {self.name!r} has no option(s) {sorted(unknown)}; "
+                f"valid options: {sorted(self.options)}"
+            )
+        fn = self.fn
+        bound = dict(options)
+
+        def run(func):
+            return fn(func, **bound)
+
+        run.__name__ = spec_label((self.name, bound))
+        run.__qualname__ = run.__name__
+        run.__doc__ = self.description
+        return run
+
+
+_PASSES: dict[str, PassInfo] = {}
+_SEQUENCES: dict[str, list[tuple[str, dict]]] = {}
+_SEQUENCE_DOCS: dict[str, str] = {}
+
+
+def register_pass(
+    name: str,
+    *,
+    kind: str = "transform",
+    invalidates_ssa: bool = False,
+    options: Optional[Mapping[str, object]] = None,
+) -> Callable[[Callable], Callable]:
+    """Decorator registering a ``Function -> Function`` pass under ``name``.
+
+    Args:
+        name: short registry name (``"pre"``, ``"gvn"``...).
+        kind: coarse classification — ``"transform"`` for the
+            optimizations themselves, ``"enabling"`` for passes run to
+            expose opportunities to later ones, ``"cleanup"`` for
+            passes that only tidy the IR.
+        invalidates_ssa: the pass leaves the function out of (or never
+            in) SSA form, so SSA-dependent consumers must rebuild.
+        options: mapping of keyword-option name to its default; specs
+            may override any subset.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        existing = _PASSES.get(name)
+        if existing is not None and existing.fn is not fn:
+            raise ValueError(f"duplicate pass registration {name!r}")
+        doc = (fn.__doc__ or "").strip().splitlines()
+        _PASSES[name] = PassInfo(
+            name=name,
+            fn=fn,
+            kind=kind,
+            invalidates_ssa=invalidates_ssa,
+            options=dict(options or {}),
+            description=doc[0] if doc else "",
+        )
+        return fn
+
+    return decorate
+
+
+def normalize_spec(spec: PassSpec) -> tuple[str, dict]:
+    """Canonicalize a spec into a ``(name, options)`` pair."""
+    if isinstance(spec, str):
+        return spec, {}
+    name, options = spec
+    return name, dict(options or {})
+
+
+def spec_label(spec: PassSpec) -> str:
+    """Human-readable (and fingerprint) label: ``reassociate[distribute=True]``."""
+    name, options = normalize_spec(spec)
+    if not options:
+        return name
+    body = ",".join(f"{key}={options[key]!r}" for key in sorted(options))
+    return f"{name}[{body}]"
+
+
+def get_pass(name: str) -> PassInfo:
+    """Look up one descriptor; raises ``KeyError`` with the known names."""
+    _ensure_registered()
+    try:
+        return _PASSES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown pass {name!r}; registered: {', '.join(sorted(_PASSES))}"
+        ) from None
+
+
+def all_passes() -> list[PassInfo]:
+    """Every registered pass, sorted by name."""
+    _ensure_registered()
+    return [_PASSES[name] for name in sorted(_PASSES)]
+
+
+def resolve_spec(spec: PassSpec) -> Callable:
+    """A spec's runnable ``Function -> Function`` callable."""
+    name, options = normalize_spec(spec)
+    return get_pass(name).bind(options)
+
+
+def register_sequence(
+    name: str, specs: Sequence[PassSpec], description: str = ""
+) -> None:
+    """Register (or redefine) a named pass sequence."""
+    _SEQUENCES[name] = [normalize_spec(spec) for spec in specs]
+    if description:
+        _SEQUENCE_DOCS[name] = description
+
+
+def get_sequence(name: str) -> list[tuple[str, dict]]:
+    """The specs of a named sequence (a copy; mutate freely)."""
+    _ensure_registered()
+    try:
+        return [(n, dict(o)) for n, o in _SEQUENCES[name]]
+    except KeyError:
+        raise KeyError(
+            f"unknown sequence {name!r}; registered: {', '.join(sorted(_SEQUENCES))}"
+        ) from None
+
+
+def sequence_names() -> list[str]:
+    """Every registered sequence name, sorted."""
+    _ensure_registered()
+    return sorted(_SEQUENCES)
+
+
+def sequence_description(name: str) -> str:
+    return _SEQUENCE_DOCS.get(name, "")
+
+
+def sequence_fingerprint(specs: Iterable[PassSpec]) -> str:
+    """Stable digest of a pass sequence (cache-key component).
+
+    Derived purely from the spec labels, so two managers built from the
+    same named sequence — or the same literal spec list — share cache
+    entries across processes.
+    """
+    text = "\n".join(spec_label(spec) for spec in specs)
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+_registered = False
+
+
+def _ensure_registered() -> None:
+    """Import the modules whose side effects populate the registry."""
+    global _registered
+    if not _registered:
+        _registered = True
+        # pass modules carry @register_pass; levels registers sequences
+        import repro.passes  # noqa: F401
+        import repro.pipeline.levels  # noqa: F401

@@ -78,8 +78,49 @@ def test_bad_array_spec_rejected(source_file):
 def test_parser_has_all_commands():
     parser = build_parser()
     text = parser.format_help()
-    for command in ("compile", "run", "table1", "table2", "ablation"):
+    for command in ("compile", "run", "passes", "table1", "table2", "ablation"):
         assert command in text
+
+
+def test_passes_subcommand_lists_registry_and_sequences(capsys):
+    assert main(["passes"]) == 0
+    out = capsys.readouterr().out
+    assert "pre" in out
+    assert "reassociate" in out
+    assert "distribution" in out
+    assert "ablation/no_gvn" in out
+
+
+def test_passes_subcommand_single_sequence(capsys):
+    assert main(["passes", "--sequence", "partial"]) == 0
+    out = capsys.readouterr().out.strip()
+    assert out == "pre -> constprop -> peephole -> dce -> coalesce -> clean"
+
+
+def test_compile_stats_go_to_stderr_not_stdout(source_file, capsys):
+    assert main(["compile", source_file, "--stats"]) == 0
+    captured = capsys.readouterr()
+    assert "function triple" in captured.out
+    assert "function-compilations" not in captured.out
+    assert "function-compilations" in captured.err
+
+
+def test_compile_jobs_matches_serial_output(source_file, capsys):
+    main(["compile", source_file])
+    serial = capsys.readouterr().out
+    main(["compile", source_file, "--jobs", "3"])
+    parallel = capsys.readouterr().out
+    assert serial == parallel
+
+
+def test_run_writes_remarks_jsonl(source_file, capsys, tmp_path):
+    import json
+
+    path = tmp_path / "remarks.jsonl"
+    assert main(["run", source_file, "triple", "2", "--remarks", str(path)]) == 0
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    assert records
+    assert all({"pass", "function", "event"} <= set(r) for r in records)
 
 
 def test_module_entry_point(source_file):

@@ -48,14 +48,25 @@ def test_partial_prepends_pre_only():
 
 def test_reassociation_orders_enablers_before_pre():
     names = [fn.__name__ for fn in OptLevel.REASSOCIATION.passes()]
-    assert names.index("_reassociate_no_distribution") < names.index(
+    assert names.index("reassociate[distribute=False]") < names.index(
         "global_value_numbering"
     ) < names.index("partial_redundancy_elimination")
 
 
 def test_distribution_uses_distributing_reassociation():
     names = [fn.__name__ for fn in OptLevel.DISTRIBUTION.passes()]
-    assert "_reassociate_with_distribution" in names
+    assert "reassociate[distribute=True]" in names
+
+
+def test_levels_are_registry_data():
+    from repro.pm.registry import get_sequence
+
+    for level in OptLevel:
+        assert level.specs() == get_sequence(level.value)
+    assert OptLevel.DISTRIBUTION.specs()[0] == (
+        "reassociate",
+        {"distribute": True},
+    )
 
 
 SOURCE = """

@@ -4,7 +4,8 @@
 
     python -m repro compile prog.f --level distribution        # print optimized ILOC
     python -m repro run prog.f saxpy 100 2.0 --array 0,0,0:8   # execute + count
-    python -m repro passes                                     # registry + sequences
+    python -m repro lint prog.f --level all --werror           # IR diagnostics
+    python -m repro passes                                     # registry + checkers
     python -m repro table1 | table2 | ablation                 # the experiments
 
 The source language is the mini-FORTRAN of :mod:`repro.frontend`; array
@@ -12,17 +13,30 @@ arguments are comma-separated element lists suffixed with the element
 size (``:8`` for REAL, ``:4`` for INTEGER), appended after the scalars.
 
 Pipeline knobs (``compile``/``run``/``table1``/``ablation``): ``--jobs N``
-fans compilation out per function, ``--verify {each,final,off}`` controls
-inter-pass validation, ``--remarks out.jsonl`` saves structured
-optimization remarks, and ``--stats`` prints per-pass wall-clock and
-IR-delta totals to stderr (stdout stays byte-identical).  ``table1``
-keeps a content-addressed IR cache in ``.repro_cache/`` by default, so a
-second run replays compiles from disk (``--no-cache`` to disable).
+fans compilation out per function, ``--verify SPEC`` controls inter-pass
+verification (``each``/``final`` structural validation, ``lint`` for the
+semantic checkers, ``transval`` for the interpreting translation
+validator; comma-combinable, e.g. ``lint,transval:final``), ``--remarks
+out.jsonl`` saves structured optimization remarks, and ``--stats``
+prints per-pass wall-clock and IR-delta totals to stderr (stdout stays
+byte-identical).  ``table1`` keeps a content-addressed IR cache in
+``.repro_cache/`` by default, so a second run replays compiles from disk
+(``--no-cache`` to disable).
+
+``lint`` compiles sources (files, ``--suite`` bench programs,
+``--examples`` the SOURCE strings embedded in ``examples/*.py``) at one
+or every optimization level and reports checker diagnostics as text or
+JSON; ``--werror`` promotes warnings and the exit status is 1 when any
+error remains.
 """
 
 from __future__ import annotations
 
 import argparse
+import glob
+import json
+import os
+import re
 import sys
 from typing import Optional, Sequence
 
@@ -30,8 +44,19 @@ from repro.interp import Interpreter, Memory
 from repro.ir import print_module
 from repro.pipeline import OptLevel, compile_source
 from repro.pm import ManagerStats, PassCache, PassManager, RemarkCollector
+from repro.pm.manager import VERIFY_POLICIES, parse_verify
 
+#: Backward-compatible alias; the full policy grammar is ``VERIFY_POLICIES``.
 VERIFY_CHOICES = ("each", "final", "off")
+
+
+def _verify_spec(text: str) -> str:
+    """argparse type for ``--verify``: any :func:`parse_verify` spec."""
+    try:
+        parse_verify(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+    return text
 
 
 def _parse_scalar(text: str):
@@ -84,10 +109,11 @@ def _add_pipeline_arguments(
     )
     parser.add_argument(
         "--verify",
-        choices=list(VERIFY_CHOICES),
+        type=_verify_spec,
         default=verify_default,
-        help="validate IR after each pass, once at the end, or never "
-        f"(default: {verify_default})",
+        metavar="SPEC",
+        help="inter-pass verification: comma-separated subset of "
+        f"{', '.join(VERIFY_POLICIES)} (default: {verify_default})",
     )
     parser.add_argument(
         "--remarks",
@@ -131,8 +157,60 @@ def build_parser() -> argparse.ArgumentParser:
     _add_level_argument(run_cmd)
     _add_pipeline_arguments(run_cmd)
 
+    lint_cmd = commands.add_parser(
+        "lint", help="compile sources and report IR checker diagnostics"
+    )
+    lint_cmd.add_argument(
+        "sources", nargs="*", help="mini-FORTRAN source files to lint"
+    )
+    lint_cmd.add_argument(
+        "--suite",
+        action="store_true",
+        help="also lint every benchmark-suite routine",
+    )
+    lint_cmd.add_argument(
+        "--examples",
+        nargs="?",
+        const="examples",
+        metavar="DIR",
+        help="also lint the SOURCE programs embedded in DIR/*.py "
+        "(default DIR: examples)",
+    )
+    lint_cmd.add_argument(
+        "--level",
+        default="all",
+        choices=["all", "none"] + [level.value for level in OptLevel],
+        help="optimization level to lint after; 'all' means every level "
+        "(default: all)",
+    )
+    lint_cmd.add_argument(
+        "--checker",
+        action="append",
+        default=None,
+        metavar="ID",
+        dest="checkers",
+        help="run only this checker (repeatable; default: all)",
+    )
+    lint_cmd.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="diagnostic output format on stdout (default: text)",
+    )
+    lint_cmd.add_argument(
+        "--json",
+        metavar="OUT.JSON",
+        dest="json_out",
+        help="also write the JSON diagnostics report to a file",
+    )
+    lint_cmd.add_argument(
+        "--werror",
+        action="store_true",
+        help="promote warnings to errors (exit 1 when any error remains)",
+    )
+
     passes_cmd = commands.add_parser(
-        "passes", help="list registered passes and level sequences"
+        "passes", help="list registered passes, sequences and checkers"
     )
     passes_cmd.add_argument(
         "--sequence",
@@ -229,6 +307,121 @@ def _cmd_run(options) -> int:
     return 0
 
 
+_TRIPLE_QUOTED = re.compile(r'"""(.*?)"""|\'\'\'(.*?)\'\'\'', re.S)
+
+
+def _embedded_programs(directory: str) -> list[tuple[str, str]]:
+    """Mini-FORTRAN programs embedded as string literals in ``DIR/*.py``.
+
+    A triple-quoted block counts when its first non-empty line starts
+    with ``routine`` — that keeps module docstrings that merely mention
+    routines out of the lint set.
+    """
+    programs = []
+    for path in sorted(glob.glob(os.path.join(directory, "*.py"))):
+        with open(path) as handle:
+            text = handle.read()
+        count = 0
+        for match in _TRIPLE_QUOTED.finditer(text):
+            block = match.group(1) or match.group(2) or ""
+            stripped = block.strip()
+            if not stripped.startswith("routine"):
+                continue
+            programs.append((f"{path}#{count}", block))
+            count += 1
+    return programs
+
+
+def _lint_levels(option: str) -> list:
+    if option == "all":
+        return list(OptLevel)
+    return [_level(option)]
+
+
+def _cmd_lint(options) -> int:
+    from repro.verify import get_checker, lint_module, promote_warnings, summarize
+    from repro.verify.diagnostics import Diagnostic
+    from repro.verify.diagnostics import errors as severity_errors
+
+    if options.checkers:
+        try:
+            for checker_id in options.checkers:
+                get_checker(checker_id)
+        except KeyError as error:
+            print(f"lint: {error.args[0]}", file=sys.stderr)
+            return 2
+
+    programs: list[tuple[str, str]] = []
+    for path in options.sources:
+        with open(path) as handle:
+            programs.append((path, handle.read()))
+    if options.suite:
+        from repro.bench.suite import suite_routines
+
+        for routine in suite_routines():
+            programs.append((f"suite:{routine.name}", routine.source))
+    if options.examples:
+        programs.extend(_embedded_programs(options.examples))
+    if not programs:
+        print(
+            "lint: nothing to lint (pass source files, --suite, or --examples)",
+            file=sys.stderr,
+        )
+        return 2
+
+    levels = _lint_levels(options.level)
+    all_diagnostics = []
+    records = []
+    for origin, text in programs:
+        for level in levels:
+            level_name = level.value if level is not None else "none"
+            try:
+                module = compile_source(text, level=level, verify="off")
+            except Exception as error:  # noqa: BLE001 — reported, not raised
+                diagnostics = [
+                    Diagnostic(
+                        checker="compile",
+                        severity="error",
+                        function=origin,
+                        message=f"compilation failed: {error}",
+                    )
+                ]
+            else:
+                diagnostics = lint_module(module, options.checkers)
+            if options.werror:
+                diagnostics = promote_warnings(diagnostics)
+            all_diagnostics.extend(diagnostics)
+            for diagnostic in diagnostics:
+                record = diagnostic.as_dict()
+                record["source"] = origin
+                record["level"] = level_name
+                records.append(record)
+                if options.format == "text":
+                    print(f"{origin} @ {level_name}: {diagnostic.format()}")
+
+    error_count = len(severity_errors(all_diagnostics))
+    report = {
+        "programs": len(programs),
+        "levels": [lvl.value if lvl is not None else "none" for lvl in levels],
+        "werror": bool(options.werror),
+        "errors": error_count,
+        "summary": summarize(all_diagnostics),
+        "diagnostics": records,
+    }
+    if options.format == "json":
+        print(json.dumps(report, indent=2))
+    else:
+        print(
+            f"linted {len(programs)} program(s) at {len(levels)} level(s): "
+            f"{summarize(all_diagnostics)}"
+        )
+    if options.json_out:
+        with open(options.json_out, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+    return 1 if error_count else 0
+
+
 def _cmd_passes(options) -> int:
     from repro.bench import ablation  # noqa: F401  (registers ablation/*)
     from repro.pm import all_passes, get_sequence, sequence_names, spec_label
@@ -256,6 +449,12 @@ def _cmd_passes(options) -> int:
         print(f"  {name:<22} {chain}")
         if doc:
             print(f"  {'':<22} ({doc})")
+    print()
+    print("checkers (repro lint / --verify lint):")
+    from repro.verify import all_checkers
+
+    for checker in all_checkers():
+        print(f"  {checker.id:<16} [{checker.severity}] {checker.description}")
     return 0
 
 
@@ -265,6 +464,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_compile(options)
     if options.command == "run":
         return _cmd_run(options)
+    if options.command == "lint":
+        return _cmd_lint(options)
     if options.command == "passes":
         return _cmd_passes(options)
     if options.command == "table1":

@@ -63,5 +63,13 @@ class Memory:
         """Read ``count`` elements starting at ``base`` (for test checks)."""
         return [self.read(base + i * elemsize) for i in range(count)]
 
+    def snapshot(self) -> dict[int, Value]:
+        """A copy of every written cell, keyed by byte address.
+
+        The translation validator diffs snapshots to compare the memory
+        effects of a function before and after a pass.
+        """
+        return dict(self._cells)
+
     def __len__(self) -> int:
         return len(self._cells)

@@ -129,17 +129,35 @@ def _validate_shape(func: Function, label: str, inst, label_set: set[str]) -> No
 
 
 def _validate_ssa(func: Function) -> None:
+    """SSA invariants: single definitions, and definitions dominate uses.
+
+    The use check delegates to the dataflow-backed def-use checker in
+    :mod:`repro.verify.checkers.defuse` (imported lazily — ``verify``
+    sits above ``ir`` in the layering), which checks φ operands at the
+    exit of the corresponding *predecessor* rather than at the φ's own
+    block, and requires each definition to reach the use on **every**
+    path, not merely to exist somewhere in the function.
+    """
     defined: set[str] = set(func.params)
     for inst in func.instructions():
         for target in inst.defs():
             if target in defined:
                 _fail(func, f"SSA violation: {target} defined more than once")
             defined.add(target)
-    for blk in func.blocks:
-        for inst in blk.instructions:
-            for use in inst.uses():
-                if use not in defined:
-                    _fail(func, f"use of undefined register {use} in {inst}")
+
+    from repro.verify.checkers.defuse import undefined_uses
+
+    for finding in undefined_uses(func):
+        where = (
+            f"on edge {finding.pred} -> {finding.block}"
+            if finding.pred is not None
+            else f"in block {finding.block}"
+        )
+        _fail(
+            func,
+            f"use of undefined register {finding.register} {where}: "
+            f"{finding.inst}",
+        )
 
 
 def validate_module(module: Module, ssa: bool = False) -> None:

@@ -11,7 +11,7 @@ from repro.ir.function import Module
 from repro.ir.validate import validate_module
 from repro.pipeline.levels import OptLevel
 from repro.pm.cache import PassCache
-from repro.pm.manager import PassManager
+from repro.pm.manager import PassManager, parse_verify
 from repro.pm.remarks import RemarkCollector
 
 
@@ -49,8 +49,14 @@ def compile_source(
         )
     if manager is not None:
         manager.run_module(module)
-    elif verify != "off":
-        validate_module(module)
+    else:
+        plan = parse_verify(verify)
+        if plan.lint_each or plan.lint_final:
+            from repro.verify.lint import lint_module
+
+            lint_module(module, raise_on_error=True)
+        elif not plan.off:
+            validate_module(module)
     return module
 
 

@@ -5,7 +5,8 @@ The subsystem the paper's Unix-filter optimizer lacked (see
 
 * :mod:`repro.pm.registry` — named pass descriptors and named sequences;
 * :mod:`repro.pm.manager` — per-pass timing, IR-size deltas,
-  ``verify="each"|"final"|"off"``, cache integration;
+  composable ``verify=`` policies (structural, ``lint``, ``transval``;
+  each/final), cache integration;
 * :mod:`repro.pm.cache` — content-addressed printed-IR cache;
 * :mod:`repro.pm.parallel` — per-function fan-out with deterministic
   (bit-identical to serial) output;
@@ -14,10 +15,13 @@ The subsystem the paper's Unix-filter optimizer lacked (see
 
 from repro.pm.cache import PassCache, cache_key
 from repro.pm.manager import (
+    VERIFY_POLICIES,
     ManagerStats,
     PassManager,
     PassStat,
     PassVerificationError,
+    VerifyPlan,
+    parse_verify,
 )
 from repro.pm.registry import (
     PassInfo,
@@ -41,6 +45,8 @@ __all__ = [
     "PassStat",
     "PassVerificationError",
     "Remark",
+    "VERIFY_POLICIES",
+    "VerifyPlan",
     "RemarkCollector",
     "all_passes",
     "cache_key",
@@ -48,6 +54,7 @@ __all__ = [
     "get_pass",
     "get_sequence",
     "load_jsonl",
+    "parse_verify",
     "register_pass",
     "register_sequence",
     "remark_context",

@@ -10,9 +10,17 @@ This is the layer the paper's Unix-filter optimizer never had.  A
   collector;
 * times each pass and records IR-size deltas (instructions, blocks,
   registers) into a :class:`ManagerStats`;
-* optionally validates the function after every pass
-  (``verify="each"``), once at the end (``"final"``), or never
-  (``"off"``).
+* optionally verifies the function after every pass or once at the end,
+  at three strengths — structural validation (``verify="each"`` /
+  ``"final"``), the semantic lint checkers (``"lint"`` /
+  ``"lint:final"``), or the interpreting translation validator
+  (``"transval"`` / ``"transval:final"``).  Policies compose with
+  commas (``"lint,transval:final"``); see :func:`parse_verify`.
+
+Verification failures raise :class:`PassVerificationError` carrying the
+structured :class:`~repro.verify.diagnostics.Diagnostic` records and
+naming the guilty pass; every diagnostic (fatal or not) is also routed
+to the remark collector as a ``"diagnostic"`` event.
 
 ``jobs > 1`` fans out per function through
 :mod:`repro.pm.parallel`; output is bit-identical to serial because
@@ -41,19 +49,132 @@ from repro.pm.registry import (
 )
 from repro.pm.remarks import Remark, RemarkCollector, remark_context
 
+#: The single-token policies ``parse_verify`` accepts (comma-combinable).
+VERIFY_POLICIES = (
+    "off",
+    "each",
+    "final",
+    "lint",
+    "lint:each",
+    "lint:final",
+    "transval",
+    "transval:each",
+    "transval:final",
+)
+
+#: Backward-compatible alias for the pre-lint structural modes.
 VERIFY_MODES = ("each", "final", "off")
 
 
-class PassVerificationError(Exception):
-    """A pass broke an IR invariant (caught by ``verify="each"|"final"``)."""
+@dataclass(frozen=True)
+class VerifyPlan:
+    """What to verify, and when — the parse of a ``verify=`` spec."""
 
-    def __init__(self, pass_label: str, function: str, cause: IRValidationError):
-        super().__init__(
-            f"pass {pass_label!r} broke function {function!r}: {cause}"
+    structural_each: bool = False
+    structural_final: bool = False
+    lint_each: bool = False
+    lint_final: bool = False
+    transval_each: bool = False
+    transval_final: bool = False
+
+    @property
+    def check_each(self) -> bool:
+        """Structural or lint checking after every pass."""
+        return self.structural_each or self.lint_each
+
+    @property
+    def check_final(self) -> bool:
+        return self.structural_final or self.lint_final
+
+    @property
+    def off(self) -> bool:
+        return self == VerifyPlan()
+
+
+_VERIFY_TOKENS = {
+    "each": {"structural_each": True},
+    "final": {"structural_final": True},
+    "lint": {"lint_each": True},
+    "lint:each": {"lint_each": True},
+    "lint:final": {"lint_final": True},
+    "transval": {"transval_each": True},
+    "transval:each": {"transval_each": True},
+    "transval:final": {"transval_final": True},
+}
+
+
+def parse_verify(spec: str) -> VerifyPlan:
+    """Parse a ``verify=`` spec into a :class:`VerifyPlan`.
+
+    A spec is a comma-separated list of policies: ``off`` (alone),
+    ``each``/``final`` (structural validation), ``lint``/``lint:final``
+    (the :mod:`repro.verify` checkers; bare ``lint`` means after every
+    pass, so a broken pass is *named*), and ``transval``/
+    ``transval:final`` (interpret-and-diff translation validation).
+    ``"lint,transval:final"`` lints after every pass and replays the
+    whole sequence once at the end.
+    """
+    tokens = [token.strip() for token in str(spec).split(",") if token.strip()]
+    if not tokens:
+        raise ValueError(
+            f"empty verify spec; expected a comma-separated subset of {VERIFY_POLICIES}"
         )
+    if "off" in tokens and len(tokens) > 1:
+        raise ValueError(f"verify 'off' cannot be combined with {tokens!r}")
+    flags: dict = {}
+    for token in tokens:
+        if token == "off":
+            continue
+        if token not in _VERIFY_TOKENS:
+            raise ValueError(
+                f"unknown verify policy {token!r}; expected a comma-separated "
+                f"subset of {VERIFY_POLICIES}"
+            )
+        flags.update(_VERIFY_TOKENS[token])
+    return VerifyPlan(**flags)
+
+
+class PassVerificationError(Exception):
+    """A pass broke the function (caught by any ``verify=`` policy).
+
+    Carries the structured :class:`~repro.verify.diagnostics.Diagnostic`
+    records that justified the failure — a single ``structure``
+    diagnostic for structural verification, the ``error``-severity lint
+    findings for ``verify="lint"``, or the ``transval`` divergence
+    report for ``verify="transval"``.
+    """
+
+    def __init__(
+        self,
+        pass_label: str,
+        function: str,
+        diagnostics: Sequence = (),
+        *,
+        sequence: Optional[str] = None,
+    ):
+        where = f"pass {pass_label!r}"
+        if sequence:
+            where += f" (sequence {sequence!r})"
+        detail = "; ".join(d.format() for d in diagnostics) or "verification failed"
+        super().__init__(f"{where} broke function {function!r}: {detail}")
         self.pass_label = pass_label
         self.function = function
-        self.cause = cause
+        self.sequence = sequence
+        self.diagnostics = list(diagnostics)
+
+    def __reduce__(self):
+        # default Exception pickling would replay __init__ with the
+        # formatted message as pass_label; process executors need this.
+        return (
+            _rebuild_verification_error,
+            (self.pass_label, self.function, self.diagnostics, self.sequence),
+        )
+
+
+def _rebuild_verification_error(pass_label, function, diagnostics, sequence):
+    return PassVerificationError(
+        pass_label, function, diagnostics, sequence=sequence
+    )
 
 
 @dataclass
@@ -196,8 +317,7 @@ class PassManager:
         jobs: int = 1,
         executor: str = "thread",
     ) -> None:
-        if verify not in VERIFY_MODES:
-            raise ValueError(f"verify must be one of {VERIFY_MODES}, got {verify!r}")
+        self.verify_plan = parse_verify(verify)
         if isinstance(sequence, str):
             self.sequence_name: Optional[str] = sequence
             self.specs = get_sequence(sequence)
@@ -244,7 +364,10 @@ class PassManager:
     ) -> None:
         """The uncached pipeline: every pass, instrumented."""
         started = time.perf_counter()
+        plan = self.verify_plan
+        baseline_text = print_function(func) if plan.transval_final else None
         for label, pass_fn in zip(self.labels, self._resolved):
+            before_text = print_function(func) if plan.transval_each else None
             before = _sizes(func)
             t0 = time.perf_counter()
             with remark_context(collector, label, func.name):
@@ -257,18 +380,87 @@ class PassManager:
                 after[1] - before[1],
                 after[2] - before[2],
             )
-            if self.verify == "each":
-                self._check(func, label)
-        if self.verify == "final":
-            self._check(func, self.labels[-1] if self.labels else "<empty>")
+            if plan.check_each:
+                self._check(func, label, collector, lint=plan.lint_each)
+            if plan.transval_each:
+                self._transval(func, label, before_text, collector)
+        final_label = self.labels[-1] if self.labels else "<empty>"
+        if plan.check_final:
+            self._check(func, final_label, collector, lint=plan.lint_final)
+        if plan.transval_final:
+            self._transval(func, final_label, baseline_text, collector)
         stats.functions += 1
         stats.seconds += time.perf_counter() - started
 
-    def _check(self, func: Function, label: str) -> None:
+    # -- verification hooks ------------------------------------------------------
+
+    def _check(
+        self,
+        func: Function,
+        label: str,
+        collector: Optional[RemarkCollector] = None,
+        *,
+        lint: bool = False,
+    ) -> None:
+        """Structural (and optionally lint) verification after ``label``."""
+        if lint:
+            from repro.verify.diagnostics import errors
+            from repro.verify.lint import lint_function
+
+            diagnostics = lint_function(func)
+            self._emit_diagnostics(diagnostics, label, collector)
+            fatal = errors(diagnostics)
+            if fatal:
+                raise PassVerificationError(
+                    label, func.name, fatal, sequence=self.sequence_name
+                )
+            return
         try:
             validate_function(func)
         except IRValidationError as error:
-            raise PassVerificationError(label, func.name, error) from error
+            from repro.verify.diagnostics import Diagnostic
+
+            diagnostic = Diagnostic(
+                checker="structure",
+                severity="error",
+                function=func.name,
+                message=str(error),
+            )
+            self._emit_diagnostics([diagnostic], label, collector)
+            raise PassVerificationError(
+                label, func.name, [diagnostic], sequence=self.sequence_name
+            ) from error
+
+    def _transval(
+        self,
+        func: Function,
+        label: str,
+        before_text: str,
+        collector: Optional[RemarkCollector],
+    ) -> None:
+        """Replay ``before_text`` vs the current ``func`` through the oracle."""
+        from repro.verify.transval import validate_translation
+
+        diagnostics = validate_translation(parse_function(before_text), func)
+        self._emit_diagnostics(diagnostics, label, collector)
+        if diagnostics:
+            raise PassVerificationError(
+                label, func.name, diagnostics, sequence=self.sequence_name
+            )
+
+    def _emit_diagnostics(
+        self, diagnostics, label: str, collector: Optional[RemarkCollector]
+    ) -> None:
+        """Route diagnostics into the remarks channel as ``"diagnostic"``."""
+        if collector is None:
+            return
+        for diagnostic in diagnostics:
+            data = {
+                key: value
+                for key, value in diagnostic.as_dict().items()
+                if key != "function"
+            }
+            collector.add(Remark(label, diagnostic.function, "diagnostic", data))
 
     # -- whole module ------------------------------------------------------------
 

@@ -1,0 +1,62 @@
+"""Semantic IR verification: the lint checkers and the translation validator.
+
+Two halves (see ``docs/VERIFY.md``):
+
+* :mod:`repro.verify.lint` + :mod:`repro.verify.checkers` — a registry
+  of dataflow-backed IR checkers emitting structured
+  :class:`~repro.verify.diagnostics.Diagnostic` records (dominance-aware
+  def-use, unreachable blocks, dead stores, critical-edge audit,
+  φ hygiene, rank monotonicity, naming discipline);
+* :mod:`repro.verify.transval` — a per-pass translation validator that
+  replays a function pre/post transformation through the interpreter on
+  deterministic generated inputs, with an α-renaming-invariant
+  fingerprint fast path.
+
+Both plug into :class:`repro.pm.manager.PassManager` as the
+``verify="lint"`` and ``verify="transval"`` policies and into the
+``repro lint`` CLI subcommand.
+"""
+
+from repro.verify.checkers import (
+    CheckerInfo,
+    all_checkers,
+    checker_ids,
+    get_checker,
+    register_checker,
+)
+from repro.verify.diagnostics import (
+    SEVERITIES,
+    Diagnostic,
+    Reporter,
+    errors,
+    promote_warnings,
+    summarize,
+)
+from repro.verify.lint import LintError, lint_function, lint_module
+from repro.verify.transval import (
+    InputCase,
+    generate_cases,
+    semantic_fingerprint,
+    validate_translation,
+)
+
+__all__ = [
+    "CheckerInfo",
+    "Diagnostic",
+    "InputCase",
+    "LintError",
+    "Reporter",
+    "SEVERITIES",
+    "all_checkers",
+    "checker_ids",
+    "errors",
+    "generate_cases",
+    "get_checker",
+    "lint_function",
+    "lint_module",
+    "promote_warnings",
+    "register_checker",
+    "semantic_fingerprint",
+    "summarize",
+    "validate_translation",
+]

@@ -1,0 +1,100 @@
+"""The IR checker registry.
+
+A *checker* is a dataflow-backed analysis that inspects one function
+and reports :class:`~repro.verify.diagnostics.Diagnostic` records
+through a bound :class:`~repro.verify.diagnostics.Reporter`.  Checkers
+self-register with :func:`register_checker`::
+
+    @register_checker("def-use", severity="error")
+    def check_def_use(func, report): ...
+
+The registry mirrors :mod:`repro.pm.registry` for passes: ids are the
+stable handles the lint driver, the CLI (``repro lint --checker``),
+``repro passes`` and the docs all use.  Registration order is
+significant — structural checkers run before semantic ones so that a
+grossly broken function fails fast with the most fundamental finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.verify.diagnostics import SEVERITIES
+
+
+@dataclass(frozen=True)
+class CheckerInfo:
+    """Descriptor for one registered checker."""
+
+    id: str
+    fn: Callable
+    severity: str  # default severity of its findings
+    description: str
+
+
+_CHECKERS: dict[str, CheckerInfo] = {}
+
+
+def register_checker(
+    checker_id: str, *, severity: str = "error"
+) -> Callable[[Callable], Callable]:
+    """Decorator registering a ``(Function, Reporter) -> None`` checker."""
+    if severity not in SEVERITIES:
+        raise ValueError(f"severity must be one of {SEVERITIES}, got {severity!r}")
+
+    def decorate(fn: Callable) -> Callable:
+        existing = _CHECKERS.get(checker_id)
+        if existing is not None and existing.fn is not fn:
+            raise ValueError(f"duplicate checker registration {checker_id!r}")
+        doc = (fn.__doc__ or "").strip().splitlines()
+        _CHECKERS[checker_id] = CheckerInfo(
+            id=checker_id,
+            fn=fn,
+            severity=severity,
+            description=doc[0] if doc else "",
+        )
+        return fn
+
+    return decorate
+
+
+def get_checker(checker_id: str) -> CheckerInfo:
+    """Look up one checker; raises ``KeyError`` naming the known ids."""
+    _ensure_registered()
+    try:
+        return _CHECKERS[checker_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown checker {checker_id!r}; registered: "
+            f"{', '.join(_CHECKERS)}"
+        ) from None
+
+
+def all_checkers() -> list[CheckerInfo]:
+    """Every registered checker, in registration (execution) order."""
+    _ensure_registered()
+    return list(_CHECKERS.values())
+
+
+def checker_ids() -> list[str]:
+    """Registered checker ids, in execution order."""
+    _ensure_registered()
+    return list(_CHECKERS)
+
+
+_registered = False
+
+
+def _ensure_registered() -> None:
+    """Import the checker modules whose decorators populate the registry."""
+    global _registered
+    if not _registered:
+        _registered = True
+        # order matters: structural soundness first, style audits last
+        import repro.verify.checkers.defuse  # noqa: F401
+        import repro.verify.checkers.structure  # noqa: F401
+        import repro.verify.checkers.deadcode  # noqa: F401
+        import repro.verify.checkers.phis  # noqa: F401
+        import repro.verify.checkers.naming  # noqa: F401
+        import repro.verify.checkers.ranks  # noqa: F401

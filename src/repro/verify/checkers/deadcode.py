@@ -1,0 +1,55 @@
+"""Dead-store detection via live-variable analysis.
+
+A *dead store* here is a pure instruction whose result register is dead
+immediately after the definition — nothing on any path reads it before
+it is overwritten or the function returns.  After ``dce`` has run the
+pipeline should have none; a pass that leaves them behind (or worse,
+introduces them) is wasting the optimizer's instruction budget, which is
+exactly the dynamic-operation count the paper measures.
+
+``LOAD`` results are included (a dead load is removable — the memory
+read has no side effect), but side-effecting instructions (stores,
+calls) and φ-nodes are not: dead φs belong to the ``phi-hygiene``
+checker, which understands φ-only liveness cycles.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.graph import ControlFlowGraph
+from repro.dataflow.problems import live_variables
+from repro.ir.function import Function
+from repro.ir.opcodes import Opcode
+from repro.verify.checkers import register_checker
+
+
+@register_checker("dead-store", severity="warning")
+def check_dead_stores(func: Function, report) -> None:
+    """No pure instruction's result should be dead at its definition."""
+    cfg = ControlFlowGraph(func)
+    live = live_variables(func, cfg)
+    reachable = cfg.reachable()
+    for blk in func.blocks:
+        if blk.label not in reachable:
+            continue  # the unreachable checker owns those
+        live_now = set(live.at_exit(blk.label))
+        findings = []
+        for index in range(len(blk.instructions) - 1, -1, -1):
+            inst = blk.instructions[index]
+            if (
+                inst.target is not None
+                and not inst.is_phi
+                and (inst.is_pure or inst.opcode is Opcode.LOAD)
+                and inst.target not in live_now
+            ):
+                findings.append((index, inst))
+            for target in inst.defs():
+                live_now.discard(target)
+            if not inst.is_phi:  # φ inputs are used on the edges, not here
+                live_now.update(inst.uses())
+        for index, inst in reversed(findings):
+            report(
+                f"result {inst.target!r} is never read (dead store)",
+                block=blk.label,
+                inst=inst,
+                index=index,
+            )

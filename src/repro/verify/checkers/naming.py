@@ -1,0 +1,30 @@
+"""Naming-discipline checker (the paper's sections 2.2 and 5.1).
+
+After global value numbering every run-time-equal value — every
+congruence class — must answer to exactly one name, lexically-identical
+expressions must share a target, and expression names must not cross
+block boundaries.  :func:`repro.analysis.naming.check_naming_discipline`
+implements the three rules; this checker surfaces its report through
+the diagnostics channel so ``verify="lint"`` can watch the discipline
+hold right after ``gvn`` and erode (by design) once ``coalesce`` merges
+names — which is why the default severity is ``note``: only the stage
+directly after GVN is expected to be clean.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.naming import check_naming_discipline
+from repro.ir.function import Function
+from repro.verify.checkers import register_checker
+
+
+@register_checker("naming", severity="note")
+def check_naming(func: Function, report) -> None:
+    """One name per congruence class (post-GVN naming discipline)."""
+    result = check_naming_discipline(func)
+    for message in result.multiple_names:
+        report(f"naming discipline: {message}")
+    for message in result.mixed_definitions:
+        report(f"naming discipline: {message}")
+    for message in result.cross_block_references:
+        report(f"naming discipline: {message}")

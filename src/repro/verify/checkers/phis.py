@@ -1,0 +1,76 @@
+"""Pruned-SSA hygiene: redundant and dead φ-nodes.
+
+Pruned SSA construction only places a φ where the variable is live, and
+copy folding removes φs that merge a single value.  A pass that leaves
+either behind has degraded the name space PRE depends on:
+
+* a φ whose inputs are all the same register (ignoring self-references)
+  is a disguised copy — it splits one value into two names, which
+  breaks the section 2.2 naming discipline;
+* a φ whose result is read by nothing but φs that are themselves dead
+  is dead weight from an unpruned construction (φ-only liveness cycles
+  are followed, so mutually-recursive dead loop φs are found too).
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.verify.checkers import register_checker
+
+
+@register_checker("phi-hygiene", severity="warning")
+def check_phi_hygiene(func: Function, report) -> None:
+    """φ-nodes must merge distinct values and feed live code."""
+    phi_sites = []  # (block, index, phi)
+    phi_targets = set()
+    for blk in func.blocks:
+        for index, inst in enumerate(blk.instructions):
+            if not inst.is_phi:
+                break
+            phi_sites.append((blk.label, index, inst))
+            if inst.target is not None:
+                phi_targets.add(inst.target)
+
+    if not phi_sites:
+        return
+
+    # liveness seeded by non-φ uses, then propagated through φ operands
+    live = set()
+    for blk in func.blocks:
+        for inst in blk.instructions:
+            if not inst.is_phi:
+                live.update(inst.uses())
+    changed = True
+    while changed:
+        changed = False
+        for _, _, phi in phi_sites:
+            if phi.target in live:
+                for src in phi.srcs:
+                    if src not in live:
+                        live.add(src)
+                        changed = True
+
+    for label, index, phi in phi_sites:
+        inputs = {src for src in phi.srcs if src != phi.target}
+        if len(inputs) == 1:
+            (only,) = inputs
+            report(
+                f"redundant φ: every input is {only!r}; fold to a copy",
+                block=label,
+                inst=phi,
+                index=index,
+            )
+        elif not inputs:
+            report(
+                f"degenerate φ: {phi.target!r} merges only itself",
+                block=label,
+                inst=phi,
+                index=index,
+            )
+        if phi.target not in live:
+            report(
+                f"dead φ: {phi.target!r} is read only by dead φ-nodes",
+                block=label,
+                inst=phi,
+                index=index,
+            )

@@ -1,0 +1,56 @@
+"""Rank-monotonicity of reassociated operand orders (paper section 3.1).
+
+Reassociation sorts the operands of associative chains by rank — loop
+invariants (low rank) first — so that invariant subexpressions become
+contiguous and PRE can hoist them.  This checker recomputes ranks and
+flags associative operations whose two operands appear high-rank-first:
+each such pair is a hoisting opportunity reassociation would have
+grouped differently.
+
+Ranks are only defined on SSA form, so the checker runs on a throwaway
+SSA copy of the function (labels survive the round-trip; register names
+in the reported instruction are the SSA names).  Later passes (GVN
+renaming, coalescing, peephole rewrites) legitimately reorder operands,
+so findings are ``note`` severity — an audit of how much rank structure
+survives, not an error.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.opcodes import ASSOCIATIVE
+from repro.ir.parser import parse_function
+from repro.ir.printer import print_function
+from repro.passes.reassociate.ranks import compute_ranks
+from repro.ssa import to_ssa
+from repro.verify.checkers import register_checker
+
+
+@register_checker("rank-order", severity="note")
+def check_rank_order(func: Function, report) -> None:
+    """Associative operands should be ordered by non-decreasing rank."""
+    ssa_copy = parse_function(print_function(func))
+    try:
+        to_ssa(ssa_copy)
+        ranks = compute_ranks(ssa_copy)
+    except Exception:
+        # un-SSA-convertible input is the def-use checker's finding
+        return
+    for blk in ssa_copy.blocks:
+        for index, inst in enumerate(blk.instructions):
+            if inst.opcode not in ASSOCIATIVE or len(inst.srcs) != 2:
+                continue
+            first, second = inst.srcs
+            rank_first = ranks.get(first)
+            rank_second = ranks.get(second)
+            if rank_first is None or rank_second is None:
+                continue
+            if rank_first > rank_second:
+                report(
+                    f"operands not rank-sorted: {first!r} (rank {rank_first}) "
+                    f"before {second!r} (rank {rank_second}); the "
+                    "lower-ranked (more invariant) operand should come first",
+                    block=blk.label,
+                    inst=inst,
+                    index=index,
+                )

@@ -1,0 +1,46 @@
+"""CFG-shape checkers: unreachable blocks and the critical-edge audit."""
+
+from __future__ import annotations
+
+from repro.cfg.graph import ControlFlowGraph
+from repro.ir.function import Function
+from repro.verify.checkers import register_checker
+
+
+@register_checker("unreachable", severity="warning")
+def check_unreachable(func: Function, report) -> None:
+    """No block should be unreachable from the entry."""
+    reachable = ControlFlowGraph(func).reachable()
+    for blk in func.blocks:
+        if blk.label not in reachable:
+            report(
+                f"block {blk.label} is unreachable from the entry "
+                f"({len(blk.instructions)} dead instructions)",
+                block=blk.label,
+            )
+
+
+@register_checker("critical-edge", severity="note")
+def check_critical_edges(func: Function, report) -> None:
+    """Audit critical edges (PRE needs them split before edge placement).
+
+    A critical edge leaves a multi-successor block and enters a
+    multi-predecessor block; a computation placed "on" such an edge has
+    no block to live in.  :func:`repro.cfg.edges.split_critical_edges`
+    removes them, and PRE splits on demand — so their *presence* is not
+    a bug (final code legitimately re-forms them when ``clean`` merges
+    blocks), which is why this is a ``note``-severity audit rather than
+    an error.
+    """
+    preds = func.predecessor_map()
+    for blk in func.blocks:
+        succs = blk.successor_labels()
+        if len(succs) < 2:
+            continue
+        for succ in succs:
+            if len(preds[succ]) >= 2:
+                report(
+                    f"critical edge {blk.label} -> {succ}; PRE edge "
+                    "placement needs it split",
+                    block=blk.label,
+                )

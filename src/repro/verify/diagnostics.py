@@ -1,0 +1,153 @@
+"""Structured diagnostics: the records every IR checker emits.
+
+A :class:`Diagnostic` pins one finding to a (checker, severity,
+function, block, instruction) location.  Checkers never raise — they
+*report* through a :class:`Reporter`, and the callers decide what is
+fatal: :func:`repro.verify.lint.lint_function` collects everything,
+:class:`repro.pm.manager.PassManager` raises on ``error`` severity,
+and the ``repro lint`` CLI maps severities to exit codes (with
+``--werror`` promoting warnings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+#: Severity levels, most severe first.  ``error`` findings are IR bugs
+#: (a pass produced wrong code); ``warning`` findings are almost
+#: certainly unintended (dead code, redundant φs); ``note`` findings
+#: are audits that legitimate code may trip (critical edges before
+#: splitting, rank order after later passes reshuffle operands).
+SEVERITIES = ("error", "warning", "note")
+
+
+@dataclass
+class Diagnostic:
+    """One finding from one checker, located as precisely as possible."""
+
+    checker: str
+    severity: str
+    function: str
+    message: str
+    block: Optional[str] = None
+    instruction: Optional[str] = None
+    index: Optional[int] = None
+
+    def location(self) -> str:
+        """``function/block[index]`` with absent parts omitted."""
+        where = self.function
+        if self.block is not None:
+            where += f"/{self.block}"
+            if self.index is not None:
+                where += f"[{self.index}]"
+        return where
+
+    def format(self) -> str:
+        text = f"{self.severity}: {self.location()}: [{self.checker}] {self.message}"
+        if self.instruction is not None:
+            text += f" ({self.instruction})"
+        return text
+
+    def as_dict(self) -> dict:
+        record = {
+            "checker": self.checker,
+            "severity": self.severity,
+            "function": self.function,
+            "message": self.message,
+        }
+        if self.block is not None:
+            record["block"] = self.block
+        if self.index is not None:
+            record["index"] = self.index
+        if self.instruction is not None:
+            record["instruction"] = self.instruction
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "Diagnostic":
+        return cls(
+            checker=record["checker"],
+            severity=record["severity"],
+            function=record["function"],
+            message=record["message"],
+            block=record.get("block"),
+            instruction=record.get("instruction"),
+            index=record.get("index"),
+        )
+
+
+class Reporter:
+    """The emission callable handed to a checker.
+
+    Binds the checker id, its default severity and the function under
+    analysis, so checker bodies only state *what* they found::
+
+        report("use of possibly-undefined register 'r3'",
+               block="b2", inst=inst, index=4)
+
+    ``inst`` accepts an :class:`~repro.ir.instructions.Instruction`
+    (printed via the standard printer) or a pre-rendered string.
+    """
+
+    def __init__(self, checker: str, severity: str, function: str) -> None:
+        if severity not in SEVERITIES:
+            raise ValueError(f"severity must be one of {SEVERITIES}, got {severity!r}")
+        self.checker = checker
+        self.default_severity = severity
+        self.function = function
+        self.diagnostics: list[Diagnostic] = []
+
+    def __call__(
+        self,
+        message: str,
+        *,
+        block: Optional[str] = None,
+        inst=None,
+        index: Optional[int] = None,
+        severity: Optional[str] = None,
+    ) -> Diagnostic:
+        if inst is not None and not isinstance(inst, str):
+            from repro.ir.printer import print_instruction
+
+            inst = print_instruction(inst)
+        diagnostic = Diagnostic(
+            checker=self.checker,
+            severity=severity if severity is not None else self.default_severity,
+            function=self.function,
+            message=message,
+            block=block,
+            instruction=inst,
+            index=index,
+        )
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+
+def errors(diagnostics: Iterable[Diagnostic]) -> list[Diagnostic]:
+    """The ``error``-severity subset."""
+    return [d for d in diagnostics if d.severity == "error"]
+
+
+def promote_warnings(diagnostics: Iterable[Diagnostic]) -> list[Diagnostic]:
+    """A copy with every ``warning`` raised to ``error`` (``--werror``)."""
+    return [
+        Diagnostic(
+            checker=d.checker,
+            severity="error" if d.severity == "warning" else d.severity,
+            function=d.function,
+            message=d.message,
+            block=d.block,
+            instruction=d.instruction,
+            index=d.index,
+        )
+        for d in diagnostics
+    ]
+
+
+def summarize(diagnostics: Iterable[Diagnostic]) -> str:
+    """``N errors, M warnings, K notes`` for human output."""
+    counts = {severity: 0 for severity in SEVERITIES}
+    for diagnostic in diagnostics:
+        counts[diagnostic.severity] += 1
+    return ", ".join(f"{counts[s]} {s}{'s' if counts[s] != 1 else ''}" for s in SEVERITIES)

@@ -1,0 +1,96 @@
+"""The lint driver: run registered checkers over functions and modules.
+
+This is the semantic layer above :mod:`repro.ir.validate`: the
+structural validator raises on the first malformed instruction, while
+lint assumes a structurally-sound function and reports *semantic*
+findings — undefined uses, dead code, hygiene violations — as a list
+of :class:`~repro.verify.diagnostics.Diagnostic` records that callers
+grade by severity.
+
+A checker that crashes does not abort the run: the crash is converted
+into an ``error`` diagnostic under the checker's own id, because lint's
+prime use is inspecting IR that a buggy pass just mangled — exactly
+when analyses are most likely to hit impossible states.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.ir.function import Function, Module
+from repro.ir.validate import IRValidationError, validate_function
+from repro.verify.checkers import CheckerInfo, all_checkers, get_checker
+from repro.verify.diagnostics import Diagnostic, Reporter, errors
+
+
+class LintError(Exception):
+    """Raised by :func:`lint_module` callers that treat errors as fatal."""
+
+    def __init__(self, diagnostics: Sequence[Diagnostic]):
+        self.diagnostics = list(diagnostics)
+        lines = [d.format() for d in self.diagnostics[:8]]
+        if len(self.diagnostics) > 8:
+            lines.append(f"... and {len(self.diagnostics) - 8} more")
+        super().__init__("lint found errors:\n" + "\n".join(lines))
+
+
+def _selected(checker_ids: Optional[Iterable[str]]) -> list[CheckerInfo]:
+    if checker_ids is None:
+        return all_checkers()
+    return [get_checker(checker_id) for checker_id in checker_ids]
+
+
+def lint_function(
+    func: Function,
+    checker_ids: Optional[Iterable[str]] = None,
+    *,
+    validate: bool = True,
+) -> list[Diagnostic]:
+    """Run checkers over one function; returns every diagnostic found.
+
+    With ``validate=True`` (the default) the structural validator runs
+    first; a violation becomes a single ``structure`` error diagnostic
+    and short-circuits the checkers (they assume well-formed IR).
+    """
+    if validate:
+        try:
+            validate_function(func)
+        except IRValidationError as error:
+            return [
+                Diagnostic(
+                    checker="structure",
+                    severity="error",
+                    function=func.name,
+                    message=str(error),
+                )
+            ]
+    diagnostics: list[Diagnostic] = []
+    for info in _selected(checker_ids):
+        reporter = Reporter(info.id, info.severity, func.name)
+        try:
+            info.fn(func, reporter)
+        except Exception as crash:  # noqa: BLE001 — see module docstring
+            reporter(
+                f"checker crashed: {type(crash).__name__}: {crash}",
+                severity="error",
+            )
+        diagnostics.extend(reporter.diagnostics)
+    return diagnostics
+
+
+def lint_module(
+    module: Module,
+    checker_ids: Optional[Iterable[str]] = None,
+    *,
+    validate: bool = True,
+    raise_on_error: bool = False,
+) -> list[Diagnostic]:
+    """Lint every function of a module, in module order."""
+    diagnostics: list[Diagnostic] = []
+    for func in module:
+        diagnostics.extend(lint_function(func, checker_ids, validate=validate))
+    if raise_on_error:
+        fatal = errors(diagnostics)
+        if fatal:
+            raise LintError(fatal)
+    return diagnostics

@@ -194,6 +194,35 @@ def test_full_pipelines_preserve_fuzzed_semantics(n_blocks, choices, args):
 
 @settings(max_examples=25, deadline=None)
 @given(
+    n_blocks=st.integers(2, 6),
+    choices=st.lists(st.integers(0, 2 ** 16), min_size=80, max_size=80),
+)
+def test_full_pipelines_keep_fuzzed_modules_lint_clean(n_blocks, choices):
+    """No pipeline may leave error- or warning-grade lint findings.
+
+    Notes (critical edges, rank order, naming) are audits that optimized
+    code legitimately trips; errors (undefined uses) and warnings
+    (unreachable blocks, dead stores, φ hygiene) on *any* input would be
+    a pass bug — DCE, clean and coalesce are expected to sweep them.
+    """
+    from repro.pipeline import OptLevel
+    from repro.verify import lint_function
+
+    func = build_fuzz_function(n_blocks, choices)
+    for level in OptLevel:
+        transformed = deep_copy_function(func)
+        for pass_fn in level.passes():
+            pass_fn(transformed)
+        findings = [
+            diagnostic
+            for diagnostic in lint_function(transformed)
+            if diagnostic.severity in ("error", "warning")
+        ]
+        assert not findings, (level, [f.format() for f in findings])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
     n_blocks=st.integers(2, 5),
     choices=st.lists(st.integers(0, 2 ** 16), min_size=80, max_size=80),
 )

@@ -1,9 +1,22 @@
-"""Code-quality analyses specific to the paper's requirements."""
+"""Code-quality analyses specific to the paper's requirements.
 
+* :mod:`repro.analysis.naming` — the section 2.2 naming-discipline audit;
+* :mod:`repro.analysis.manager` — the per-function :class:`AnalysisManager`
+  caching CFG, dominators, loops, expression tables and liveness across
+  pipeline stages.
+"""
+
+from repro.analysis.manager import AnalysisManager, analyses
 from repro.analysis.naming import (
     NamingReport,
     check_naming_discipline,
     expression_names,
 )
 
-__all__ = ["NamingReport", "check_naming_discipline", "expression_names"]
+__all__ = [
+    "AnalysisManager",
+    "NamingReport",
+    "analyses",
+    "check_naming_discipline",
+    "expression_names",
+]

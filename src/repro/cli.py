@@ -239,6 +239,36 @@ def build_parser() -> argparse.ArgumentParser:
 
     commands.add_parser("table2", help="regenerate the paper's Table 2")
 
+    bench_cmd = commands.add_parser(
+        "bench", help="microbenchmarks (currently: dataflow)"
+    )
+    bench_sub = bench_cmd.add_subparsers(dest="bench_command", required=True)
+    dataflow_cmd = bench_sub.add_parser(
+        "dataflow",
+        help="time the bitset dataflow engine against the reference solver",
+    )
+    dataflow_cmd.add_argument(
+        "--repeat",
+        type=int,
+        default=3,
+        metavar="N",
+        help="repetitions per timed section; best-of-N is reported (default: 3)",
+    )
+    dataflow_cmd.add_argument(
+        "--json",
+        dest="json_out",
+        metavar="OUT.JSON",
+        help="write the full report as JSON (BENCH_passes.json-style)",
+    )
+    dataflow_cmd.add_argument(
+        "--max-pops",
+        type=int,
+        default=None,
+        metavar="BOUND",
+        help="exit 1 when the deterministic worklist-pop count exceeds "
+        "BOUND (the CI regression gate)",
+    )
+
     ablation_cmd = commands.add_parser(
         "ablation", help="run the design-choice ablations"
     )
@@ -486,6 +516,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         table2_main()
         return 0
+    if options.command == "bench":
+        from repro.bench.dataflow import main as dataflow_main
+
+        return dataflow_main(
+            repeat=options.repeat,
+            json_out=options.json_out,
+            max_pops=options.max_pops,
+        )
     from repro.bench.ablation import main as ablation_main
 
     ablation_main(jobs=options.jobs, show_stats=options.stats)

@@ -50,6 +50,31 @@ def _key_operands(key: ExprKey) -> tuple[str, ...]:
     return tuple(key[1:])
 
 
+def _kahn_acyclic(graph: dict) -> bool:
+    """True when the sub-expression graph has no cycle.
+
+    A Kahn peel over plain dict counters — markedly cheaper than a
+    Tarjan SCC run, and almost every real function is acyclic here, so
+    the SCC pass only runs when a cycle actually exists (the peel
+    leaves a non-empty residue exactly then).
+    """
+    indeg = {node: 0 for node in graph}
+    for succs in graph.values():
+        for succ in succs:
+            if succ in indeg:
+                indeg[succ] += 1
+    stack = [node for node, d in indeg.items() if d == 0]
+    peeled = len(stack)
+    while stack:
+        for succ in graph[stack.pop()]:
+            if succ in indeg:
+                indeg[succ] -= 1
+                if indeg[succ] == 0:
+                    stack.append(succ)
+                    peeled += 1
+    return peeled == len(indeg)
+
+
 @dataclass
 class ExpressionTable:
     """Every lexical expression of a function plus per-block local sets.
@@ -82,38 +107,60 @@ class ExpressionTable:
     @classmethod
     def build(cls, func: Function) -> "ExpressionTable":
         table = cls()
-        defs_of_reg: dict[str, list[Instruction]] = {}
+        # one sweep over the instructions computes each key exactly once
+        # and records everything later phases need, so no phase touches
+        # the IR again.  The naming discipline (section 2.2) is
+        # classified in the same sweep:
+        # ``reg_key`` tracks the one key defining each register (False
+        # on mixed definitions) and ``key_target`` the one register each
+        # key targets (False on mixed targets) — a key is *named* when
+        # both relations agree.
+        reg_key: dict[str, object] = {}
+        key_target: dict[ExprKey, object] = {}
+        occurrences = table.occurrences
+        store, call = Opcode.STORE, Opcode.CALL
+        # per-block (key, target, defines-MEM) rows feed _scan_blocks, so
+        # the block scan never re-reads instruction attributes
+        block_rows: list[tuple[str, list]] = []
         for blk in func.blocks:
+            label = blk.label
+            rows: list = []
+            block_rows.append((label, rows))
             for inst in blk.instructions:
-                if inst.target is not None:
-                    defs_of_reg.setdefault(inst.target, []).append(inst)
                 key = inst.expr_key()
+                target = inst.target
+                opcode = inst.opcode
+                rows.append((key, target, opcode is store or opcode is call))
+                if target is not None:
+                    if target in reg_key:
+                        if reg_key[target] != key:
+                            reg_key[target] = False
+                    else:
+                        reg_key[target] = key
                 if key is None:
                     continue
-                if key not in table.occurrences:
+                occs = occurrences.get(key)
+                if occs is None:
                     table.keys.append(key)
-                    table.occurrences[key] = []
-                table.occurrences[key].append((blk.label, inst))
+                    occurrences[key] = [(label, inst)]
+                    key_target[key] = target
+                else:
+                    occs.append((label, inst))
+                    if key_target[key] != target:
+                        key_target[key] = False
 
-        table._classify_named(func, defs_of_reg)
-        table._expand_leaves()
-        table._scan_blocks(func)
-        return table
-
-    def _classify_named(
-        self, func: Function, defs_of_reg: dict[str, list[Instruction]]
-    ) -> None:
-        """Find keys obeying the naming discipline (section 2.2)."""
         params = set(func.params)
-        for key, occs in self.occurrences.items():
-            targets = {inst.target for _, inst in occs}
-            if len(targets) != 1:
-                continue
-            reg = next(iter(targets))
-            if reg in params:
-                continue
-            if all(inst.expr_key() == key for inst in defs_of_reg.get(reg, [])):
-                self.named[key] = reg
+        for key, target in key_target.items():
+            if (
+                target is not False
+                and target not in params
+                and reg_key.get(target) == key
+            ):
+                table.named[key] = target
+
+        table._expand_leaves()
+        table._scan_blocks(block_rows)
+        return table
 
     def _expand_leaves(self) -> None:
         """Transitive leaf sets, demoting cyclic expression names.
@@ -126,16 +173,20 @@ class ExpressionTable:
         from repro.util import cyclic_nodes
 
         reg_to_key = {reg: key for key, reg in self.named.items()}
-        subkey_graph = {
-            key: [
+        # every member of a cycle has an out-edge, so the SCC pass only
+        # needs the keys with at least one sub-expression operand
+        subkey_graph = {}
+        for key in self.keys:
+            edges = [
                 reg_to_key[src]
                 for src in _key_operands(key)
                 if src in reg_to_key
             ]
-            for key in self.keys
-        }
-        for key in cyclic_nodes(subkey_graph):
-            self.named.pop(key, None)
+            if edges:
+                subkey_graph[key] = edges
+        if subkey_graph and not _kahn_acyclic(subkey_graph):
+            for key in cyclic_nodes(subkey_graph):
+                self.named.pop(key, None)
 
         reg_to_key = {reg: key for key, reg in self.named.items()}
         memo: dict[ExprKey, frozenset] = {}
@@ -168,42 +219,82 @@ class ExpressionTable:
 
     def _variable_defs(self, inst: Instruction) -> list[str]:
         """Leaves defined by this instruction (variable defs + MEM)."""
+        return self._defs_for(inst, inst.expr_key())
+
+    def _defs_for(self, inst: Instruction, key: Optional[ExprKey]) -> list[str]:
         defined: list[str] = []
         if inst.target is not None:
-            key = inst.expr_key()
             if key is None or self.named.get(key) != inst.target:
                 defined.append(inst.target)
         if inst.opcode in (Opcode.STORE, Opcode.CALL):
             defined.append(MEM)
         return defined
 
-    def _scan_blocks(self, func: Function) -> None:
-        for blk in func.blocks:
+    def _scan_blocks(self, block_rows: list) -> None:
+        """Local properties per block from the (key, target, mem) rows.
+
+        ``block_rows`` comes from :meth:`build`'s single instruction
+        sweep: per block, one ``(key, target, defines_mem)`` triple per
+        instruction, so this scan touches no instruction objects.
+        """
+        leaves = self.leaves
+        all_keys = frozenset(self.keys)
+        named_get = self.named.get
+        # invert the leaf relation once so TRANSP costs O(killed leaves)
+        # per block instead of probing every key
+        keys_of_leaf: dict[str, list] = {}
+        for key in self.keys:
+            for leaf in leaves[key]:
+                keys_of_leaf.setdefault(leaf, []).append(key)
+        for label, raw in block_rows:
+            rows = []
+            any_defined = False
+            for key, target, defines_mem in raw:
+                if target is not None and (key is None or named_get(key) != target):
+                    defined = (target, MEM) if defines_mem else (target,)
+                elif defines_mem:
+                    defined = (MEM,)
+                else:
+                    defined = ()
+                if defined:
+                    any_defined = True
+                rows.append((key, defined))
+
+            if not any_defined:
+                # no leaf is redefined: every occurring key is both
+                # upward and downward exposed, and the block is fully
+                # transparent
+                present = frozenset(key for key, _ in rows if key is not None)
+                self.antloc[label] = present
+                self.comp[label] = present
+                self.transp[label] = all_keys
+                continue
+
             killed: set[str] = set()
             antloc: set[ExprKey] = set()
-            for inst in blk.instructions:
-                key = inst.expr_key()
-                if key is not None and not (self.leaves[key] & killed):
+            for key, defined in rows:
+                if key is not None and leaves[key].isdisjoint(killed):
                     antloc.add(key)
-                killed.update(self._variable_defs(inst))
-            all_killed = frozenset(killed)
+                killed.update(defined)
 
             comp: set[ExprKey] = set()
             killed_after: set[str] = set()
-            for inst in reversed(blk.instructions):
-                key = inst.expr_key()
-                if key is not None and not (self.leaves[key] & killed_after):
+            for key, defined in reversed(rows):
+                if key is not None and leaves[key].isdisjoint(killed_after):
                     # a self-redefining occurrence is not downward exposed
-                    own_defs = set(self._variable_defs(inst))
-                    if not (self.leaves[key] & own_defs):
+                    if leaves[key].isdisjoint(defined):
                         comp.add(key)
-                killed_after.update(self._variable_defs(inst))
+                killed_after.update(defined)
 
-            self.antloc[blk.label] = frozenset(antloc)
-            self.comp[blk.label] = frozenset(comp)
-            self.transp[blk.label] = frozenset(
-                key for key in self.keys if not (self.leaves[key] & all_killed)
-            )
+            self.antloc[label] = frozenset(antloc)
+            self.comp[label] = frozenset(comp)
+            if killed:
+                dead: set = set()
+                for leaf in killed:
+                    dead.update(keys_of_leaf.get(leaf, ()))
+                self.transp[label] = all_keys - dead
+            else:
+                self.transp[label] = all_keys
 
     # -- queries -------------------------------------------------------------
 

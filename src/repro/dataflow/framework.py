@@ -1,22 +1,29 @@
 """A generic iterative data-flow solver.
 
 Problems are described declaratively (direction, meet, gen/kill per block,
-boundary value) and solved to a fixpoint by round-robin iteration in an
-order matched to the direction (reverse postorder for forward problems,
-postorder for backward ones), which converges in very few sweeps on
-reducible graphs.
+boundary value) over ``frozenset``s of hashable facts.  Solving lowers
+the problem onto the dense bit-vector engine of
+:mod:`repro.dataflow.bitset`: facts are interned once into a
+:class:`~repro.dataflow.bitset.FactUniverse`, per-block GEN/KILL become
+int masks, and a sparse-set worklist seeded in an order matched to the
+direction (reverse postorder for forward problems, postorder for
+backward ones) iterates to the fixpoint.  The result is converted back,
+so callers keep the ``frozenset`` interface unchanged.
 
-Facts are hashable items held in ``frozenset``s.  The solver is exact for
-the distributive gen/kill problems used here (liveness, availability,
-anticipability).
+The original round-robin frozenset solver is retained as
+:func:`solve_reference` — the oracle the bitset engine is fuzz-tested
+against, and the baseline ``repro bench dataflow`` measures speedups
+over.  Both are exact for the distributive gen/kill problems used here
+(liveness, availability, anticipability).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Hashable, Literal, Mapping
+from typing import Callable, Hashable, Literal, Mapping, Optional
 
 from repro.cfg.graph import ControlFlowGraph
+from repro.dataflow.bitset import FactUniverse, MaskProblem, MaskResult, solve_masks
 
 Fact = Hashable
 FactSet = frozenset
@@ -25,6 +32,22 @@ FactSet = frozenset
 #: ``intersection`` for "all paths" problems (availability, anticipability).
 Meet = Literal["union", "intersection"]
 Direction = Literal["forward", "backward"]
+
+#: Which engine :func:`solve` uses: ``"auto"`` (the default — the bitset
+#: engine when the problem is large enough to amortize the mask
+#: conversion, the reference solver otherwise), ``"bitset"`` (always
+#: lower to masks), or ``"reference"`` (always the retained round-robin
+#: frozenset solver).  Tests and the bench pin this to compare engines
+#: end to end.
+ENGINE: str = "auto"
+
+#: Below this ``facts × blocks`` product the auto engine stays on the
+#: frozenset solver: on tiny problems converting gen/kill to masks and
+#: the fixpoint back to frozensets costs more than the bit-parallel
+#: solve saves (the bench's per-problem suite section shows exactly
+#: this).  The PRE passes are unaffected — they consume masks natively
+#: through :mod:`repro.passes.pre_common` and never convert back.
+AUTO_THRESHOLD: int = 4096
 
 
 @dataclass(frozen=True)
@@ -42,6 +65,11 @@ class DataflowProblem:
         kill: per-block facts killed.
         boundary: value at the entry (forward) or at all exits (backward);
             defaults to the empty set.
+        interned: an optional pre-built :class:`FactUniverse` covering
+            ``universe``; when set, lowering skips the per-solve sort and
+            interning (the analysis manager caches one per function).
+            When absent, :func:`lower_problem` memoizes the universe it
+            builds here, so only the first lowering of a problem pays.
     """
 
     direction: Direction
@@ -50,6 +78,7 @@ class DataflowProblem:
     gen: Mapping[str, FactSet]
     kill: Mapping[str, FactSet]
     boundary: FactSet = frozenset()
+    interned: Optional[FactUniverse] = None
 
 
 @dataclass
@@ -65,6 +94,130 @@ class DataflowResult:
 
     def at_exit(self, label: str) -> FactSet:
         return self.out[label]
+
+
+class DataflowConvergenceError(Exception):
+    """The reference solver exceeded its sweep cap without converging.
+
+    Monotone gen/kill problems always converge, so hitting the cap
+    means the problem inputs are malformed (a gen/kill map inconsistent
+    with the CFG handed in, or a CFG whose pred/succ maps disagree).
+    Carries a structured :class:`~repro.verify.diagnostics.Diagnostic`
+    so pipeline drivers can report it like any other IR finding.
+    """
+
+    def __init__(self, function: str, sweeps: int, cap: int) -> None:
+        super().__init__(
+            f"dataflow solve on {function!r} did not converge after "
+            f"{sweeps} sweeps (cap {cap}); the CFG or gen/kill maps are "
+            "malformed"
+        )
+        self.function = function
+        self.sweeps = sweeps
+        self.cap = cap
+
+    @property
+    def diagnostic(self):
+        from repro.verify.diagnostics import Diagnostic
+
+        return Diagnostic(
+            checker="dataflow",
+            severity="error",
+            function=self.function,
+            message=(
+                f"solver hit the {self.cap}-sweep convergence cap "
+                "(malformed CFG or gen/kill maps)"
+            ),
+        )
+
+
+def _direction_plan(
+    problem: DataflowProblem, cfg: ControlFlowGraph
+) -> tuple[list[str], dict[str, list[str]], dict[str, bool]]:
+    """Iteration order, meet sources, and boundary flags for the problem.
+
+    The order is matched to the direction — reverse postorder forward,
+    postorder backward — and restricted to reachable blocks; meet
+    sources are predecessors forward, successors backward.
+    """
+    labels = cfg.reverse_postorder if problem.direction == "forward" else cfg.postorder
+    reachable = set(labels)
+    if problem.direction == "forward":
+        sources = {lbl: [p for p in cfg.preds[lbl] if p in reachable] for lbl in labels}
+        is_boundary = {lbl: lbl == cfg.entry for lbl in labels}
+    else:
+        sources = {lbl: [s for s in cfg.succs[lbl] if s in reachable] for lbl in labels}
+        is_boundary = {lbl: not cfg.succs[lbl] for lbl in labels}
+    return labels, sources, is_boundary
+
+
+def lower_problem(
+    problem: DataflowProblem,
+    cfg: ControlFlowGraph,
+    universe: Optional[FactUniverse] = None,
+) -> MaskProblem:
+    """Intern the problem's facts and lower gen/kill to bit masks.
+
+    Pass a pre-built ``universe`` (with every fact already interned) to
+    share one interning across several problems over the same facts —
+    what the PRE passes do with their expression-key universe.
+    """
+    labels, sources, is_boundary = _direction_plan(problem, cfg)
+    if universe is None:
+        universe = problem.interned
+    if universe is None:
+        # sorted for a deterministic bit assignment across runs; the
+        # ``repr`` key only when the facts are not directly comparable
+        try:
+            facts = sorted(problem.universe)
+        except TypeError:
+            facts = sorted(problem.universe, key=repr)
+        universe = FactUniverse(facts)
+        # memoize on the (frozen) problem so repeated solves share it
+        object.__setattr__(problem, "interned", universe)
+    return MaskProblem(
+        universe=universe,
+        meet=problem.meet,
+        order=labels,
+        sources=sources,
+        boundary_blocks=frozenset(l for l in labels if is_boundary[l]),
+        gen={lbl: universe.mask_of(problem.gen[lbl]) for lbl in labels},
+        kill={lbl: universe.mask_of(problem.kill[lbl]) for lbl in labels},
+        boundary=universe.mask_of(problem.boundary),
+    )
+
+
+def _lift_result(problem: DataflowProblem, masked: MaskResult) -> DataflowResult:
+    """Convert a mask fixpoint back to the frozenset-faced result."""
+    universe = masked.universe
+    before = {lbl: universe.facts_of(m) for lbl, m in masked.before.items()}
+    after = {lbl: universe.facts_of(m) for lbl, m in masked.after.items()}
+    if problem.direction == "forward":
+        return DataflowResult(inn=before, out=after, iterations=masked.stats.pops)
+    # for backward problems "before" is the value at block *exit*
+    return DataflowResult(inn=after, out=before, iterations=masked.stats.pops)
+
+
+def solve(problem: DataflowProblem, cfg: ControlFlowGraph) -> DataflowResult:
+    """Solve the problem to its fixpoint over the reachable blocks.
+
+    For a forward problem::
+
+        IN(b)  = meet over predecessors p of OUT(p)     (boundary at entry)
+        OUT(b) = gen(b) | (IN(b) - kill(b))
+
+    Backward problems mirror this through successors.  Blocks with no
+    meet inputs other than the boundary (the entry forward; exit blocks
+    backward) receive the boundary value.
+    """
+    if ENGINE == "reference":
+        return solve_reference(problem, cfg)
+    if (
+        ENGINE == "auto"
+        and len(problem.universe) * len(problem.gen) < AUTO_THRESHOLD
+    ):
+        return solve_reference(problem, cfg)
+    return _lift_result(problem, solve_masks(lower_problem(problem, cfg)))
 
 
 def _meet_fn(meet: Meet, universe: FactSet) -> Callable[[list[FactSet]], FactSet]:
@@ -86,39 +239,45 @@ def _meet_fn(meet: Meet, universe: FactSet) -> Callable[[list[FactSet]], FactSet
     return intersect
 
 
-def solve(problem: DataflowProblem, cfg: ControlFlowGraph) -> DataflowResult:
-    """Iterate the problem to a fixpoint over the reachable blocks.
+def solve_reference(
+    problem: DataflowProblem,
+    cfg: ControlFlowGraph,
+    max_sweeps: Optional[int] = None,
+) -> DataflowResult:
+    """The retained round-robin frozenset solver (oracle and baseline).
 
-    For a forward problem::
-
-        IN(b)  = meet over predecessors p of OUT(p)     (boundary at entry)
-        OUT(b) = gen(b) | (IN(b) - kill(b))
-
-    Backward problems mirror this through successors.  Blocks with no
-    meet inputs other than the boundary (the entry forward; exit blocks
-    backward) receive the boundary value.
+    Round-robin in the direction-matched order, but a block whose meet
+    inputs did not change since its last visit is skipped instead of
+    having its meet and transfer recomputed — once a region converges
+    its blocks cost nothing on later sweeps.  A sweep cap (default
+    ``4 * blocks + 16``) turns a would-be hang on malformed inputs into
+    a structured :class:`DataflowConvergenceError`.
     """
-    labels = cfg.reverse_postorder if problem.direction == "forward" else cfg.postorder
+    labels, sources, is_boundary = _direction_plan(problem, cfg)
     meet = _meet_fn(problem.meet, problem.universe)
     init = problem.universe if problem.meet == "intersection" else frozenset()
+    if max_sweeps is None:
+        max_sweeps = 4 * len(labels) + 16
 
-    reachable = set(labels)
-    if problem.direction == "forward":
-        sources = {lbl: [p for p in cfg.preds[lbl] if p in reachable] for lbl in labels}
-        is_boundary = {lbl: lbl == cfg.entry for lbl in labels}
-    else:
-        sources = {lbl: [s for s in cfg.succs[lbl] if s in reachable] for lbl in labels}
-        is_boundary = {lbl: not cfg.succs[lbl] for lbl in labels}
+    dependents: dict[str, list[str]] = {lbl: [] for lbl in labels}
+    for lbl in labels:
+        for src in sources[lbl]:
+            dependents[src].append(lbl)
 
+    order_index = {lbl: i for i, lbl in enumerate(labels)}
     before: dict[str, FactSet] = {lbl: init for lbl in labels}
     after: dict[str, FactSet] = {lbl: init for lbl in labels}
+    pending = set(labels)
 
     iterations = 0
-    changed = True
-    while changed:
-        changed = False
+    while pending:
         iterations += 1
-        for label in labels:
+        if iterations > max_sweeps:
+            raise DataflowConvergenceError(cfg.func.name, iterations, max_sweeps)
+        current, pending = pending, set()
+        for index, label in enumerate(labels):
+            if label not in current:
+                continue
             if is_boundary[label] and not sources[label]:
                 incoming = problem.boundary
             else:
@@ -126,11 +285,17 @@ def solve(problem: DataflowProblem, cfg: ControlFlowGraph) -> DataflowResult:
                 if is_boundary[label]:
                     values.append(problem.boundary)
                 incoming = meet(values)
+            before[label] = incoming
             outgoing = problem.gen[label] | (incoming - problem.kill[label])
-            if incoming != before[label] or outgoing != after[label]:
-                before[label] = incoming
+            if outgoing != after[label]:
                 after[label] = outgoing
-                changed = True
+                for dep in dependents[label]:
+                    # a dep later in this sweep's order recomputes now; an
+                    # earlier one (a back edge) waits for the next sweep
+                    if order_index[dep] > index:
+                        current.add(dep)
+                    else:
+                        pending.add(dep)
 
     if problem.direction == "forward":
         return DataflowResult(inn=before, out=after, iterations=iterations)

@@ -2,10 +2,71 @@
 
 from __future__ import annotations
 
+from repro.analysis.manager import analyses
 from repro.cfg.graph import ControlFlowGraph
 from repro.dataflow.expressions import ExpressionTable
 from repro.dataflow.framework import DataflowProblem, DataflowResult, solve
 from repro.ir.function import Function
+
+
+def _phi_uses_from(func: Function, cfg: ControlFlowGraph) -> dict[str, set[str]]:
+    """Registers each block feeds into successors' φ-nodes (edge uses)."""
+    phi_uses_from: dict[str, set[str]] = {label: set() for label in cfg.labels}
+    for blk in func.blocks:
+        for phi in blk.phis():
+            for src, pred in zip(phi.srcs, phi.phi_labels):
+                if pred in phi_uses_from:
+                    phi_uses_from[pred].add(src)
+    return phi_uses_from
+
+
+def live_variable_problem(
+    func: Function, cfg: ControlFlowGraph | None = None
+) -> DataflowProblem:
+    """The live-variable problem (backward, union), unsolved.
+
+    ``repro bench dataflow`` times both engines over the same problem
+    objects; :func:`live_variables` solves it and applies the φ edge-use
+    post-pass.
+    """
+    from repro.ir.opcodes import Opcode
+
+    cfg = cfg if cfg is not None else analyses(func).cfg()
+    universe = frozenset(func.all_registers())
+    gen: dict[str, frozenset] = {}
+    kill: dict[str, frozenset] = {}
+    phi_uses_from = _phi_uses_from(func, cfg)
+
+    for blk in func.blocks:
+        upward: set[str] = set()
+        defined: set[str] = set()
+        for inst in blk.instructions:
+            if inst.opcode is Opcode.PHI:
+                # φ inputs are used on the incoming edges, not here
+                if inst.target is not None:
+                    defined.add(inst.target)
+                continue
+            for use in inst.srcs:
+                if use not in defined:
+                    upward.add(use)
+            if inst.target is not None:
+                defined.add(inst.target)
+        # uses feeding successors' φ-nodes happen at the end of this block
+        for reg in phi_uses_from[blk.label]:
+            if reg not in defined:
+                upward.add(reg)
+        gen[blk.label] = frozenset(upward)
+        kill[blk.label] = frozenset(defined)
+
+    # no eager interning: small liveness problems solve on the reference
+    # engine, and the bitset path memoizes a universe on first lowering
+    return DataflowProblem(
+        direction="backward",
+        meet="union",
+        universe=universe,
+        gen=gen,
+        kill=kill,
+    )
 
 
 def live_variables(func: Function, cfg: ControlFlowGraph | None = None) -> DataflowResult:
@@ -16,44 +77,9 @@ def live_variables(func: Function, cfg: ControlFlowGraph | None = None) -> Dataf
     the edge"), which is the correct convention for liveness on SSA-ish
     code with φ-nodes; on φ-free code it changes nothing.
     """
-    cfg = cfg if cfg is not None else ControlFlowGraph(func)
-    universe = frozenset(func.all_registers())
-    gen: dict[str, frozenset] = {}
-    kill: dict[str, frozenset] = {}
-    phi_uses_from: dict[str, set[str]] = {label: set() for label in cfg.labels}
-    for blk in func.blocks:
-        for phi in blk.phis():
-            for src, pred in zip(phi.srcs, phi.phi_labels):
-                if pred in phi_uses_from:
-                    phi_uses_from[pred].add(src)
-
-    for blk in func.blocks:
-        upward: set[str] = set()
-        defined: set[str] = set()
-        for inst in blk.instructions:
-            if inst.is_phi:
-                # φ inputs are used on the incoming edges, not here
-                defined.update(inst.defs())
-                continue
-            for use in inst.uses():
-                if use not in defined:
-                    upward.add(use)
-            defined.update(inst.defs())
-        # uses feeding successors' φ-nodes happen at the end of this block
-        for reg in phi_uses_from[blk.label]:
-            if reg not in defined:
-                upward.add(reg)
-        gen[blk.label] = frozenset(upward)
-        kill[blk.label] = frozenset(defined)
-
-    problem = DataflowProblem(
-        direction="backward",
-        meet="union",
-        universe=universe,
-        gen=gen,
-        kill=kill,
-    )
-    result = solve(problem, cfg)
+    cfg = cfg if cfg is not None else analyses(func).cfg()
+    phi_uses_from = _phi_uses_from(func, cfg)
+    result = solve(live_variable_problem(func, cfg), cfg)
     # post-pass: registers feeding a successor φ are live at block exit
     for blk in func.blocks:
         if blk.label in result.out:
@@ -61,6 +87,39 @@ def live_variables(func: Function, cfg: ControlFlowGraph | None = None) -> Dataf
             if extra - result.out[blk.label]:
                 result.out[blk.label] = result.out[blk.label] | extra
     return result
+
+
+def _expression_domain(func: Function, table: ExpressionTable | None):
+    """Resolve (table, interned universe) for an expression problem.
+
+    When the table comes from the analysis manager its cached
+    :class:`~repro.dataflow.bitset.FactUniverse` rides along, so the
+    solver skips per-solve interning; an explicitly-passed table gets a
+    fresh interning in its own key order.
+    """
+    from repro.dataflow.bitset import FactUniverse
+
+    if table is None:
+        manager = analyses(func)
+        return manager.expressions(), manager.expression_universe()
+    return table, FactUniverse(table.keys)
+
+
+def available_expression_problem(
+    func: Function,
+    table: ExpressionTable | None = None,
+) -> DataflowProblem:
+    """The available-expressions problem (forward, intersection), unsolved."""
+    table, interned = _expression_domain(func, table)
+    return DataflowProblem(
+        direction="forward",
+        meet="intersection",
+        universe=table.universe,
+        gen=table.comp,
+        kill=table.kill(),
+        boundary=frozenset(),
+        interned=interned,
+    )
 
 
 def available_expressions(
@@ -74,17 +133,8 @@ def available_expressions(
     path from the entry and no operand has been redefined since — the
     classic global-CSE predicate (paper section 5.3, method 2).
     """
-    cfg = cfg if cfg is not None else ControlFlowGraph(func)
-    table = table if table is not None else ExpressionTable.build(func)
-    problem = DataflowProblem(
-        direction="forward",
-        meet="intersection",
-        universe=table.universe,
-        gen=table.comp,
-        kill=table.kill(),
-        boundary=frozenset(),
-    )
-    return solve(problem, cfg)
+    cfg = cfg if cfg is not None else analyses(func).cfg()
+    return solve(available_expression_problem(func, table), cfg)
 
 
 def anticipable_expressions(
@@ -99,14 +149,22 @@ def anticipable_expressions(
     points where an expression is anticipable can never lengthen a path —
     the key safety property of PRE (paper section 2).
     """
-    cfg = cfg if cfg is not None else ControlFlowGraph(func)
-    table = table if table is not None else ExpressionTable.build(func)
-    problem = DataflowProblem(
+    cfg = cfg if cfg is not None else analyses(func).cfg()
+    return solve(anticipable_expression_problem(func, table), cfg)
+
+
+def anticipable_expression_problem(
+    func: Function,
+    table: ExpressionTable | None = None,
+) -> DataflowProblem:
+    """The anticipable-expressions problem (backward, intersection), unsolved."""
+    table, interned = _expression_domain(func, table)
+    return DataflowProblem(
         direction="backward",
         meet="intersection",
         universe=table.universe,
         gen=table.antloc,
         kill=table.kill(),
         boundary=frozenset(),
+        interned=interned,
     )
-    return solve(problem, cfg)

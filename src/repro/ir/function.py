@@ -144,9 +144,11 @@ class Function:
     def all_registers(self) -> set[str]:
         """Every register mentioned anywhere in the function."""
         regs = set(self.params)
-        for inst in self.instructions():
-            regs.update(inst.defs())
-            regs.update(inst.uses())
+        for blk in self.blocks:
+            for inst in blk.instructions:
+                if inst.target is not None:
+                    regs.add(inst.target)
+                regs.update(inst.srcs)
         return regs
 
     # -- CFG ------------------------------------------------------------------------

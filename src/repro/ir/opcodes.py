@@ -18,6 +18,12 @@ class Opcode(enum.Enum):
     The enum value is the mnemonic used by the textual format.
     """
 
+    # members are singletons, so the C-level identity hash is equivalent
+    # to enum's per-call Python ``hash(name)`` — and expression keys
+    # containing an opcode are hashed millions of times by the dataflow
+    # engine's fact interning
+    __hash__ = object.__hash__
+
     # -- arithmetic -------------------------------------------------------
     ADD = "add"
     SUB = "sub"

@@ -13,14 +13,14 @@ with its source (they hold the same value).
 
 from __future__ import annotations
 
-from repro.dataflow.problems import live_variables
+from repro.analysis.manager import analyses
 from repro.ir.function import Function
 from repro.ir.opcodes import Opcode
 from repro.pm.registry import register_pass
 
 
 def _build_interference(func: Function) -> dict[str, set[str]]:
-    liveness = live_variables(func)
+    liveness = analyses(func).liveness()
     interference: dict[str, set[str]] = {reg: set() for reg in func.all_registers()}
 
     def add(a: str, b: str) -> None:
@@ -111,4 +111,7 @@ def coalesce(func: Function, max_rounds: int = 25) -> Function:
                     continue
                 renamed.append(inst)
             blk.instructions = renamed
+        # the rename rewrote registers in place; the next round's
+        # interference must be built from fresh liveness
+        analyses(func).invalidate("liveness")
     return func

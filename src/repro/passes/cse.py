@@ -27,9 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.cfg.dominators import DominatorTree
-from repro.cfg.graph import ControlFlowGraph
-from repro.dataflow.expressions import ExpressionTable
+from repro.analysis.manager import analyses
 from repro.dataflow.problems import available_expressions
 from repro.ir.function import Function
 from repro.ir.instructions import ExprKey, Instruction
@@ -69,9 +67,10 @@ def dominator_cse_transform(func: Function) -> CSEReport:
         raise ValueError("CSE requires phi-free code (destroy SSA first)")
     report = CSEReport()
     func.remove_unreachable_blocks()
-    cfg = ControlFlowGraph(func)
-    dom = DominatorTree(cfg)
-    table = ExpressionTable.build(func)
+    manager = analyses(func)
+    cfg = manager.cfg()
+    dom = manager.dominators()
+    table = manager.expressions()
     if not table.keys:
         return report
     avail = available_expressions(func, table, cfg)
@@ -133,8 +132,9 @@ def available_cse_transform(func: Function) -> CSEReport:
         raise ValueError("CSE requires phi-free code (destroy SSA first)")
     report = CSEReport()
     func.remove_unreachable_blocks()
-    cfg = ControlFlowGraph(func)
-    table = ExpressionTable.build(func)
+    manager = analyses(func)
+    cfg = manager.cfg()
+    table = manager.expressions()
     if not table.keys:
         return report
     avail = available_expressions(func, table, cfg)

@@ -52,13 +52,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.cfg.edges import split_critical_edges
 from repro.cfg.graph import ControlFlowGraph
 from repro.dataflow.expressions import ExpressionTable
-from repro.dataflow.problems import anticipable_expressions, available_expressions
 from repro.ir.function import Function
 from repro.ir.instructions import ExprKey, Instruction
 from repro.ir.opcodes import Opcode
+from repro.passes.pre_common import PREContext, prepare_pre
 from repro.pm import remarks
 from repro.pm.registry import register_pass
 
@@ -85,67 +84,21 @@ def partial_redundancy_elimination(func: Function) -> Function:
 
 def pre_transform(func: Function) -> PREReport:
     """PRE returning a :class:`PREReport` of the work performed."""
-    if any(inst.is_phi for inst in func.instructions()):
-        raise ValueError("PRE requires phi-free code (destroy SSA first)")
     report = PREReport()
-    func.remove_unreachable_blocks()
-    split_critical_edges(func)
-
-    cfg = ControlFlowGraph(func)
-    table = ExpressionTable.build(func)
-    if not table.keys:
+    ctx = prepare_pre(func)
+    if ctx is None:
         return report
-    universe = table.universe
-    kill = table.kill()
 
-    avail = available_expressions(func, table, cfg)
-    ant = anticipable_expressions(func, table, cfg)
+    insert_on_edge, delete_in_block = solve_lcm_placement(ctx)
 
-    entry = cfg.entry
-    reachable = cfg.reachable()
-    edges = [(i, j) for i, j in cfg.edges() if i in reachable]
-
-    earliest: dict[tuple[str, str], frozenset] = {}
-    for i, j in edges:
-        value = ant.at_entry(j) - avail.at_exit(i)
-        if i != entry:
-            value &= kill[i] | (universe - ant.at_exit(i))
-        earliest[(i, j)] = value
-
-    # LATER / LATERIN fixpoint (forward over edges)
-    laterin: dict[str, frozenset] = {
-        label: (frozenset() if label == entry else universe) for label in reachable
-    }
-
-    def later(i: str, j: str) -> frozenset:
-        return earliest[(i, j)] | (laterin[i] - table.antloc[i])
-
-    order = cfg.reverse_postorder
-    changed = True
-    while changed:
-        changed = False
-        for j in order:
-            if j == entry:
-                continue
-            preds = [p for p in cfg.preds[j] if p in reachable]
-            if not preds:
-                continue
-            new = later(preds[0], j)
-            for p in preds[1:]:
-                new &= later(p, j)
-            if new != laterin[j]:
-                laterin[j] = new
-                changed = True
-
-    insert_on_edge = {
-        (i, j): later(i, j) - laterin[j] for i, j in edges if j != entry
-    }
-    delete_in_block = {
-        label: (table.antloc[label] - laterin[label]) if label != entry else frozenset()
-        for label in reachable
-    }
-
-    apply_placement(func, cfg, table, insert_on_edge, delete_in_block, report)
+    apply_placement(
+        func,
+        ctx.cfg,
+        ctx.table,
+        {edge: ctx.keys_of(mask) for edge, mask in insert_on_edge.items()},
+        ctx.lift_blocks(delete_in_block),
+        report,
+    )
     remarks.emit(
         "placement",
         insertions=report.insertions,
@@ -153,6 +106,62 @@ def pre_transform(func: Function) -> PREReport:
         edges=len(report.inserted_edges),
     )
     return report
+
+
+def solve_lcm_placement(
+    ctx: PREContext,
+) -> tuple[dict[tuple[str, str], int], dict[str, int]]:
+    """Solve EARLIEST / LATER / LATERIN over bit masks.
+
+    Returns ``(INSERT(i→j), DELETE(b))`` as masks over the context's
+    expression universe — the whole equation system runs on ints; keys
+    reappear only when the placement is applied.
+    """
+    cfg, entry, full = ctx.cfg, ctx.entry, ctx.full
+    reachable = ctx.reachable
+
+    earliest: dict[tuple[str, str], int] = {}
+    for i, j in ctx.edges:
+        value = ctx.ant_in[j] & ~ctx.avail_out[i]
+        if i != entry:
+            value &= ctx.kill[i] | (full ^ ctx.ant_out[i])
+        earliest[(i, j)] = value
+
+    # LATER / LATERIN fixpoint (forward over edges)
+    laterin: dict[str, int] = {
+        label: (0 if label == entry else full) for label in reachable
+    }
+
+    def later(i: str, j: str) -> int:
+        return earliest[(i, j)] | (laterin[i] & ~ctx.antloc[i])
+
+    order = cfg.reverse_postorder
+    preds = {
+        j: [p for p in cfg.preds[j] if p in reachable]
+        for j in order
+        if j != entry
+    }
+    changed = True
+    while changed:
+        changed = False
+        for j in order:
+            if j == entry or not preds.get(j):
+                continue
+            new = full
+            for p in preds[j]:
+                new &= later(p, j)
+            if new != laterin[j]:
+                laterin[j] = new
+                changed = True
+
+    insert_on_edge = {
+        (i, j): later(i, j) & ~laterin[j] for i, j in ctx.edges if j != entry
+    }
+    delete_in_block = {
+        label: (ctx.antloc[label] & ~laterin[label]) if label != entry else 0
+        for label in reachable
+    }
+    return insert_on_edge, delete_in_block
 
 
 def apply_placement(

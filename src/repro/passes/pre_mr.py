@@ -17,19 +17,19 @@ block-placement anomaly Morel & Renvoise had):
     INSERT(i→j) = PPIN(j) ∩ ¬PPOUT(i) ∩ ¬AVOUT(i)
     DELETE(i)   = ANTLOC(i) ∩ PPIN(i)          (i ≠ entry)
 
-Both solvers share the local properties, the lexical expression keys and
-the rewrite machinery; tests assert they produce semantically identical
-programs and closely matching redundancy counts.
+Both solvers share the preparation and local properties through
+:mod:`repro.passes.pre_common` — one expression universe, interned
+once, with PPIN/PPOUT (like the other solver's EARLIEST/LATER) held as
+dense bit masks end to end — plus the rewrite machinery; tests assert
+they produce semantically identical programs and closely matching
+redundancy counts.
 """
 
 from __future__ import annotations
 
-from repro.cfg.edges import split_critical_edges
-from repro.cfg.graph import ControlFlowGraph
-from repro.dataflow.expressions import ExpressionTable
-from repro.dataflow.problems import anticipable_expressions, available_expressions
 from repro.ir.function import Function
 from repro.passes.pre import PREReport, apply_placement
+from repro.passes.pre_common import PREContext, prepare_pre
 from repro.pm import remarks
 from repro.pm.registry import register_pass
 
@@ -42,56 +42,81 @@ def morel_renvoise_pre(func: Function) -> Function:
 
 
 def morel_renvoise_transform(func: Function) -> PREReport:
-    if any(inst.is_phi for inst in func.instructions()):
-        raise ValueError("PRE requires phi-free code (destroy SSA first)")
     report = PREReport()
-    func.remove_unreachable_blocks()
-    split_critical_edges(func)
-
-    cfg = ControlFlowGraph(func)
-    table = ExpressionTable.build(func)
-    if not table.keys:
+    ctx = prepare_pre(func)
+    if ctx is None:
         return report
-    universe = table.universe
 
-    avail = available_expressions(func, table, cfg)
-    ant = anticipable_expressions(func, table, cfg)
+    insert_on_edge, delete_in_block, insert_at_end = solve_mr_placement(ctx)
 
-    entry = cfg.entry
-    reachable = cfg.reachable()
+    apply_placement(
+        func,
+        ctx.cfg,
+        ctx.table,
+        {edge: ctx.keys_of(mask) for edge, mask in insert_on_edge.items()},
+        ctx.lift_blocks(delete_in_block),
+        report,
+        insert_at_end=ctx.lift_blocks(insert_at_end),
+    )
+    remarks.emit(
+        "placement",
+        insertions=report.insertions,
+        deletions=report.deletions,
+        edges=len(report.inserted_edges),
+    )
+    return report
 
-    ppin: dict[str, frozenset] = {
-        label: (frozenset() if label == entry else universe) for label in reachable
+
+def solve_mr_placement(
+    ctx: PREContext,
+) -> tuple[dict[tuple[str, str], int], dict[str, int], dict[str, int]]:
+    """Solve the bidirectional PPIN/PPOUT system over bit masks.
+
+    Returns ``(INSERT(i→j), DELETE(b), INSERT_at_end(b))`` as masks
+    over the context's expression universe.
+    """
+    cfg, entry, full = ctx.cfg, ctx.entry, ctx.full
+    reachable = ctx.reachable
+
+    ppin: dict[str, int] = {
+        label: (0 if label == entry else full) for label in reachable
     }
-    ppout: dict[str, frozenset] = {
-        label: (frozenset() if not cfg.succs[label] else universe)
+    succs = {
+        label: [s for s in cfg.succs[label] if s in reachable]
         for label in reachable
+    }
+    preds = {
+        label: [p for p in cfg.preds[label] if p in reachable]
+        for label in reachable
+    }
+    ppout: dict[str, int] = {
+        label: (0 if not succs[label] else full) for label in reachable
     }
 
     # greatest-fixpoint iteration of the bidirectional system; sweeping
     # forward then backward converges quickly on reducible graphs
-    order = [label for label in cfg.reverse_postorder]
+    order = cfg.reverse_postorder
+    sweep = order + list(reversed(order))
     changed = True
     while changed:
         changed = False
-        for label in order + list(reversed(order)):
-            succs = [s for s in cfg.succs[label] if s in reachable]
-            if succs:
-                new_out = ppin[succs[0]]
-                for s in succs[1:]:
+        for label in sweep:
+            block_succs = succs[label]
+            if block_succs:
+                new_out = full
+                for s in block_succs:
                     new_out &= ppin[s]
             else:
-                new_out = frozenset()
+                new_out = 0
             if new_out != ppout[label]:
                 ppout[label] = new_out
                 changed = True
             if label == entry:
                 continue
-            preds = [p for p in cfg.preds[label] if p in reachable]
-            local = table.antloc[label] | (table.transp[label] & ppout[label])
-            new_in = ant.at_entry(label) & local
-            for p in preds:
-                new_in &= ppout[p] | avail.at_exit(p)
+            local = ctx.antloc[label] | (ctx.transp[label] & ppout[label])
+            new_in = ctx.ant_in[label] & local
+            for p in preds[label]:
+                new_in &= ppout[p] | ctx.avail_out[p]
             if new_in != ppin[label]:
                 ppin[label] = new_in
                 changed = True
@@ -101,31 +126,18 @@ def morel_renvoise_transform(func: Function) -> PREReport:
     insert_at_end = {
         label: (
             ppout[label]
-            - avail.at_exit(label)
-            - (ppin[label] & table.transp[label])
+            & ~ctx.avail_out[label]
+            & ~(ppin[label] & ctx.transp[label])
         )
         for label in reachable
     }
     insert_on_edge = {}
     for i in reachable:
-        for j in cfg.succs[i]:
-            if j in reachable and j != entry:
-                insert_on_edge[(i, j)] = (
-                    ppin[j] - ppout[i] - avail.at_exit(i)
-                )
+        for j in succs[i]:
+            if j != entry:
+                insert_on_edge[(i, j)] = ppin[j] & ~ppout[i] & ~ctx.avail_out[i]
     delete_in_block = {
-        label: (table.antloc[label] & ppin[label]) if label != entry else frozenset()
+        label: (ctx.antloc[label] & ppin[label]) if label != entry else 0
         for label in reachable
     }
-
-    apply_placement(
-        func, cfg, table, insert_on_edge, delete_in_block, report,
-        insert_at_end=insert_at_end,
-    )
-    remarks.emit(
-        "placement",
-        insertions=report.insertions,
-        deletions=report.deletions,
-        edges=len(report.inserted_edges),
-    )
-    return report
+    return insert_on_edge, delete_in_block, insert_at_end

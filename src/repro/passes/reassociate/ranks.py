@@ -17,7 +17,7 @@ Parameters rank with the entry block (the paper's Figure 4 gives the
 
 from __future__ import annotations
 
-from repro.cfg.graph import ControlFlowGraph
+from repro.analysis.manager import analyses
 from repro.ir.function import Function
 from repro.ir.opcodes import Opcode
 
@@ -32,7 +32,7 @@ def compute_ranks(func: Function) -> dict[str, int]:
     Returns a map from register name to rank.  Requires SSA form (each
     name defined once); behaviour on non-SSA input is undefined.
     """
-    cfg = ControlFlowGraph(func)
+    cfg = analyses(func).cfg()
     block_rank = cfg.rpo_number()
     ranks: dict[str, int] = {}
     entry_rank = block_rank[cfg.entry]

@@ -27,9 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.cfg.dominators import DominatorTree
-from repro.cfg.graph import ControlFlowGraph
-from repro.cfg.loops import LoopInfo
+from repro.analysis.manager import analyses
 from repro.ir.function import Function
 from repro.ir.instructions import Instruction
 from repro.ir.opcodes import Opcode
@@ -52,9 +50,9 @@ def strength_reduction(func: Function) -> Function:
     """Reduce induction-variable multiplies to additions (in place)."""
     func.remove_unreachable_blocks()
     to_ssa(func)
-    cfg = ControlFlowGraph(func)
-    dom = DominatorTree(cfg)
-    loops = LoopInfo(cfg, dom)
+    manager = analyses(func)
+    cfg = manager.cfg()
+    loops = manager.loops()
 
     def_block: dict[str, str] = {}
     def_of: dict[str, Instruction] = {}

@@ -34,6 +34,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
+from repro.analysis.manager import analyses
 from repro.ir.function import Function, Module
 from repro.ir.parser import parse_function
 from repro.ir.printer import print_function
@@ -41,6 +42,7 @@ from repro.ir.validate import IRValidationError, validate_function
 from repro.pm.cache import PassCache
 from repro.pm.registry import (
     PassSpec,
+    get_pass,
     get_sequence,
     normalize_spec,
     resolve_spec,
@@ -333,6 +335,9 @@ class PassManager:
         self.jobs = max(1, int(jobs))
         self.executor = executor
         self._resolved = [resolve_spec(spec) for spec in self.specs]
+        self._preserves = [
+            get_pass(normalize_spec(spec)[0]).preserves for spec in self.specs
+        ]
 
     # -- single function ---------------------------------------------------------
 
@@ -343,6 +348,7 @@ class PassManager:
             cached = self.cache.lookup(source_text, self.fingerprint)
             if cached is not None:
                 _adopt(func, parse_function(cached))
+                analyses(func).invalidate_all()
                 self.stats.cache_hits += 1
                 self.stats.functions += 1
                 if self.collector is not None:
@@ -365,14 +371,21 @@ class PassManager:
         """The uncached pipeline: every pass, instrumented."""
         started = time.perf_counter()
         plan = self.verify_plan
+        manager = analyses(func)
         baseline_text = print_function(func) if plan.transval_final else None
-        for label, pass_fn in zip(self.labels, self._resolved):
+        for label, pass_fn, preserves in zip(
+            self.labels, self._resolved, self._preserves
+        ):
             before_text = print_function(func) if plan.transval_each else None
             before = _sizes(func)
             t0 = time.perf_counter()
             with remark_context(collector, label, func.name):
                 pass_fn(func)
             elapsed = time.perf_counter() - t0
+            # declared invalidation: body analyses the pass did not
+            # promise to preserve are dropped; shape analyses revalidate
+            # against their stamps on next access
+            manager.after_pass(preserves)
             after = _sizes(func)
             stats.stat(label).record(
                 elapsed,

@@ -37,6 +37,11 @@ class PassInfo:
     invalidates_ssa: bool
     options: Mapping[str, object] = field(default_factory=dict)
     description: str = ""
+    #: Body-dependent analyses (see ``repro.analysis.manager.BODY_ANALYSES``)
+    #: still valid after this pass runs; everything else is invalidated by
+    #: the pass manager.  Shape analyses (CFG, dominators, loops) are
+    #: stamp-validated and need no declaration.
+    preserves: tuple = ()
 
     def bind(self, options: Mapping[str, object]) -> Callable:
         """The pass callable with ``options`` applied.
@@ -76,6 +81,7 @@ def register_pass(
     kind: str = "transform",
     invalidates_ssa: bool = False,
     options: Optional[Mapping[str, object]] = None,
+    preserves: Sequence[str] = (),
 ) -> Callable[[Callable], Callable]:
     """Decorator registering a ``Function -> Function`` pass under ``name``.
 
@@ -89,6 +95,10 @@ def register_pass(
             in) SSA form, so SSA-dependent consumers must rebuild.
         options: mapping of keyword-option name to its default; specs
             may override any subset.
+        preserves: body-dependent analyses (``"expressions"``,
+            ``"liveness"``) guaranteed still valid after the pass; the
+            pass manager keeps them cached across the stage boundary.
+            Shape analyses are stamp-validated and never need listing.
     """
 
     def decorate(fn: Callable) -> Callable:
@@ -103,6 +113,7 @@ def register_pass(
             invalidates_ssa=invalidates_ssa,
             options=dict(options or {}),
             description=doc[0] if doc else "",
+            preserves=tuple(preserves),
         )
         return fn
 

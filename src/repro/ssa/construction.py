@@ -14,8 +14,7 @@ choice of variable names (section 2.2 / 3.1 of the paper).
 
 from __future__ import annotations
 
-from repro.cfg.dominators import DominatorTree
-from repro.cfg.graph import ControlFlowGraph
+from repro.analysis.manager import analyses
 from repro.dataflow.problems import live_variables
 from repro.ir.function import Function
 from repro.ir.instructions import Instruction
@@ -39,8 +38,9 @@ def to_ssa(func: Function, pruned: bool = True, fold_copies: bool = True) -> Fun
 
         destroy_ssa(func)
     func.remove_unreachable_blocks()
-    cfg = ControlFlowGraph(func)
-    dom = DominatorTree(cfg)
+    manager = analyses(func)
+    cfg = manager.cfg()
+    dom = manager.dominators()
 
     def_blocks: dict[str, set[str]] = {}
     for blk in func.blocks:

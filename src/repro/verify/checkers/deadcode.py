@@ -15,8 +15,7 @@ checker, which understands φ-only liveness cycles.
 
 from __future__ import annotations
 
-from repro.cfg.graph import ControlFlowGraph
-from repro.dataflow.problems import live_variables
+from repro.analysis.manager import analyses
 from repro.ir.function import Function
 from repro.ir.opcodes import Opcode
 from repro.verify.checkers import register_checker
@@ -25,8 +24,9 @@ from repro.verify.checkers import register_checker
 @register_checker("dead-store", severity="warning")
 def check_dead_stores(func: Function, report) -> None:
     """No pure instruction's result should be dead at its definition."""
-    cfg = ControlFlowGraph(func)
-    live = live_variables(func, cfg)
+    manager = analyses(func)
+    cfg = manager.cfg()
+    live = manager.liveness()
     reachable = cfg.reachable()
     for blk in func.blocks:
         if blk.label not in reachable:

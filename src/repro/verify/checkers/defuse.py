@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Iterator, NamedTuple, Optional
 
+from repro.analysis.manager import analyses
 from repro.cfg.graph import ControlFlowGraph
 from repro.dataflow.framework import DataflowProblem, solve
 from repro.ir.function import Function
@@ -88,7 +89,7 @@ def undefined_uses(func: Function) -> Iterator[UndefinedUse]:
     Only reachable blocks are analyzed (unreachable ones are the
     ``unreachable`` checker's finding, and they have no dataflow-in).
     """
-    cfg = ControlFlowGraph(func)
+    cfg = analyses(func).cfg()
     must, may = _assignment_problems(func, cfg)
     reachable = cfg.reachable()
     blocks = func.block_map()

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.cfg.graph import ControlFlowGraph
+from repro.analysis.manager import analyses
 from repro.ir.function import Function
 from repro.verify.checkers import register_checker
 
@@ -10,7 +10,7 @@ from repro.verify.checkers import register_checker
 @register_checker("unreachable", severity="warning")
 def check_unreachable(func: Function, report) -> None:
     """No block should be unreachable from the entry."""
-    reachable = ControlFlowGraph(func).reachable()
+    reachable = analyses(func).cfg().reachable()
     for blk in func.blocks:
         if blk.label not in reachable:
             report(

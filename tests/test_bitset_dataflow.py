@@ -1,0 +1,214 @@
+"""The bitset dataflow engine against the reference solver.
+
+Property tests: on randomized CFGs (the same fuel-bounded generator the
+IR fuzzer uses) the mask engine and the retained frozenset solver must
+be result-identical for all four problem shapes (forward/backward ×
+union/intersection), the PRE context's mask solves must match reference
+frozenset solves, and both PRE passes must emit bit-identical IR
+whichever engine the framework routes through.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.helpers import deep_copy_function
+from tests.test_ir_fuzz import build_fuzz_function
+
+import repro.dataflow.framework as framework
+from repro.analysis.manager import analyses
+from repro.dataflow.bitset import (
+    GLOBAL_STATS,
+    FactUniverse,
+    SparseSet,
+    solve_masks,
+)
+from repro.dataflow.framework import (
+    DataflowConvergenceError,
+    DataflowProblem,
+    _lift_result,
+    lower_problem,
+    solve_reference,
+)
+from repro.dataflow.problems import (
+    anticipable_expression_problem,
+    available_expression_problem,
+    live_variable_problem,
+)
+from repro.ir import parse_function, print_function
+from repro.passes.pre import partial_redundancy_elimination
+from repro.passes.pre_common import prepare_pre
+from repro.passes.pre_mr import morel_renvoise_pre
+
+# -- FactUniverse / SparseSet units -----------------------------------------
+
+
+def test_fact_universe_interns_in_order():
+    universe = FactUniverse(["a", "b", "c"])
+    assert [universe.index[f] for f in ("a", "b", "c")] == [0, 1, 2]
+    assert universe.bit("b") == 2
+    assert universe.mask_of(["a", "c"]) == 0b101
+    assert len(universe) == 3 and "b" in universe and "z" not in universe
+
+
+def test_fact_universe_duplicate_facts_fall_back_to_loop():
+    universe = FactUniverse(["a", "b", "a", "c", "b"])
+    assert universe.facts == ["a", "b", "c"]
+    assert universe.mask_of(["c"]) == 0b100
+
+
+def test_fact_universe_facts_of_sparse_and_dense():
+    facts = [f"r{i}" for i in range(100)]
+    universe = FactUniverse(facts)
+    sparse = universe.mask_of(facts[:3])
+    dense = universe.full_mask ^ universe.mask_of(facts[:3])
+    assert universe.facts_of(sparse) == frozenset(facts[:3])
+    assert universe.facts_of(dense) == frozenset(facts[3:])
+    assert universe.facts_of(universe.full_mask) == frozenset(facts)
+    assert universe.facts_of(0) == frozenset()
+
+
+def test_sparse_set_add_pop_remove():
+    ss = SparseSet(8)
+    assert ss.add(3) and ss.add(5) and not ss.add(3)
+    assert 3 in ss and 5 in ss and 4 not in ss
+    assert ss.remove(3) and not ss.remove(3)
+    assert len(ss) == 1 and ss.pop() == 5 and not ss
+
+
+# -- engine equivalence on randomized CFGs ----------------------------------
+
+
+def _assert_engines_agree(problem, cfg):
+    reference = solve_reference(problem, cfg)
+    masked = _lift_result(problem, solve_masks(lower_problem(problem, cfg)))
+    assert masked.inn == reference.inn
+    assert masked.out == reference.out
+
+
+def _fuzz_problems(func):
+    """One problem per direction × meet shape over the same function."""
+    cfg = analyses(func).cfg()
+    live = live_variable_problem(func, cfg)
+    shapes = [
+        live,  # backward / union
+        available_expression_problem(func),  # forward / intersection
+        anticipable_expression_problem(func),  # backward / intersection
+        DataflowProblem(  # forward / union (reaching-style)
+            direction="forward",
+            meet="union",
+            universe=live.universe,
+            gen=live.gen,
+            kill=live.kill,
+        ),
+    ]
+    return cfg, shapes
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_blocks=st.integers(min_value=1, max_value=8),
+    choices=st.lists(st.integers(min_value=0, max_value=10_000), max_size=60),
+)
+def test_mask_engine_matches_reference_on_fuzzed_cfgs(n_blocks, choices):
+    func = build_fuzz_function(n_blocks, choices)
+    cfg, shapes = _fuzz_problems(func)
+    for problem in shapes:
+        _assert_engines_agree(problem, cfg)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_blocks=st.integers(min_value=1, max_value=8),
+    choices=st.lists(st.integers(min_value=0, max_value=10_000), max_size=60),
+)
+def test_pre_context_solves_match_reference_solver(n_blocks, choices):
+    func = build_fuzz_function(n_blocks, choices)
+    ctx = prepare_pre(func)
+    if ctx is None:
+        return
+    # the context normalized the function; reference-solve the same IR
+    avail = solve_reference(available_expression_problem(func), ctx.cfg)
+    ant = solve_reference(anticipable_expression_problem(func), ctx.cfg)
+    assert ctx.lift_blocks(ctx.avail_in) == avail.inn
+    assert ctx.lift_blocks(ctx.avail_out) == avail.out
+    assert ctx.lift_blocks(ctx.ant_in) == ant.inn
+    assert ctx.lift_blocks(ctx.ant_out) == ant.out
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_blocks=st.integers(min_value=1, max_value=8),
+    choices=st.lists(st.integers(min_value=0, max_value=10_000), max_size=60),
+)
+def test_pre_passes_emit_identical_ir_across_engines(n_blocks, choices):
+    func = build_fuzz_function(n_blocks, choices)
+    printed = {}
+    for engine in ("reference", "bitset"):
+        old = framework.ENGINE
+        framework.ENGINE = engine
+        try:
+            lcm = partial_redundancy_elimination(deep_copy_function(func))
+            mr = morel_renvoise_pre(deep_copy_function(func))
+        finally:
+            framework.ENGINE = old
+        printed[engine] = (print_function(lcm), print_function(mr))
+    assert printed["reference"] == printed["bitset"]
+
+
+# -- auto engine routing -----------------------------------------------------
+
+LOOP = """
+function f(r0, r1) {
+entry:
+    r2 <- add r0, r1
+    jmp -> head
+head:
+    r3 <- add r0, r1
+    cbr r3 -> head, done
+done:
+    ret r2
+}
+"""
+
+
+def test_auto_engine_routes_small_problems_to_reference(monkeypatch):
+    func = parse_function(LOOP)
+    cfg = analyses(func).cfg()
+    problem = live_variable_problem(func, cfg)
+    monkeypatch.setattr(framework, "ENGINE", "auto")
+
+    GLOBAL_STATS.reset()
+    framework.solve(problem, cfg)
+    assert GLOBAL_STATS.solves == 0  # below threshold: frozenset solver
+
+    monkeypatch.setattr(framework, "AUTO_THRESHOLD", 0)
+    framework.solve(problem, cfg)
+    assert GLOBAL_STATS.solves == 1  # forced over threshold: bitset
+
+
+def test_engine_settings_agree_on_small_function(monkeypatch):
+    results = {}
+    for engine in ("auto", "bitset", "reference"):
+        func = parse_function(LOOP)
+        monkeypatch.setattr(framework, "ENGINE", engine)
+        result = framework.solve(
+            live_variable_problem(func), analyses(func).cfg()
+        )
+        results[engine] = (result.inn, result.out)
+    assert results["auto"] == results["bitset"] == results["reference"]
+
+
+# -- convergence cap ---------------------------------------------------------
+
+
+def test_reference_solver_convergence_cap():
+    func = parse_function(LOOP)
+    cfg = analyses(func).cfg()
+    problem = live_variable_problem(func, cfg)
+    with pytest.raises(DataflowConvergenceError) as excinfo:
+        solve_reference(problem, cfg, max_sweeps=0)
+    diag = excinfo.value.diagnostic
+    assert diag.checker == "dataflow"
+    assert diag.function == "f"
+    assert "convergence cap" in diag.message

@@ -3,10 +3,15 @@
 ::
 
     python -m repro compile prog.f --level distribution        # print optimized ILOC
+    python -m repro compile prog.iloc --ir                     # optimize printed IR
     python -m repro run prog.f saxpy 100 2.0 --array 0,0,0:8   # execute + count
     python -m repro lint prog.f --level all --werror           # IR diagnostics
     python -m repro passes                                     # registry + checkers
     python -m repro table1 | table2 | ablation                 # the experiments
+    python -m repro serve                                      # compile daemon
+    python -m repro compile prog.f --daemon                    # use the daemon
+    python -m repro cache stats | clear | prune                # disk IR cache
+    python -m repro bench serve                                # daemon load test
 
 The source language is the mini-FORTRAN of :mod:`repro.frontend`; array
 arguments are comma-separated element lists suffixed with the element
@@ -136,6 +141,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     compile_cmd = commands.add_parser("compile", help="compile and print ILOC")
     compile_cmd.add_argument("source", help="mini-FORTRAN source file")
+    compile_cmd.add_argument(
+        "--ir",
+        action="store_true",
+        help="input is printed ILOC (skip the frontend, optimize as-is)",
+    )
+    compile_cmd.add_argument(
+        "--daemon",
+        action="store_true",
+        help="compile via a running 'repro serve' daemon when one is up "
+        "(transparent in-process fallback otherwise; output identical)",
+    )
+    compile_cmd.add_argument(
+        "--daemon-socket",
+        metavar="PATH",
+        default=None,
+        help="daemon socket path (default: $REPRO_DAEMON_SOCKET or the "
+        "per-user runtime path)",
+    )
     _add_level_argument(compile_cmd)
     _add_pipeline_arguments(compile_cmd)
 
@@ -239,8 +262,121 @@ def build_parser() -> argparse.ArgumentParser:
 
     commands.add_parser("table2", help="regenerate the paper's Table 2")
 
+    serve_cmd = commands.add_parser(
+        "serve", help="run the persistent compile daemon (docs/SERVICE.md)"
+    )
+    serve_cmd.add_argument(
+        "--socket",
+        metavar="PATH",
+        default=None,
+        help="Unix socket to listen on (default: $REPRO_DAEMON_SOCKET or the "
+        "per-user runtime path)",
+    )
+    serve_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="compile worker processes (default: 2)",
+    )
+    serve_cmd.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=4.0,
+        metavar="MS",
+        help="batching window: max extra latency paid to fill a batch "
+        "(default: 4ms)",
+    )
+    serve_cmd.add_argument(
+        "--max-batch",
+        type=int,
+        default=16,
+        metavar="N",
+        help="max requests per worker batch (default: 16)",
+    )
+    serve_cmd.add_argument(
+        "--max-pending",
+        type=int,
+        default=256,
+        metavar="N",
+        help="pending-request bound before load shedding with 'overloaded' "
+        "replies (default: 256)",
+    )
+    serve_cmd.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-request deadline (default: 30s)",
+    )
+    serve_cmd.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help="max executions per request across worker deaths (default: 3)",
+    )
+    serve_cmd.add_argument(
+        "--cache-dir",
+        default=".repro_cache",
+        metavar="DIR",
+        help="shared on-disk IR cache for the workers "
+        "(default: .repro_cache)",
+    )
+    serve_cmd.add_argument(
+        "--no-cache", action="store_true", help="run the workers cache-less"
+    )
+    serve_cmd.add_argument(
+        "--cache-max-mb",
+        type=int,
+        default=256,
+        metavar="MB",
+        help="LRU size cap for the disk cache (default: 256 MB)",
+    )
+    serve_cmd.add_argument(
+        "--metrics-json",
+        metavar="OUT.JSON",
+        help="write the final metrics snapshot on shutdown",
+    )
+
+    cache_cmd = commands.add_parser(
+        "cache", help="inspect, clear or prune the on-disk IR cache"
+    )
+    cache_sub = cache_cmd.add_subparsers(dest="cache_command", required=True)
+    for name, doc in (
+        ("stats", "entry count and byte totals"),
+        ("clear", "delete every cached entry"),
+        ("prune", "evict LRU entries down to the given caps"),
+    ):
+        sub = cache_sub.add_parser(name, help=doc)
+        sub.add_argument(
+            "--dir",
+            default=".repro_cache",
+            metavar="DIR",
+            help="cache directory (default: .repro_cache)",
+        )
+        if name == "stats":
+            sub.add_argument(
+                "--json", action="store_true", help="print the report as JSON"
+            )
+        if name == "prune":
+            sub.add_argument(
+                "--max-bytes",
+                type=int,
+                default=None,
+                metavar="N",
+                help="byte cap to prune down to",
+            )
+            sub.add_argument(
+                "--max-entries",
+                type=int,
+                default=None,
+                metavar="N",
+                help="entry-count cap to prune down to",
+            )
+
     bench_cmd = commands.add_parser(
-        "bench", help="microbenchmarks (currently: dataflow)"
+        "bench", help="microbenchmarks (dataflow, serve)"
     )
     bench_sub = bench_cmd.add_subparsers(dest="bench_command", required=True)
     dataflow_cmd = bench_sub.add_parser(
@@ -267,6 +403,59 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="BOUND",
         help="exit 1 when the deterministic worklist-pop count exceeds "
         "BOUND (the CI regression gate)",
+    )
+    serve_bench_cmd = bench_sub.add_parser(
+        "serve",
+        help="drive the compile daemon with a mixed corpus and write "
+        "BENCH_service.json",
+    )
+    serve_bench_cmd.add_argument(
+        "--quick", action="store_true", help="small corpus (the CI smoke run)"
+    )
+    serve_bench_cmd.add_argument(
+        "--clients",
+        type=int,
+        default=4,
+        metavar="N",
+        help="concurrent client connections (default: 4)",
+    )
+    serve_bench_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="daemon worker processes (default: min(4, cpus))",
+    )
+    serve_bench_cmd.add_argument(
+        "--duplicates",
+        type=int,
+        default=None,
+        metavar="N",
+        help="times each request is repeated in the warm pass "
+        "(default: 2 quick / 3 full)",
+    )
+    serve_bench_cmd.add_argument(
+        "--crash",
+        type=int,
+        default=1,
+        metavar="N",
+        dest="crashes",
+        help="worker crashes to inject during the cold pass (default: 1)",
+    )
+    serve_bench_cmd.add_argument(
+        "--json",
+        dest="json_out",
+        default="BENCH_service.json",
+        metavar="OUT.JSON",
+        help="report path (default: BENCH_service.json)",
+    )
+    serve_bench_cmd.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit 1 unless warm daemon throughput beats the one-shot CLI "
+        "baseline by this factor (the CI gate)",
     )
 
     ablation_cmd = commands.add_parser(
@@ -301,12 +490,125 @@ def _finish_pipeline(options, stats: ManagerStats, collector) -> None:
 def _cmd_compile(options) -> int:
     with open(options.source) as handle:
         source = handle.read()
+    if options.daemon:
+        from repro.service.client import DaemonError, compile_with_fallback
+
+        kind = "ir" if options.ir else "source"
+        level = options.level if options.level else "none"
+        try:
+            text, _origin = compile_with_fallback(
+                kind,
+                source,
+                level,
+                options.verify,
+                socket_path=options.daemon_socket,
+            )
+        except DaemonError as error:
+            print(f"compile: daemon error [{error.kind}]: {error}",
+                  file=sys.stderr)
+            return 1
+        print(text)
+        return 0
     stats = ManagerStats()
     collector = RemarkCollector() if options.remarks else None
     manager = _build_manager(options, stats, collector)
-    module = compile_source(source, manager=manager, verify=options.verify)
+    if options.ir:
+        from repro.pipeline.driver import compile_ir
+
+        module = compile_ir(
+            source,
+            _level(options.level),
+            manager=manager,
+            verify=options.verify,
+        )
+    else:
+        module = compile_source(source, manager=manager, verify=options.verify)
     print(print_module(module))
     _finish_pipeline(options, stats, collector)
+    return 0
+
+
+def _cmd_serve(options) -> int:
+    from repro.service.daemon import CompileDaemon, DaemonConfig
+    from repro.service.faults import RetryPolicy
+    from repro.service.protocol import default_socket_path
+
+    config = DaemonConfig(
+        socket_path=options.socket or default_socket_path(),
+        workers=options.workers,
+        batch_window=options.batch_window_ms / 1e3,
+        max_batch=options.max_batch,
+        max_pending=options.max_pending,
+        request_timeout=options.timeout,
+        retry=RetryPolicy(max_attempts=max(1, options.retries)),
+        cache_dir=None if options.no_cache else options.cache_dir,
+        cache_max_bytes=options.cache_max_mb * 1024 * 1024,
+    )
+    daemon = CompileDaemon(config)
+    daemon.start()
+    print(
+        f"repro daemon: listening on {config.socket_path} "
+        f"({config.workers} workers, cache "
+        f"{config.cache_dir or 'off'})",
+        file=sys.stderr,
+    )
+    # route SIGTERM (systemd stop, CI `kill`) through the same clean
+    # shutdown as Ctrl-C: reap workers, dump metrics, exit 143
+    import signal
+
+    def _terminate(signum, frame):  # noqa: ARG001
+        raise SystemExit(128 + signum)
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
+    try:
+        daemon.serve_forever()
+    finally:
+        # KeyboardInterrupt and SIGTERM land here too: reap children,
+        # then report
+        signal.signal(signal.SIGTERM, previous)
+        daemon.stop()
+        if options.metrics_json:
+            with open(options.metrics_json, "w") as handle:
+                json.dump(daemon.metrics.snapshot(), handle, indent=2,
+                          sort_keys=True)
+                handle.write("\n")
+        print(daemon.metrics.format(), file=sys.stderr)
+    return 0
+
+
+def _cmd_cache(options) -> int:
+    from repro.pm.cache import PassCache
+
+    if options.cache_command == "stats":
+        report = PassCache(options.dir).disk_stats()
+        if options.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(
+                f"{report['directory']}: {report['entries']} entries, "
+                f"{report['bytes']} bytes"
+            )
+        return 0
+    if options.cache_command == "clear":
+        cache = PassCache(options.dir)
+        before = cache.disk_stats()
+        cache.clear()
+        print(
+            f"cleared {before['entries']} entries "
+            f"({before['bytes']} bytes) from {options.dir}"
+        )
+        return 0
+    cache = PassCache(
+        options.dir,
+        max_bytes=options.max_bytes,
+        max_entries=options.max_entries,
+    )
+    evicted = cache.prune()
+    after = cache.disk_stats()
+    print(
+        f"evicted {evicted} entries; {after['entries']} entries "
+        f"({after['bytes']} bytes) remain in {options.dir}"
+    )
     return 0
 
 
@@ -490,6 +792,16 @@ def _cmd_passes(options) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     options = build_parser().parse_args(argv)
+    try:
+        return _dispatch(options)
+    except KeyboardInterrupt:
+        # clean Ctrl-C: executors/daemons have already reaped their
+        # children on the way out; exit nonzero without a traceback spew
+        print("interrupted", file=sys.stderr)
+        return 130
+
+
+def _dispatch(options) -> int:
     if options.command == "compile":
         return _cmd_compile(options)
     if options.command == "run":
@@ -498,6 +810,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_lint(options)
     if options.command == "passes":
         return _cmd_passes(options)
+    if options.command == "serve":
+        return _cmd_serve(options)
+    if options.command == "cache":
+        return _cmd_cache(options)
     if options.command == "table1":
         from repro.bench.table1 import main as table1_main
 
@@ -517,6 +833,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         table2_main()
         return 0
     if options.command == "bench":
+        if options.bench_command == "serve":
+            from repro.bench.serve import main as serve_bench_main
+
+            return serve_bench_main(
+                quick=options.quick,
+                clients=options.clients,
+                workers=options.workers,
+                duplicates=options.duplicates,
+                crashes=options.crashes,
+                json_out=options.json_out,
+                min_speedup=options.min_speedup,
+            )
         from repro.bench.dataflow import main as dataflow_main
 
         return dataflow_main(

@@ -19,11 +19,18 @@ from repro.pipeline.levels import (
     optimize,
     optimize_function,
 )
-from repro.pipeline.driver import compile_source, run_routine
+from repro.pipeline.driver import (
+    compile_ir,
+    compile_payload,
+    compile_source,
+    run_routine,
+)
 
 __all__ = [
     "BASELINE_SEQUENCE",
     "OptLevel",
+    "compile_ir",
+    "compile_payload",
     "compile_source",
     "optimize",
     "optimize_function",

@@ -8,11 +8,34 @@ from typing import Optional, Sequence
 from repro.frontend import compile_program
 from repro.interp import ExecutionResult, Interpreter, Memory
 from repro.ir.function import Module
+from repro.ir.parser import parse_module
 from repro.ir.validate import validate_module
 from repro.pipeline.levels import OptLevel
 from repro.pm.cache import PassCache
 from repro.pm.manager import PassManager, parse_verify
 from repro.pm.remarks import RemarkCollector
+
+
+def _optimize_module(
+    module: Module, manager: Optional[PassManager], verify: str
+) -> Module:
+    """Run ``manager`` (or just the ``verify`` policy) over ``module``.
+
+    This is *the* canonical optimize step: the CLI, the daemon workers
+    and the benchmarks all funnel through it, which is what makes
+    daemon replies byte-identical to direct in-process compilation.
+    """
+    if manager is not None:
+        manager.run_module(module)
+        return module
+    plan = parse_verify(verify)
+    if plan.lint_each or plan.lint_final:
+        from repro.verify.lint import lint_module
+
+        lint_module(module, raise_on_error=True)
+    elif not plan.off:
+        validate_module(module)
+    return module
 
 
 def compile_source(
@@ -47,17 +70,54 @@ def compile_source(
             collector=collector,
             stats=stats,
         )
-    if manager is not None:
-        manager.run_module(module)
-    else:
-        plan = parse_verify(verify)
-        if plan.lint_each or plan.lint_final:
-            from repro.verify.lint import lint_module
+    return _optimize_module(module, manager, verify)
 
-            lint_module(module, raise_on_error=True)
-        elif not plan.off:
-            validate_module(module)
-    return module
+
+def compile_ir(
+    text: str,
+    level: Optional[OptLevel] = None,
+    *,
+    manager: Optional[PassManager] = None,
+    verify: str = "final",
+    cache: Optional[PassCache] = None,
+) -> Module:
+    """Parse printed ILOC and optimize it, mirroring :func:`compile_source`.
+
+    This is the ``repro compile --ir`` / daemon ``"ir"``-payload path:
+    requests that arrive as IR text skip the frontend but share the
+    exact optimize step with source compiles.
+    """
+    module = parse_module(text)
+    if manager is None and level is not None:
+        manager = PassManager(level.value, verify=verify, cache=cache)
+    return _optimize_module(module, manager, verify)
+
+
+def compile_payload(
+    kind: str,
+    text: str,
+    level_name: str = "distribution",
+    verify: str = "final",
+    *,
+    manager: Optional[PassManager] = None,
+) -> Module:
+    """Compile one service payload: ``kind`` is ``"source"`` or ``"ir"``.
+
+    ``level_name`` is an :class:`OptLevel` value or ``"none"``.  When a
+    ``manager`` is supplied (the daemon workers pass their warm,
+    cache-backed one) its sequence must match ``level_name`` — the
+    scheduler guarantees that by keying managers on (level, verify).
+    """
+    if kind == "source":
+        module = compile_program(text)
+    elif kind == "ir":
+        module = parse_module(text)
+    else:
+        raise ValueError(f"unknown payload kind {kind!r}")
+    level = None if level_name in (None, "none") else OptLevel(level_name)
+    if manager is None and level is not None:
+        manager = PassManager(level.value, verify=verify)
+    return _optimize_module(module, manager, verify)
 
 
 @dataclass

@@ -17,6 +17,14 @@ one ``<key>.iloc`` file each, so the cache survives across processes
 directory).  Writes are atomic (temp file + ``os.replace``) so
 concurrent processes and the parallel executor never observe torn
 entries.
+
+Long-lived daemon workers (:mod:`repro.service.workers`) share one disk
+directory forever, so the store is **bounded**: ``max_bytes`` /
+``max_entries`` caps trigger LRU eviction, oldest access first.  Each
+disk hit re-touches its file (``os.utime``), so recency survives
+``noatime`` mounts and is shared across every process using the
+directory; eviction orders on the newer of atime/mtime.  ``repro cache
+stats|clear|prune`` manages the directory from the CLI.
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ import hashlib
 import os
 import tempfile
 import threading
+from collections import OrderedDict
 from typing import Optional
 
 
@@ -38,14 +47,29 @@ def cache_key(ir_text: str, fingerprint: str) -> str:
 
 
 class PassCache:
-    """In-memory (and optionally on-disk) printed-IR cache with counters."""
+    """In-memory (and optionally on-disk) printed-IR cache with counters.
 
-    def __init__(self, directory: Optional[str] = None) -> None:
+    ``max_bytes`` caps the disk directory's total ``.iloc`` payload;
+    ``max_entries`` caps both the disk entry count and the in-memory
+    tier (which otherwise grows without bound in a long-lived worker).
+    Either cap evicts least-recently-*accessed* entries first.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        *,
+        max_bytes: Optional[int] = None,
+        max_entries: Optional[int] = None,
+    ) -> None:
         self.directory = directory
-        self._memory: dict[str, str] = {}
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+        self._memory: OrderedDict[str, str] = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         if directory:
             os.makedirs(directory, exist_ok=True)
 
@@ -54,6 +78,8 @@ class PassCache:
         key = cache_key(ir_text, fingerprint)
         with self._lock:
             text = self._memory.get(key)
+            if text is not None:
+                self._memory.move_to_end(key)
         if text is None and self.directory:
             try:
                 with open(self._path(key)) as handle:
@@ -61,8 +87,11 @@ class PassCache:
             except FileNotFoundError:
                 text = None
             if text is not None:
+                self._touch(key)
                 with self._lock:
                     self._memory[key] = text
+                    self._memory.move_to_end(key)
+                    self._shrink_memory()
         with self._lock:
             if text is None:
                 self.misses += 1
@@ -75,6 +104,8 @@ class PassCache:
         key = cache_key(ir_text, fingerprint)
         with self._lock:
             self._memory[key] = optimized_text
+            self._memory.move_to_end(key)
+            self._shrink_memory()
         if self.directory:
             fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
             try:
@@ -85,6 +116,72 @@ class PassCache:
                 if os.path.exists(tmp):
                     os.unlink(tmp)
                 raise
+            if self.max_bytes is not None or self.max_entries is not None:
+                self.prune()
+
+    def prune(self) -> int:
+        """Evict disk entries LRU-first until both caps hold; returns count.
+
+        Safe under concurrency: losing a race to unlink just means some
+        other worker already evicted (or re-stored) the file, and
+        readers of evicted keys fall back to a miss + recompile.
+        """
+        if not self.directory or not os.path.isdir(self.directory):
+            return 0
+        entries = []
+        total = 0
+        for name in os.listdir(self.directory):
+            if not name.endswith(".iloc"):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                status = os.stat(path)
+            except OSError:
+                continue
+            entries.append(
+                (max(status.st_atime, status.st_mtime), status.st_size, path)
+            )
+            total += status.st_size
+        entries.sort()  # oldest access first
+        evicted = 0
+        index = 0
+        while index < len(entries) and (
+            (self.max_bytes is not None and total > self.max_bytes)
+            or (self.max_entries is not None and len(entries) - index > self.max_entries)
+        ):
+            stamp, size, path = entries[index]
+            index += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+        with self._lock:
+            self.evictions += evicted
+        return evicted
+
+    def disk_stats(self) -> dict:
+        """Entry count and byte total of the on-disk store."""
+        entries = 0
+        total = 0
+        if self.directory and os.path.isdir(self.directory):
+            for name in os.listdir(self.directory):
+                if name.endswith(".iloc"):
+                    try:
+                        total += os.stat(
+                            os.path.join(self.directory, name)
+                        ).st_size
+                    except OSError:
+                        continue
+                    entries += 1
+        return {
+            "directory": self.directory,
+            "entries": entries,
+            "bytes": total,
+            "max_bytes": self.max_bytes,
+            "max_entries": self.max_entries,
+        }
 
     def clear(self) -> None:
         """Drop every entry (memory and disk) and zero the counters."""
@@ -92,14 +189,32 @@ class PassCache:
             self._memory.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
         if self.directory and os.path.isdir(self.directory):
             for name in os.listdir(self.directory):
-                if name.endswith(".iloc"):
-                    os.unlink(os.path.join(self.directory, name))
+                if name.endswith(".iloc") or name.endswith(".tmp"):
+                    try:
+                        os.unlink(os.path.join(self.directory, name))
+                    except OSError:
+                        pass
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._memory)
+
+    def _shrink_memory(self) -> None:
+        """LRU-bound the in-memory tier (caller holds the lock)."""
+        if self.max_entries is None:
+            return
+        while len(self._memory) > self.max_entries:
+            self._memory.popitem(last=False)
+
+    def _touch(self, key: str) -> None:
+        """Mark a disk entry recently used (eviction recency marker)."""
+        try:
+            os.utime(self._path(key))
+        except OSError:
+            pass
 
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.iloc")

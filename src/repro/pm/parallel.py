@@ -38,6 +38,26 @@ if TYPE_CHECKING:  # pragma: no cover
 EXECUTORS = ("thread", "process")
 
 
+def abort_pool(pool) -> None:
+    """Tear an executor down *now*: kill children, drop queued work.
+
+    The Ctrl-C path: ``Executor.shutdown`` alone waits for running
+    futures (and a ``ProcessPoolExecutor``'s children survive a plain
+    ``cancel_futures`` shutdown), which is exactly the pool-process leak
+    this guards against.  Thread workers cannot be killed, but dropping
+    the queue stops the bleeding and the daemonic flag lets the
+    interpreter exit.
+    """
+    processes = getattr(pool, "_processes", None)
+    if processes:
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except OSError:  # pragma: no cover — already gone
+                pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
 def _process_worker(payload: tuple) -> tuple:
     """Optimize one printed function in a worker process."""
     from repro.pm.manager import ManagerStats, PassManager
@@ -99,8 +119,13 @@ def run_module_parallel(
             manager._run_passes(func, stats, collector)
             return stats, collector.remarks if collector else []
 
-        with ThreadPoolExecutor(max_workers=jobs) as pool:
+        pool = ThreadPoolExecutor(max_workers=jobs)
+        try:
             results = list(pool.map(work, pending))
+        except BaseException:  # KeyboardInterrupt: drop queued work, no leak
+            abort_pool(pool)
+            raise
+        pool.shutdown()
     else:
         payloads = [
             (
@@ -111,7 +136,8 @@ def run_module_parallel(
             )
             for _, func, source_text in pending
         ]
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
+        pool = ProcessPoolExecutor(max_workers=jobs)
+        try:
             for (_, func, _), (opt_text, stats_json, remark_dicts) in zip(
                 pending, pool.map(_process_worker, payloads)
             ):
@@ -122,6 +148,10 @@ def run_module_parallel(
                         [Remark.from_dict(r) for r in remark_dicts],
                     )
                 )
+        except BaseException:  # KeyboardInterrupt: terminate children too
+            abort_pool(pool)
+            raise
+        pool.shutdown()
 
     # deterministic merge: module order, regardless of completion order
     for (index, func, source_text), (stats, remarks) in zip(pending, results):

@@ -1,0 +1,62 @@
+"""The compile service: a persistent daemon front end for the optimizer.
+
+Everything PRs 1–3 built — registry-driven pipelines, the
+content-addressed :class:`~repro.pm.cache.PassCache`, the bitset PRE
+engine and the cached :class:`~repro.analysis.manager.AnalysisManager`
+— was only reachable through one-shot CLI invocations that pay full
+interpreter startup and cold caches per request.  This package turns
+those pieces into sustained throughput (see ``docs/SERVICE.md``):
+
+* :mod:`repro.service.protocol` — line-delimited JSON over a Unix
+  socket: compile / stats / ping / shutdown requests, content-hash
+  request keys;
+* :mod:`repro.service.workers` — a supervised process worker pool that
+  preloads the pass registry and keeps a warm ``PassCache`` and
+  per-``(level, verify)`` ``PassManager`` in every worker;
+* :mod:`repro.service.scheduler` — content-hash dedup of in-flight
+  identical work, batching windows, hash-sharding across the pool,
+  per-request deadlines, bounded retry on worker death;
+* :mod:`repro.service.faults` — retry policy, load-shedding
+  backpressure, and the crash/hang/error injection hooks the tests and
+  ``repro bench serve`` drive;
+* :mod:`repro.service.metrics` — counters, latency histograms, cache
+  hit ratios and per-pass time rollups behind the ``stats`` request;
+* :mod:`repro.service.daemon` / :mod:`repro.service.client` — the
+  ``repro serve`` server and the ``repro compile --daemon`` client with
+  transparent in-process fallback.
+
+Replies are byte-identical to the direct in-process
+:class:`~repro.pm.manager.PassManager` path: both sides run
+:func:`repro.pipeline.driver.compile_payload`.
+"""
+
+from repro.service.client import (
+    DaemonClient,
+    DaemonError,
+    compile_with_fallback,
+    try_connect,
+)
+from repro.service.daemon import CompileDaemon, DaemonConfig
+from repro.service.faults import FaultInjected, OverloadedError, RetryPolicy
+from repro.service.metrics import Metrics
+from repro.service.protocol import ProtocolError, default_socket_path, request_key
+from repro.service.scheduler import Scheduler
+from repro.service.workers import WorkerPool
+
+__all__ = [
+    "CompileDaemon",
+    "DaemonClient",
+    "DaemonConfig",
+    "DaemonError",
+    "FaultInjected",
+    "Metrics",
+    "OverloadedError",
+    "ProtocolError",
+    "RetryPolicy",
+    "Scheduler",
+    "WorkerPool",
+    "compile_with_fallback",
+    "default_socket_path",
+    "request_key",
+    "try_connect",
+]

@@ -1,0 +1,149 @@
+"""The daemon client: blocking requests, pipelining, graceful fallback.
+
+:class:`DaemonClient` owns one socket.  ``request`` is the synchronous
+path; ``send``/``wait`` split it for pipelined load generation (the
+bench sends a window of requests before collecting replies).  Replies
+arrive in completion order, so the client parks out-of-order frames in
+a table keyed by request id.
+
+:func:`compile_with_fallback` is the ``repro compile --daemon``
+contract: use the daemon when one is listening, otherwise compile
+in-process — same bytes either way, so callers cannot tell the
+difference except by speed.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Optional
+
+from repro.service import protocol
+
+
+class DaemonError(Exception):
+    """A structured error reply (``kind`` mirrors the protocol)."""
+
+    def __init__(self, error: dict) -> None:
+        super().__init__(error.get("message", "daemon error"))
+        self.kind = error.get("kind", "error")
+
+
+class DaemonClient:
+    """One connection to a compile daemon."""
+
+    def __init__(self, path: str, timeout: Optional[float] = 60.0) -> None:
+        self.path = path
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(path)
+        self._reader = protocol.read_messages(self._sock)
+        self._parked: dict[int, dict] = {}
+        self._lock = threading.Lock()
+        self._next_id = 0
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def send(self, message: dict) -> int:
+        """Fire one request; returns the id to :meth:`wait` on."""
+        with self._lock:
+            self._next_id += 1
+            rid = self._next_id
+        self._sock.sendall(protocol.encode({**message, "id": rid}))
+        return rid
+
+    def wait(self, rid: int) -> dict:
+        """Block until the reply for ``rid`` arrives (parking others)."""
+        while True:
+            reply = self._parked.pop(rid, None)
+            if reply is not None:
+                return reply
+            try:
+                message = next(self._reader)
+            except StopIteration:
+                raise ConnectionError("daemon closed the connection") from None
+            got = message.get("id")
+            if got == rid:
+                return message
+            if got is not None:
+                self._parked[got] = message
+
+    def request(self, message: dict) -> dict:
+        return self.wait(self.send(message))
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "DaemonClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- operations --------------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def compile(
+        self,
+        kind: str,
+        text: str,
+        level: str = "distribution",
+        verify: str = "final",
+        *,
+        fault: Optional[dict] = None,
+    ) -> dict:
+        """One compile round-trip; raises :class:`DaemonError` on failure."""
+        reply = self.request(
+            protocol.compile_request(kind, text, level, verify, fault=fault)
+        )
+        if not reply.get("ok"):
+            raise DaemonError(reply.get("error", {}))
+        return reply
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})["stats"]
+
+    def shutdown(self) -> None:
+        self.request({"op": "shutdown"})
+
+
+def try_connect(
+    path: Optional[str] = None, timeout: float = 5.0
+) -> Optional[DaemonClient]:
+    """A connected client, or ``None`` when no daemon is listening."""
+    path = path if path is not None else protocol.default_socket_path()
+    try:
+        return DaemonClient(path, timeout=timeout)
+    except OSError:
+        return None
+
+
+def compile_with_fallback(
+    kind: str,
+    text: str,
+    level: str = "distribution",
+    verify: str = "final",
+    *,
+    socket_path: Optional[str] = None,
+) -> tuple[str, str]:
+    """Compile via the daemon if one is up, else in-process.
+
+    Returns ``(printed IR, "daemon" | "local")``.  The two paths are
+    byte-identical (both run :func:`repro.pipeline.driver.
+    compile_payload`), so the second element is purely informational.
+    """
+    client = try_connect(socket_path)
+    if client is not None:
+        try:
+            return client.compile(kind, text, level, verify)["ir"], "daemon"
+        finally:
+            client.close()
+    from repro.ir.printer import print_module
+    from repro.pipeline.driver import compile_payload
+
+    return print_module(compile_payload(kind, text, level, verify)), "local"

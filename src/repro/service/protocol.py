@@ -1,0 +1,182 @@
+"""The wire protocol: line-delimited JSON over a Unix domain socket.
+
+Each message is one JSON object on one line (``json.dumps`` escapes
+embedded newlines, so framing is a plain ``\\n`` split).  Clients send
+requests carrying a caller-chosen ``id``; the daemon echoes the ``id``
+on the reply, and replies may arrive out of order (the scheduler
+batches and shards), so clients match on ``id``, never on position.
+
+Request operations:
+
+``compile``
+    ``{"id": 1, "op": "compile", "source": "..."}`` or ``{"ir": "..."}``
+    plus optional ``level`` (an :class:`~repro.pipeline.levels.OptLevel`
+    name or ``"none"``; default ``"distribution"``), ``verify`` (any
+    :func:`repro.pm.manager.parse_verify` spec; default ``"final"``)
+    and ``fault`` (test-only injection, see
+    :mod:`repro.service.faults`).  Reply: ``{"id": 1, "ok": true,
+    "ir": "...", "attempts": 1, "deduped": false}`` or ``{"ok": false,
+    "error": {"kind": ..., "message": ...}}`` with ``kind`` one of
+    ``bad-request``, ``compile-error``, ``injected-error``,
+    ``worker-crash``, ``timeout``, ``overloaded``.
+
+``stats``
+    Reply carries the :class:`~repro.service.metrics.Metrics` snapshot
+    (schema in ``docs/SERVICE.md``).
+
+``ping`` / ``shutdown``
+    Liveness probe / graceful stop (the daemon replies, then drains).
+
+The **request key** is the content address used for in-flight dedup and
+worker sharding: the SHA-256 of ``(kind, level, verify, payload
+text)``.  The injected ``fault`` is deliberately *excluded* — it is
+test machinery, not compile input, and excluding it lets the tests
+dedupe a clean request against a hung twin.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import socket
+import tempfile
+from typing import Iterator, Optional
+
+from repro.pipeline.levels import OptLevel
+from repro.pm.manager import parse_verify
+
+#: Error kinds a daemon reply may carry.
+ERROR_KINDS = (
+    "bad-request",
+    "compile-error",
+    "injected-error",
+    "worker-crash",
+    "timeout",
+    "overloaded",
+)
+
+#: Request operations the daemon understands.
+OPERATIONS = ("compile", "stats", "ping", "shutdown")
+
+
+class ProtocolError(Exception):
+    """A malformed or unsupported message (replied as ``bad-request``)."""
+
+    def __init__(self, message: str, kind: str = "bad-request") -> None:
+        super().__init__(message)
+        self.kind = kind
+
+    def as_error(self) -> dict:
+        return {"kind": self.kind, "message": str(self)}
+
+
+def default_socket_path() -> str:
+    """The conventional daemon socket: ``$REPRO_DAEMON_SOCKET`` or a
+    per-user path under ``$XDG_RUNTIME_DIR`` (fallback: the tempdir)."""
+    override = os.environ.get("REPRO_DAEMON_SOCKET")
+    if override:
+        return override
+    runtime = os.environ.get("XDG_RUNTIME_DIR") or tempfile.gettempdir()
+    uid = getattr(os, "getuid", lambda: "user")()
+    return os.path.join(runtime, f"repro-daemon-{uid}.sock")
+
+
+def encode(message: dict) -> bytes:
+    """One message, framed: compact JSON plus the ``\\n`` terminator."""
+    return json.dumps(message, separators=(",", ":")).encode() + b"\n"
+
+
+def decode(line: bytes) -> dict:
+    """Parse one framed line back into a message."""
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"malformed JSON line: {error}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("message must be a JSON object")
+    return message
+
+
+def read_messages(sock: socket.socket) -> Iterator[dict]:
+    """Yield decoded messages from ``sock`` until the peer closes."""
+    buffer = b""
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            return
+        buffer += chunk
+        while b"\n" in buffer:
+            line, _, buffer = buffer.partition(b"\n")
+            if line.strip():
+                yield decode(line)
+
+
+def request_key(kind: str, text: str, level: str, verify: str) -> str:
+    """The content address of one compile request (dedup + sharding)."""
+    digest = hashlib.sha256()
+    for part in (kind, level, verify):
+        digest.update(part.encode())
+        digest.update(b"\x00")
+    digest.update(text.encode())
+    return digest.hexdigest()
+
+
+def compile_request(
+    kind: str,
+    text: str,
+    level: str = "distribution",
+    verify: str = "final",
+    *,
+    fault: Optional[dict] = None,
+) -> dict:
+    """Build a normalized internal compile job (also the client payload)."""
+    return {
+        "op": "compile",
+        "kind": kind,
+        "text": text,
+        "level": level,
+        "verify": verify,
+        "fault": fault,
+    }
+
+
+def validate_compile(message: dict) -> dict:
+    """Normalize and validate a wire-format compile request.
+
+    Accepts either the wire shape (``source``/``ir`` payload fields) or
+    the already-normalized shape (``kind`` + ``text``).  Raises
+    :class:`ProtocolError` on anything the worker could not execute, so
+    bad requests are shed at the front door rather than poisoning a
+    batch.
+    """
+    if "kind" in message:
+        kind, text = message.get("kind"), message.get("text")
+    elif "source" in message:
+        kind, text = "source", message.get("source")
+    elif "ir" in message:
+        kind, text = "ir", message.get("ir")
+    else:
+        raise ProtocolError("compile request needs a 'source' or 'ir' payload")
+    if kind not in ("source", "ir"):
+        raise ProtocolError(f"unknown payload kind {kind!r}")
+    if not isinstance(text, str) or not text.strip():
+        raise ProtocolError(f"{kind} payload must be a non-empty string")
+    level = message.get("level", "distribution")
+    if level != "none":
+        try:
+            OptLevel(level)
+        except ValueError:
+            known = ["none"] + [opt.value for opt in OptLevel]
+            raise ProtocolError(
+                f"unknown level {level!r}; expected one of {known}"
+            ) from None
+    verify = message.get("verify", "final")
+    try:
+        parse_verify(verify)
+    except ValueError as error:
+        raise ProtocolError(str(error)) from None
+    fault = message.get("fault")
+    if fault is not None and not isinstance(fault, dict):
+        raise ProtocolError("fault injection spec must be an object")
+    return compile_request(kind, text, level, verify, fault=fault)

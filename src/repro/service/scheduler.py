@@ -1,0 +1,364 @@
+"""Request scheduling: dedup, batching windows, sharding, retries.
+
+The path of a compile request through the daemon:
+
+1. **submit** — the request is normalized, content-hashed
+   (:func:`repro.service.protocol.request_key`) and checked against the
+   in-flight table.  An identical request already pending or running
+   just attaches another :class:`JobFuture` to the existing job
+   (``dedup_hits``); the compile runs once and fans its reply out.
+   When the table is at ``max_pending``, the request is shed with
+   :class:`~repro.service.faults.OverloadedError` instead of queueing.
+2. **batch** — accepted jobs buffer until the oldest has waited
+   ``batch_window`` seconds or ``max_batch`` jobs are pending, then the
+   window flushes.  Batching amortizes pipe round-trips; the window is
+   the latency price and is a few milliseconds by default.
+3. **shard** — each flushed job goes to worker ``hash(key) %
+   pool.size``.  Hash affinity means a repeated request always lands on
+   the worker whose in-memory cache already holds it.
+4. **dispatch** — one dispatcher thread per shard sends batches down
+   the pipe and collects per-job results.  Worker death (EOF) retries
+   the batch's unfinished jobs elsewhere in time (same shard, fresh
+   worker) under the :class:`~repro.service.faults.RetryPolicy`;
+   jobs past their deadline are answered ``timeout`` and the stuck
+   worker is killed.
+
+Everything here is policy over :class:`~repro.service.workers.
+WorkerPool` mechanism; the module has no socket knowledge and is
+driven directly by the unit tests.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.service import protocol
+from repro.service.faults import OverloadedError, RetryPolicy, validate_fault
+from repro.service.metrics import Metrics
+from repro.service.workers import WorkerPool
+
+
+class JobFuture:
+    """One caller's handle on a (possibly shared) compile job."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._reply: Optional[dict] = None
+        self._callbacks: list[Callable[[dict], None]] = []
+        self.deduped = False
+
+    def set_reply(self, reply: dict) -> None:
+        with self._lock:
+            self._reply = reply
+            callbacks, self._callbacks = self._callbacks, []
+            self._event.set()
+        for callback in callbacks:
+            callback(reply)
+
+    def add_done_callback(self, callback: Callable[[dict], None]) -> None:
+        with self._lock:
+            if self._reply is None:
+                self._callbacks.append(callback)
+                return
+            reply = self._reply
+        callback(reply)
+
+    def result(self, timeout: Optional[float] = None) -> dict:
+        if not self._event.wait(timeout):
+            raise TimeoutError("no reply within timeout")
+        assert self._reply is not None
+        return self._reply
+
+
+class Job:
+    """One unit of deduped work: a request plus every waiter's future."""
+
+    __slots__ = (
+        "seq",
+        "key",
+        "request",
+        "futures",
+        "attempt",
+        "enqueued",
+        "deadline",
+        "shard",
+        "done",
+    )
+
+    def __init__(self, seq: int, key: str, request: dict, deadline: float) -> None:
+        self.seq = seq
+        self.key = key
+        self.request = request
+        self.futures: list[JobFuture] = []
+        self.attempt = 0
+        self.enqueued = time.monotonic()
+        self.deadline = deadline
+        self.shard = 0
+        self.done = False
+
+
+class Scheduler:
+    """Dedup + batch + shard + retry policy over a worker pool."""
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        metrics: Optional[Metrics] = None,
+        *,
+        batch_window: float = 0.004,
+        max_batch: int = 16,
+        max_pending: int = 256,
+        request_timeout: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
+        self.pool = pool
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.batch_window = batch_window
+        self.max_batch = max(1, int(max_batch))
+        self.max_pending = max(1, int(max_pending))
+        self.request_timeout = request_timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._jobs: dict[str, Job] = {}
+        self._buffer: list[Job] = []
+        self._wake = threading.Condition()
+        self._queues: list[queue.Queue] = [queue.Queue() for _ in range(pool.size)]
+        self._seq = 0
+        self._stopped = False
+        self._threads: list[threading.Thread] = []
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        self.pool.start()
+        self._threads = [
+            threading.Thread(target=self._batch_loop, name="repro-batcher",
+                             daemon=True)
+        ]
+        for index in range(self.pool.size):
+            self._threads.append(
+                threading.Thread(
+                    target=self._dispatch_loop,
+                    args=(index,),
+                    name=f"repro-dispatch-{index}",
+                    daemon=True,
+                )
+            )
+        for thread in self._threads:
+            thread.start()
+
+    def stop(self) -> None:
+        with self._wake:
+            self._stopped = True
+            self._wake.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+        self.pool.stop()
+        # anything still queued will never run; fail it cleanly
+        with self._wake:
+            orphans = list(self._jobs.values())
+            self._jobs.clear()
+            self._buffer.clear()
+        for job in orphans:
+            self._fail(job, "worker-crash", "daemon shutting down", track=False)
+
+    # -- intake ------------------------------------------------------------------
+
+    def submit(self, message: dict) -> JobFuture:
+        """Accept one compile request; returns the caller's future.
+
+        Raises :class:`~repro.service.protocol.ProtocolError` on a
+        malformed request and :class:`OverloadedError` under load
+        shedding — both before any state is created.
+        """
+        request = protocol.validate_compile(message)
+        if request["fault"] is not None:
+            try:
+                request["fault"] = validate_fault(request["fault"])
+            except ValueError as error:
+                raise protocol.ProtocolError(str(error)) from None
+        key = protocol.request_key(
+            request["kind"], request["text"], request["level"], request["verify"]
+        )
+        future = JobFuture()
+        with self._wake:
+            if self._stopped:
+                raise OverloadedError("scheduler stopped")
+            self.metrics.inc("requests_total")
+            job = self._jobs.get(key)
+            if job is not None and not job.done:
+                future.deduped = True
+                job.futures.append(future)
+                self.metrics.inc("dedup_hits")
+                return future
+            if len(self._jobs) >= self.max_pending:
+                self.metrics.inc("overloaded")
+                raise OverloadedError(
+                    f"{len(self._jobs)} requests pending (max {self.max_pending})"
+                )
+            self._seq += 1
+            job = Job(
+                self._seq, key, request, time.monotonic() + self.request_timeout
+            )
+            job.shard = int(key[:8], 16) % self.pool.size
+            job.futures.append(future)
+            self._jobs[key] = job
+            self._buffer.append(job)
+            self._wake.notify_all()
+        return future
+
+    def gauges(self) -> dict:
+        """Point-in-time scheduler state for the ``stats`` reply."""
+        with self._wake:
+            inflight = len(self._jobs)
+            buffered = len(self._buffer)
+        return {
+            "inflight": inflight,
+            "buffered": buffered,
+            "workers": self.pool.size,
+            "workers_alive": self.pool.alive_count(),
+            "worker_restarts": self.pool.restarts,
+        }
+
+    # -- batching ----------------------------------------------------------------
+
+    def _batch_loop(self) -> None:
+        while True:
+            with self._wake:
+                while not self._stopped and not self._buffer:
+                    self._wake.wait(0.1)
+                if self._stopped:
+                    return
+                now = time.monotonic()
+                flush_at = self._buffer[0].enqueued + self.batch_window
+                if len(self._buffer) < self.max_batch and now < flush_at:
+                    self._wake.wait(flush_at - now)
+                    continue
+                batch = self._buffer[: self.max_batch]
+                del self._buffer[: self.max_batch]
+            self._flush(batch)
+
+    def _flush(self, batch: list[Job]) -> None:
+        shards: dict[int, list[Job]] = {}
+        for job in batch:
+            shards.setdefault(job.shard, []).append(job)
+        for shard, jobs in shards.items():
+            self.metrics.inc("batches")
+            self.metrics.inc("batched_jobs", len(jobs))
+            self._queues[shard].put(jobs)
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def _dispatch_loop(self, index: int) -> None:
+        while not self._stopped:
+            try:
+                jobs = self._queues[index].get(timeout=0.1)
+            except queue.Empty:
+                continue
+            jobs = [job for job in jobs if not job.done]
+            while jobs and not self._stopped:
+                jobs = self._run_batch(index, jobs)
+                if jobs:
+                    # all survivors share the batch's first retry tier
+                    time.sleep(self.retry.delay(jobs[0].attempt))
+
+    def _run_batch(self, index: int, jobs: list[Job]) -> list[Job]:
+        """Send one batch to shard ``index``; returns jobs to retry."""
+        handle = self.pool.get(index)
+        payload = [
+            {
+                "seq": job.seq,
+                "kind": job.request["kind"],
+                "text": job.request["text"],
+                "level": job.request["level"],
+                "verify": job.request["verify"],
+                "fault": job.request["fault"],
+                "attempt": job.attempt,
+            }
+            for job in jobs
+        ]
+        remaining = {job.seq: job for job in jobs}
+        try:
+            handle.send(("batch", payload))
+            while True:
+                deadline = min(job.deadline for job in remaining.values()) \
+                    if remaining else time.monotonic() + 5.0
+                wait = deadline - time.monotonic()
+                if wait <= 0 or not handle.poll(max(wait, 0.001)):
+                    return self._reap(index, remaining, timed_out=True)
+                message = handle.recv()
+                if message[0] == "result":
+                    job = remaining.pop(message[1], None)
+                    if job is not None:
+                        self._fulfill(job, message[2])
+                elif message[0] == "batch-done":
+                    self.metrics.merge_worker_stats(message[1]["stats"])
+                    # a well-behaved worker answered everything first
+                    return self._reap(index, remaining, timed_out=False,
+                                      kill=bool(remaining))
+        except (EOFError, BrokenPipeError, OSError):
+            return self._reap(index, remaining, timed_out=False)
+
+    def _reap(
+        self,
+        index: int,
+        remaining: dict[int, "Job"],
+        *,
+        timed_out: bool,
+        kill: bool = True,
+    ) -> list[Job]:
+        """Handle a dead/stuck worker; split survivors into retry/fail."""
+        if not remaining:
+            return []
+        if kill:
+            self.pool.kill(index)
+            self.metrics.inc("worker_restarts")
+        self.metrics.inc("timeouts" if timed_out else "worker_crashes")
+        now = time.monotonic()
+        retry: list[Job] = []
+        for job in remaining.values():
+            if now >= job.deadline:
+                self._fail(job, "timeout",
+                           f"no reply within {self.request_timeout}s")
+            elif job.attempt + 1 >= self.retry.max_attempts:
+                self._fail(
+                    job,
+                    "worker-crash",
+                    f"worker died {job.attempt + 1} times running this request",
+                )
+            else:
+                job.attempt += 1
+                self.metrics.inc("retries")
+                retry.append(job)
+        return retry
+
+    # -- completion --------------------------------------------------------------
+
+    def _finish(self, job: Job) -> None:
+        with self._wake:
+            job.done = True
+            if self._jobs.get(job.key) is job:
+                del self._jobs[job.key]
+
+    def _fulfill(self, job: Job, reply: dict) -> None:
+        self._finish(job)
+        latency = time.monotonic() - job.enqueued
+        self.metrics.latency.observe(latency)
+        self.metrics.inc("replies_ok" if reply.get("ok") else "replies_error")
+        for future in job.futures:
+            future.set_reply(
+                {**reply, "attempts": job.attempt + 1, "deduped": future.deduped}
+            )
+
+    def _fail(self, job: Job, kind: str, message: str, track: bool = True) -> None:
+        reply = {"ok": False, "error": {"kind": kind, "message": message}}
+        if track:
+            self._fulfill(job, reply)
+            return
+        job.done = True
+        for future in job.futures:
+            future.set_reply({**reply, "attempts": job.attempt + 1,
+                              "deduped": future.deduped})

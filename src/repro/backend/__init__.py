@@ -1,0 +1,51 @@
+"""The rvk codegen backend: lowering, register allocation, scheduling, sim.
+
+See ``docs/BACKEND.md`` for the ISA reference and the allocator
+walkthrough.  Importing this package registers the ``lower`` /
+``regalloc`` / ``schedule`` passes and the ``codegen8/16/32`` sequences.
+"""
+
+from repro.backend import codegen as _codegen  # registers the passes
+from repro.backend.asm import AsmError, print_asm, read_asm
+from repro.backend.codegen import codegen_module, codegen_sequence
+from repro.backend.interference import InterferenceGraph, build_interference
+from repro.backend.lower import (
+    LoweringError,
+    frame_arity,
+    frame_size,
+    is_machine_form,
+    lower_function,
+)
+from repro.backend.regalloc import AllocationError, AllocationStats, allocate_function
+from repro.backend.schedule import schedule_block, schedule_function
+from repro.backend.sim import SimResult, SimulationError, Simulator, simulate_function
+from repro.backend.target import BENCH_KS, MIN_K, Target, bench_targets, is_physical
+
+__all__ = [
+    "AllocationError",
+    "AllocationStats",
+    "AsmError",
+    "BENCH_KS",
+    "InterferenceGraph",
+    "LoweringError",
+    "MIN_K",
+    "SimResult",
+    "SimulationError",
+    "Simulator",
+    "Target",
+    "allocate_function",
+    "bench_targets",
+    "build_interference",
+    "codegen_module",
+    "codegen_sequence",
+    "frame_arity",
+    "frame_size",
+    "is_machine_form",
+    "is_physical",
+    "lower_function",
+    "print_asm",
+    "read_asm",
+    "schedule_block",
+    "schedule_function",
+    "simulate_function",
+]

@@ -1,0 +1,67 @@
+"""rvk assembly: the textual form of allocated machine code.
+
+Machine code *is* IR (same :class:`~repro.ir.function.Function`, the
+frame-slot ops included), so the assembly format is the IR text plus a
+``# target:`` directive and per-function frame comments.  ``#`` starts a
+comment in the IR grammar, which makes every ``.rvk`` document directly
+parseable by :func:`repro.ir.parser.parse_module`; :func:`read_asm`
+additionally recovers the target and re-checks that the code really is
+machine form.  ``read_asm(print_asm(...))`` round-trips exactly — the
+tests and the ``repro codegen --asm`` CLI both go through it.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.backend.lower import frame_arity, frame_size, is_machine_form
+from repro.backend.target import Target
+from repro.ir.function import Module
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_function
+from repro.ir.validate import validate_module
+
+_TARGET_RE = re.compile(r"^#\s*target:\s*rv(\d+)\b")
+
+
+class AsmError(ValueError):
+    """Raised on a malformed assembly document."""
+
+
+def print_asm(module: Module, target: Optional[Target] = None) -> str:
+    """Render allocated machine code as an ``.rvk`` assembly document."""
+    target = target if target is not None else Target()
+    lines = [
+        f"# target: {target.name} (k={target.k})",
+        f"# {target.describe()}",
+    ]
+    for func in module:
+        if not is_machine_form(func):
+            raise AsmError(f"{func.name}: not machine code; cannot assemble")
+        lines.append("")
+        lines.append(
+            f"# {func.name}: arity {frame_arity(func)}, "
+            f"frame {frame_size(func)} slot(s)"
+        )
+        lines.append(print_function(func))
+    return "\n".join(lines) + "\n"
+
+
+def read_asm(text: str) -> tuple[Module, Target]:
+    """Parse an ``.rvk`` document back into (machine module, target)."""
+    k: Optional[int] = None
+    for line in text.splitlines():
+        match = _TARGET_RE.match(line.strip())
+        if match:
+            k = int(match.group(1))
+            break
+    if k is None:
+        raise AsmError("missing '# target: rvN' directive")
+    target = Target(k=k)
+    module = parse_module(text)
+    validate_module(module)
+    for func in module:
+        if not is_machine_form(func):
+            raise AsmError(f"{func.name}: contains non-{target.name} instructions")
+    return module, target

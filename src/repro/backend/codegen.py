@@ -1,0 +1,108 @@
+"""Codegen pipeline: lower → allocate → schedule, as registered passes.
+
+The backend stages are ordinary registry passes, so they get the
+PassManager's timing, remarks and caching for free (lowered machine code
+prints and parses like any IR).  Three stages:
+
+* ``lower`` — ILOC to rvk machine form (:mod:`repro.backend.lower`);
+* ``regalloc[k=..]`` — Chaitin–Briggs coloring onto ``k`` registers
+  (:mod:`repro.backend.regalloc`); emits ``spill`` remarks;
+* ``schedule[k=..]`` — post-RA list scheduling
+  (:mod:`repro.backend.schedule`).
+
+``codegen_sequence(k)`` builds the spec list; the named sequences
+``codegen8`` / ``codegen16`` / ``codegen32`` cover the Table 1 points.
+:func:`codegen_module` is the whole-module convenience the CLI, the
+benchmark and the tests share.
+
+Machine code must not flow back into the mid-level verifiers: the
+interpreting translation validator and the semantic lint checkers
+predate the frame-slot ops, so codegen sequences are always run with
+structural validation only (``verify="final"`` is the strongest
+meaningful policy here; equivalence is checked end-to-end by the
+differential sim-vs-interp harness instead).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.backend.lower import lower_function
+from repro.backend.regalloc import allocate_function
+from repro.backend.schedule import schedule_function
+from repro.backend.target import BENCH_KS, Target
+from repro.ir.function import Function, Module
+from repro.pm import remarks
+from repro.pm.registry import register_pass, register_sequence
+
+
+@register_pass("lower", kind="codegen", invalidates_ssa=True)
+def lower(func: Function) -> Function:
+    """Lower ILOC to rvk machine form (frame-slot ABI, no φ, no nop)."""
+    return lower_function(func)
+
+
+@register_pass(
+    "regalloc", kind="codegen", invalidates_ssa=True, options={"k": Target.k}
+)
+def regalloc(func: Function, k: int = Target.k) -> Function:
+    """Chaitin–Briggs coloring onto k physical registers (with spilling)."""
+    stats = allocate_function(func, Target(k=k))
+    remarks.emit(
+        "regalloc",
+        k=k,
+        iterations=stats.iterations,
+        spilled=stats.spill_count,
+        spill_loads=stats.spill_loads,
+        spill_stores=stats.spill_stores,
+        remat=stats.remat_defs,
+        coalesced=stats.coalesced,
+        frame_slots=stats.frame_slots,
+    )
+    return func
+
+
+@register_pass("schedule", kind="codegen", options={"k": Target.k})
+def schedule(func: Function, k: int = Target.k) -> Function:
+    """List-schedule each block for the rvk latency model."""
+    changed = schedule_function(func, Target(k=k))
+    remarks.emit("schedule", k=k, blocks_changed=changed)
+    return func
+
+
+def codegen_sequence(k: int = Target.k, *, schedule: bool = True) -> list:
+    """The codegen spec list for one target (feed to a PassManager)."""
+    specs: list = ["lower", ("regalloc", {"k": k})]
+    if schedule:
+        specs.append(("schedule", {"k": k}))
+    return specs
+
+
+for _k in BENCH_KS:
+    register_sequence(
+        f"codegen{_k}",
+        codegen_sequence(_k),
+        f"Lower + Chaitin–Briggs allocation + scheduling for rv{_k} (k={_k}).",
+    )
+
+
+def codegen_module(
+    module: Module,
+    target: Optional[Target] = None,
+    *,
+    schedule: bool = True,
+) -> dict:
+    """Run the full backend over ``module`` in place.
+
+    Returns per-function :class:`~repro.backend.regalloc.AllocationStats`
+    keyed by function name.  The module must already be optimized (or
+    raw); lowering handles φ and ``nop`` itself.
+    """
+    target = target if target is not None else Target()
+    stats: dict = {}
+    for func in module:
+        lower_function(func, target)
+        stats[func.name] = allocate_function(func, target)
+        if schedule:
+            schedule_function(func, target)
+    return stats

@@ -1,0 +1,125 @@
+"""Interference-graph construction on top of the bitset liveness.
+
+One implementation, two clients: the Chaitin-style copy coalescer
+(:mod:`repro.passes.coalesce`) merges copy-connected registers that do
+not interfere, and the Chaitin–Briggs allocator
+(:mod:`repro.backend.regalloc`) colors the same graph with ``k``
+physical registers.  Both used to walk liveness independently; the
+builder here is the single source of truth.
+
+Interference follows Chaitin's definition: a definition interferes with
+every register live across it, **except** that a copy's target does not
+interfere with its source (they hold the same value at that point —
+this is precisely what makes coalescing and move-biased coloring
+sound).  Incoming parameters are all live on entry, so they interfere
+with each other and with anything live into the entry block.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.manager import analyses
+from repro.ir.function import Function
+
+
+class InterferenceGraph:
+    """Adjacency sets over register names, plus the copy-related pairs.
+
+    Attributes:
+        adj: symmetric adjacency map (every register of the function has
+            an entry, isolated ones map to an empty set).
+        moves: ``(target, source)`` pairs of COPY instructions, in
+            program order — the coalescing / move-biasing worklist.
+    """
+
+    __slots__ = ("adj", "moves")
+
+    def __init__(self, registers) -> None:
+        self.adj: dict[str, set[str]] = {reg: set() for reg in registers}
+        self.moves: list[tuple[str, str]] = []
+
+    def add_edge(self, a: str, b: str) -> None:
+        if a != b:
+            self.adj[a].add(b)
+            self.adj[b].add(a)
+
+    def interferes(self, a: str, b: str) -> bool:
+        return b in self.adj.get(a, ())
+
+    def neighbors(self, reg: str) -> set[str]:
+        return self.adj[reg]
+
+    def degree(self, reg: str) -> int:
+        return len(self.adj[reg])
+
+    def nodes(self) -> list[str]:
+        return list(self.adj)
+
+    def merge(self, keep: str, gone: str) -> None:
+        """Union ``gone``'s neighborhood into ``keep`` and drop ``gone``.
+
+        Mirrors the conservative in-place update the coalescer performs:
+        every neighbor of ``gone`` becomes a neighbor of ``keep``.
+        """
+        for neighbor in self.adj.pop(gone, ()):
+            self.adj[neighbor].discard(gone)
+            self.add_edge(keep, neighbor)
+
+    def __len__(self) -> int:
+        return len(self.adj)
+
+
+def build_interference(
+    func: Function, liveness=None, *, params_live_in: bool = True
+) -> InterferenceGraph:
+    """Build the interference graph of a φ-free function.
+
+    ``liveness`` defaults to the cached analysis of ``func``.  With
+    ``params_live_in`` (the coalescer's pre-RA view) parameters are
+    registers live on entry: they interfere pairwise and with everything
+    live into the entry block.  The allocator passes ``False`` — after
+    lowering, arguments live in frame slots and the prologue ``lds``
+    defines each parameter register like any other, so forcing a
+    parameter clique would make functions with more parameters than
+    ``k`` permanently uncolorable.  Raises :class:`ValueError` on
+    φ-nodes — both clients run after SSA destruction, and φ defs would
+    need parallel-copy edge semantics this builder does not model.
+    """
+    if any(inst.is_phi for inst in func.instructions()):
+        raise ValueError("interference graph requires phi-free code")
+    if liveness is None:
+        liveness = analyses(func).liveness()
+    registers = set()
+    for inst in func.instructions():
+        registers.update(inst.srcs)
+        if inst.target is not None:
+            registers.add(inst.target)
+    if params_live_in:
+        registers.update(func.params)
+    graph = InterferenceGraph(registers)
+
+    for blk in func.blocks:
+        live = set(liveness.at_exit(blk.label))
+        for inst in reversed(blk.instructions):
+            if inst.target is not None:
+                skip = inst.srcs[0] if inst.is_copy else None
+                for other in live:
+                    if other != skip:
+                        graph.add_edge(inst.target, other)
+                live.discard(inst.target)
+            live.update(inst.uses())
+
+    if params_live_in:
+        # incoming parameters are all live on entry: they interfere with
+        # each other and with anything else live into the entry block
+        entry_live = set(liveness.at_entry(func.entry.label)) | set(func.params)
+        params = list(func.params)
+        for i, param in enumerate(params):
+            for other in params[i + 1:]:
+                graph.add_edge(param, other)
+            for other in entry_live:
+                graph.add_edge(param, other)
+    for blk in func.blocks:
+        for inst in blk.instructions:
+            if inst.is_copy:
+                graph.moves.append((inst.target, inst.srcs[0]))
+    return graph

@@ -1,0 +1,100 @@
+"""Lowering: optimized ILOC → rvk machine form (still on virtual registers).
+
+ILOC is already three-address, register-based and load/store, so most
+operations map 1:1 onto the rvk ISA.  Lowering:
+
+* destroys SSA if any φ survives (the level pipelines are φ-free after
+  ``coalesce``, but the backend also accepts raw/partially optimized IR);
+* drops ``nop``;
+* rewrites every *parameter* reference through the frame-slot ABI: slot
+  ``i`` of the callee frame holds argument ``i`` on entry, so the
+  prologue materializes ``p_i <- lds i`` for each parameter the body
+  actually reads.  ``func.params`` is retained — post-lowering it
+  documents the arity and slot order, not live registers;
+* verifies the result contains only rvk opcodes.
+
+The output is an ordinary :class:`~repro.ir.function.Function` (it
+prints, parses and validates like any IR), which is what lets the
+backend stages register as normal passes and ride the PassManager's
+cache, timing and verification machinery.
+"""
+
+from __future__ import annotations
+
+from repro.backend.target import Target, machine_opcodes
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode
+
+
+class LoweringError(ValueError):
+    """Raised when a function cannot be expressed in the rvk ISA."""
+
+
+def is_machine_form(func: Function) -> bool:
+    """True when every instruction is an rvk machine operation."""
+    ok = machine_opcodes()
+    return all(inst.opcode in ok for inst in func.instructions())
+
+
+def lower_function(func: Function, target: Target | None = None) -> Function:
+    """Lower one function to machine form, in place; returns ``func``."""
+    target = target if target is not None else Target()
+    if any(inst.is_phi for inst in func.instructions()):
+        from repro.ssa.destruction import destroy_ssa
+
+        destroy_ssa(func)
+    func.remove_unreachable_blocks()
+
+    ok = machine_opcodes()
+    for blk in func.blocks:
+        kept = []
+        for inst in blk.instructions:
+            if inst.opcode is Opcode.NOP:
+                continue
+            if inst.opcode not in ok:
+                raise LoweringError(
+                    f"{func.name}/{blk.label}: {inst} has no {target.name} encoding"
+                )
+            kept.append(inst)
+        blk.instructions = kept
+
+    # parameter ABI: body reads of a parameter come from its arg slot.
+    # Emit the prologue load only for parameters the body actually uses
+    # (a def-before-use parameter rewrite would shadow the slot, but the
+    # frontend never reuses parameter names as scratch; the prologue
+    # load is dead code for it and DCE-able either way).
+    used = set()
+    for inst in func.instructions():
+        used.update(inst.srcs)
+    prologue = [
+        Instruction(Opcode.LDS, target=param, imm=slot)
+        for slot, param in enumerate(func.params)
+        if param in used
+    ]
+    if prologue:
+        entry = func.entry
+        entry.instructions[0:0] = prologue
+    from repro.analysis.manager import analyses
+
+    analyses(func).invalidate_all()
+    return func
+
+
+def frame_arity(func: Function) -> int:
+    """Incoming-argument slot count of a machine function (its arity)."""
+    return len(func.params)
+
+
+def max_frame_slot(func: Function) -> int:
+    """Highest frame slot referenced, or -1 when none is."""
+    highest = -1
+    for inst in func.instructions():
+        if inst.opcode in (Opcode.LDS, Opcode.STS):
+            highest = max(highest, inst.imm)
+    return highest
+
+
+def frame_size(func: Function) -> int:
+    """Total frame slots (argument area plus spill area)."""
+    return max(frame_arity(func), max_frame_slot(func) + 1)

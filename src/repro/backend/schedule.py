@@ -1,0 +1,132 @@
+"""Post-allocation basic-block list scheduling.
+
+After register allocation every name is physical, so the dependence
+graph is exact: RAW edges carry the producer's latency, WAR/WAW edges
+and memory/effect edges only force issue order.  The scheduler is the
+classic greedy list algorithm — at each step it issues, among the
+instructions whose predecessors have all issued, the one that can start
+earliest, breaking ties by longest critical path to the block's end and
+then by original position (fully deterministic).
+
+Ordering constraints beyond registers:
+
+* ``store`` is a barrier against every other memory operation
+  (``load``/``store``/``call``) — the byte-addressed heap is shared;
+* ``load``s may reorder freely with each other;
+* ``lds``/``sts`` order only against accesses of the *same* frame slot
+  (slots are private and the slot index is a literal, so disambiguation
+  is exact); ``sts``/``sts`` on one slot keep order, ``lds``/``lds``
+  reorder freely.  Calls do **not** order against the frame — register
+  windows give every activation a private frame;
+* ``call``s stay in order with each other and with heap accesses
+  (callees may read or write the heap);
+* the terminator always issues last.
+
+Scheduling never crosses block boundaries, so values, traps and memory
+effects are untouched — the differential harness checks this on every
+suite routine and fuzz function.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.opcodes import Opcode
+
+from repro.backend.target import Target
+
+_HEAP = frozenset({Opcode.LOAD, Opcode.STORE, Opcode.CALL})
+
+
+def _conflict(a, b) -> bool:
+    """Must ``a`` (earlier) stay ordered before ``b`` (later)?"""
+    # register dependences: RAW / WAR / WAW
+    if a.target is not None and (a.target in b.srcs or a.target == b.target):
+        return True
+    if b.target is not None and b.target in a.srcs:
+        return True
+    # heap: stores and calls are barriers, load-load reorders freely
+    if a.opcode in _HEAP and b.opcode in _HEAP:
+        if not (a.opcode is Opcode.LOAD and b.opcode is Opcode.LOAD):
+            return True
+    # frame slots: exact disambiguation on the literal slot index
+    if a.opcode in (Opcode.LDS, Opcode.STS) and b.opcode in (Opcode.LDS, Opcode.STS):
+        if a.imm == b.imm and (a.opcode is Opcode.STS or b.opcode is Opcode.STS):
+            return True
+    return False
+
+
+def schedule_block(instructions: list, target: Target) -> list:
+    """Return a scheduled copy of one block's instruction list."""
+    if not instructions:
+        return instructions
+    body = list(instructions)
+    terminator = None
+    if body[-1].is_terminator:
+        terminator = body.pop()
+    n = len(body)
+    if n < 2:
+        return body + ([terminator] if terminator else [])
+
+    succs: list[list[int]] = [[] for _ in range(n)]
+    preds_left = [0] * n
+    for i in range(n):
+        for j in range(i + 1, n):
+            if _conflict(body[i], body[j]):
+                succs[i].append(j)
+                preds_left[j] += 1
+
+    latency = target.latencies
+    # critical path to the end of the block (drives the tie-break)
+    path = [0] * n
+    for i in range(n - 1, -1, -1):
+        lat = max(1, latency.get(body[i].opcode, 1))
+        path[i] = lat + max((path[j] for j in succs[i]), default=0)
+
+    done_at = [0] * n  # cycle the instruction's result is ready
+    earliest = [0] * n  # lower bound on issue from scheduled predecessors
+    scheduled = [False] * n
+    order: list[int] = []
+    clock = 0
+    available = sorted(i for i in range(n) if preds_left[i] == 0)
+
+    while available:
+        # earliest possible issue for each candidate under the stall model
+        best = min(
+            available,
+            key=lambda i: (max(clock, earliest[i]), -path[i], i),
+        )
+        available.remove(best)
+        start = max(clock, earliest[best])
+        clock = start + 1
+        done_at[best] = start + max(1, latency.get(body[best].opcode, 1))
+        scheduled[best] = True
+        order.append(best)
+        for j in succs[best]:
+            raw = (
+                body[best].target is not None
+                and body[best].target in body[j].srcs
+            )
+            bound = done_at[best] if raw else start + 1
+            if bound > earliest[j]:
+                earliest[j] = bound
+            preds_left[j] -= 1
+            if preds_left[j] == 0:
+                available.append(j)
+        available.sort()
+
+    result = [body[i] for i in order]
+    if terminator is not None:
+        result.append(terminator)
+    return result
+
+
+def schedule_function(func: Function, target: Target | None = None) -> int:
+    """List-schedule every block of ``func``; returns # of blocks changed."""
+    target = target if target is not None else Target()
+    changed = 0
+    for blk in func.blocks:
+        new = schedule_block(blk.instructions, target)
+        if new != blk.instructions:
+            changed += 1
+        blk.instructions = new
+    return changed

@@ -1,0 +1,288 @@
+"""Cycle-counting simulator for rvk machine code.
+
+Value semantics mirror :mod:`repro.interp.machine` exactly — the
+differential harness in ``tests/test_backend.py`` holds the two equal on
+the whole suite — while the clock follows the :class:`Target` cost
+model:
+
+* single issue, in order: each instruction issues one cycle after the
+  previous one at the earliest;
+* full forwarding with per-opcode latency: a result is readable
+  ``latency(op)`` cycles after issue, and an instruction that reads a
+  not-yet-ready register *stalls* until every operand is ready (this is
+  what makes the list scheduler measurable);
+* a transfer to any block other than the next in layout order is a
+  *taken branch* and pays :attr:`Target.branch_penalty`;
+* ``call`` rotates the register window: the callee starts with an empty
+  register file and its frame slots 0..n-1 holding the arguments; the
+  rotation costs ``call_overhead + call_arg_cost·n`` cycles on top of
+  the callee's own execution.  The caller's registers are untouched —
+  exactly the interpreter's private-frame semantics.
+
+Spilled values live in frame slots past the argument area (``lds`` /
+``sts``); their dynamic counts are reported separately so Table 1 can
+show the §4 effect: optimization levels that win dynamic *operations*
+can lose *cycles* once their longer live ranges start spilling.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.backend.lower import is_machine_form
+from repro.backend.target import Target
+from repro.interp.machine import INTRINSICS, TrapError, fortran_mod, trunc_div
+from repro.interp.memory import Memory, Value
+from repro.ir.function import Module
+from repro.ir.opcodes import Opcode
+
+
+class SimulationError(RuntimeError):
+    """Raised on malformed machine code or resource exhaustion."""
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulated invocation (whole call tree)."""
+
+    value: Optional[Value]
+    cycles: int
+    instructions: int
+    stall_cycles: int
+    branch_cycles: int
+    call_cycles: int
+    lds_ops: int  # dynamic frame-slot loads (args + spill reloads)
+    sts_ops: int  # dynamic spill stores
+    memory: Optional[Memory] = None
+    counters: dict = field(default_factory=dict)
+
+
+#: Binary ALU evaluators, kept literally in sync with the interpreter.
+_BINARY = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.MUL: lambda a, b: a * b,
+    Opcode.IDIV: trunc_div,
+    Opcode.MOD: fortran_mod,
+    Opcode.MIN: min,
+    Opcode.MAX: max,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.SHL: lambda a, b: a << b,
+    Opcode.SHR: lambda a, b: a >> b,
+    Opcode.CMPLT: lambda a, b: int(a < b),
+    Opcode.CMPLE: lambda a, b: int(a <= b),
+    Opcode.CMPGT: lambda a, b: int(a > b),
+    Opcode.CMPGE: lambda a, b: int(a >= b),
+    Opcode.CMPEQ: lambda a, b: int(a == b),
+    Opcode.CMPNE: lambda a, b: int(a != b),
+}
+
+_UNARY = {
+    Opcode.COPY: lambda a: a,
+    Opcode.NEG: lambda a: -a,
+    Opcode.ABS: abs,
+    Opcode.NOT: lambda a: int(a == 0),
+    Opcode.ITOF: float,
+    Opcode.FTOI: math.trunc,
+}
+
+
+class Simulator:
+    """Executes rvk machine code, counting cycles under the cost model."""
+
+    def __init__(
+        self,
+        module: Module,
+        target: Optional[Target] = None,
+        max_instructions: int = 50_000_000,
+    ) -> None:
+        self.module = module
+        self.target = target if target is not None else Target()
+        self.max_instructions = max_instructions
+
+    def run(
+        self,
+        name: str,
+        args: Sequence[Value] = (),
+        memory: Optional[Memory] = None,
+    ) -> SimResult:
+        """Simulate routine ``name``; cycles cover the whole call tree."""
+        memory = memory if memory is not None else Memory()
+        self._instructions = 0
+        self._stalls = 0
+        self._branch = 0
+        self._call_cycles = 0
+        self._lds = 0
+        self._sts = 0
+        value, clock = self._call(name, list(args), memory, depth=0, clock=0)
+        return SimResult(
+            value=value,
+            cycles=clock,
+            instructions=self._instructions,
+            stall_cycles=self._stalls,
+            branch_cycles=self._branch,
+            call_cycles=self._call_cycles,
+            lds_ops=self._lds,
+            sts_ops=self._sts,
+            memory=memory,
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _call(
+        self, name: str, args: list, memory: Memory, depth: int, clock: int
+    ) -> tuple[Optional[Value], int]:
+        if depth > 200:
+            raise SimulationError(f"call depth exceeded calling {name!r}")
+        if name not in self.module:
+            raise SimulationError(f"call to unknown routine {name!r}")
+        func = self.module[name]
+        if not is_machine_form(func):
+            raise SimulationError(
+                f"{name}: not machine code (run 'repro codegen' stages first)"
+            )
+        if len(args) != len(func.params):
+            raise SimulationError(
+                f"{name} expects {len(func.params)} args, got {len(args)}"
+            )
+        slots: dict[int, Value] = dict(enumerate(args))
+        regs: dict[str, Value] = {}
+        ready: dict[str, int] = {}
+        target = self.target
+        latency = target.latencies
+        blocks = func.block_map()
+        layout_next = {
+            blk.label: func.blocks[i + 1].label if i + 1 < len(func.blocks) else None
+            for i, blk in enumerate(func.blocks)
+        }
+        label = func.entry.label
+
+        while True:
+            block = blocks[label]
+            next_label: Optional[str] = None
+            for inst in block.instructions:
+                self._instructions += 1
+                if self._instructions > self.max_instructions:
+                    raise SimulationError(
+                        f"instruction limit {self.max_instructions} exceeded in {name}"
+                    )
+                op = inst.opcode
+                srcs = inst.srcs
+                # operand stall: wait until every source register is ready
+                start = clock
+                for src in srcs:
+                    when = ready.get(src, 0)
+                    if when > start:
+                        start = when
+                self._stalls += start - clock
+                clock = start + 1  # issue
+
+                try:
+                    if op in _BINARY:
+                        regs[inst.target] = _BINARY[op](regs[srcs[0]], regs[srcs[1]])
+                    elif op in _UNARY:
+                        regs[inst.target] = _UNARY[op](regs[srcs[0]])
+                    elif op is Opcode.LOADI:
+                        regs[inst.target] = inst.imm
+                    elif op is Opcode.LDS:
+                        self._lds += 1
+                        try:
+                            regs[inst.target] = slots[inst.imm]
+                        except KeyError:
+                            raise SimulationError(
+                                f"{name}/{label}: read of uninitialized frame "
+                                f"slot {inst.imm} in {inst}"
+                            ) from None
+                    elif op is Opcode.STS:
+                        self._sts += 1
+                        slots[inst.imm] = regs[srcs[0]]
+                    elif op is Opcode.LOAD:
+                        addr = regs[srcs[0]]
+                        if not isinstance(addr, int):
+                            raise TrapError(
+                                f"load from non-integer address {addr!r}"
+                            )
+                        regs[inst.target] = memory.read(addr)
+                    elif op is Opcode.STORE:
+                        addr = regs[srcs[1]]
+                        if not isinstance(addr, int):
+                            raise TrapError(f"store to non-integer address {addr!r}")
+                        memory.write(addr, regs[srcs[0]])
+                    elif op is Opcode.CBR:
+                        cond = regs[srcs[0]]
+                        next_label = inst.labels[0] if cond != 0 else inst.labels[1]
+                        break
+                    elif op is Opcode.JMP:
+                        next_label = inst.labels[0]
+                        break
+                    elif op is Opcode.RET:
+                        value = regs[srcs[0]] if srcs else None
+                        return value, clock
+                    elif op is Opcode.INTRIN:
+                        fn = INTRINSICS.get(inst.callee)
+                        if fn is None:
+                            raise SimulationError(
+                                f"unknown intrinsic {inst.callee!r}"
+                            )
+                        try:
+                            regs[inst.target] = fn(*(regs[s] for s in srcs))
+                        except ValueError as exc:
+                            raise TrapError(
+                                f"intrinsic {inst.callee}: {exc}"
+                            ) from None
+                    elif op is Opcode.FDIV:
+                        divisor = regs[srcs[1]]
+                        if divisor == 0:
+                            raise TrapError("floating-point division by zero")
+                        regs[inst.target] = regs[srcs[0]] / divisor
+                    elif op is Opcode.CALL:
+                        overhead = (
+                            target.call_overhead
+                            + target.call_arg_cost * len(srcs)
+                        )
+                        self._call_cycles += overhead
+                        clock += overhead
+                        result, clock = self._call(
+                            inst.callee,
+                            [regs[s] for s in srcs],
+                            memory,
+                            depth + 1,
+                            clock,
+                        )
+                        if inst.target is not None:
+                            if result is None:
+                                raise SimulationError(
+                                    f"{inst.callee} returned no value "
+                                    "but one was expected"
+                                )
+                            regs[inst.target] = result
+                            ready[inst.target] = clock + latency[Opcode.CALL]
+                        continue
+                    else:
+                        raise SimulationError(
+                            f"{name}/{label}: cannot simulate {inst}"
+                        )
+                except KeyError as exc:
+                    raise SimulationError(
+                        f"{name}/{label}: read of undefined register {exc} in {inst}"
+                    ) from None
+
+                if inst.target is not None:
+                    ready[inst.target] = start + max(1, latency[op])
+
+            if next_label is None:
+                raise SimulationError(f"{name}/{label}: fell off the end of a block")
+            if next_label != layout_next[label]:
+                self._branch += target.branch_penalty
+                clock += target.branch_penalty
+            label = next_label
+
+
+def simulate_function(func, args: Sequence[Value] = (), **kwargs) -> SimResult:
+    """Convenience: simulate a single machine function as a module."""
+    target = kwargs.pop("target", None)
+    return Simulator(Module([func]), target=target, **kwargs).run(func.name, args)

@@ -173,6 +173,7 @@ def main(
     remarks_path: Optional[str] = None,
     stats_json: Optional[str] = None,
     verify: str = "final",
+    cycles: bool = False,
 ) -> None:  # pragma: no cover - exercised via CLI
     """Print Table 1 to stdout; diagnostics (``--stats``) go to stderr.
 
@@ -204,6 +205,29 @@ def main(
         f"{stats['routines_new_improved']} routines improve, "
         f"{stats['routines_new_degraded']} degrade."
     )
+    if cycles:
+        # the backend extension: rvk cycles and spill counts at each k,
+        # reusing the warm per-level managers (docs/BACKEND.md)
+        from repro.bench.backend import (
+            format_backend_table,
+            generate_backend_rows,
+            summarize_backend,
+        )
+
+        backend_rows = generate_backend_rows(managers=managers)
+        print()
+        print(format_backend_table(backend_rows))
+        spill_summary = summarize_backend(backend_rows)
+        dist = spill_summary[OptLevel.DISTRIBUTION.value]
+        print()
+        print(
+            "distribution vs baseline cycles: "
+            + "; ".join(
+                f"k={k}: {dist[str(k)]['median_cycles_vs_baseline']:+.0%} median, "
+                f"{dist[str(k)]['total_spilled']} spills"
+                for k in (8, 16, 32)
+            )
+        )
     if remarks_path:
         collector.write(remarks_path)
     if stats_json:

@@ -241,8 +241,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="show only this named sequence",
     )
 
+    codegen_cmd = commands.add_parser(
+        "codegen", help="lower to rvk machine code (docs/BACKEND.md)"
+    )
+    codegen_cmd.add_argument("source", help="mini-FORTRAN source file")
+    codegen_cmd.add_argument(
+        "--ir",
+        action="store_true",
+        help="input is printed ILOC (skip the frontend)",
+    )
+    codegen_cmd.add_argument(
+        "--k",
+        type=int,
+        default=16,
+        metavar="K",
+        help="physical register count of the target (default: 16)",
+    )
+    codegen_cmd.add_argument(
+        "--no-schedule",
+        action="store_true",
+        help="skip post-allocation list scheduling",
+    )
+    codegen_cmd.add_argument(
+        "--asm",
+        nargs="?",
+        const="-",
+        metavar="OUT.RVK",
+        help="write the assembly document to a file (default: stdout)",
+    )
+    codegen_cmd.add_argument(
+        "--run",
+        metavar="ROUTINE",
+        help="simulate ROUTINE after codegen and report cycles",
+    )
+    codegen_cmd.add_argument(
+        "args", nargs="*", help="scalar arguments for --run"
+    )
+    codegen_cmd.add_argument(
+        "--array",
+        action="append",
+        default=[],
+        type=_parse_array,
+        metavar="V,V,...:SIZE",
+        help="array argument for --run (appended after scalars); repeatable",
+    )
+    _add_level_argument(codegen_cmd)
+    _add_pipeline_arguments(codegen_cmd)
+
     table1_cmd = commands.add_parser("table1", help="regenerate the paper's Table 1")
     _add_pipeline_arguments(table1_cmd)
+    table1_cmd.add_argument(
+        "--cycles",
+        action="store_true",
+        help="also simulate rvk cycles and spills at k=8/16/32 "
+        "(appends the backend table; see docs/BACKEND.md)",
+    )
     table1_cmd.add_argument(
         "--cache-dir",
         default=".repro_cache",
@@ -403,6 +456,43 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="BOUND",
         help="exit 1 when the deterministic worklist-pop count exceeds "
         "BOUND (the CI regression gate)",
+    )
+    bench_table1_cmd = bench_sub.add_parser(
+        "table1",
+        help="cycles benchmark: sim vs interp over the suite, writes "
+        "BENCH_backend.json (exit 1 on any mismatch)",
+    )
+    bench_table1_cmd.add_argument(
+        "--cycles",
+        action="store_true",
+        help="accepted for symmetry with 'repro table1 --cycles' "
+        "(this benchmark always measures cycles)",
+    )
+    bench_table1_cmd.add_argument(
+        "--quick",
+        action="store_true",
+        help="deterministic suite subset (the CI smoke run)",
+    )
+    bench_table1_cmd.add_argument(
+        "--no-schedule",
+        action="store_true",
+        help="skip post-allocation list scheduling",
+    )
+    bench_table1_cmd.add_argument(
+        "--k",
+        type=int,
+        action="append",
+        default=None,
+        metavar="K",
+        dest="ks",
+        help="target register count (repeatable; default: 8 16 32)",
+    )
+    bench_table1_cmd.add_argument(
+        "--json",
+        dest="json_out",
+        default="BENCH_backend.json",
+        metavar="OUT.JSON",
+        help="report path (default: BENCH_backend.json)",
     )
     serve_bench_cmd = bench_sub.add_parser(
         "serve",
@@ -639,6 +729,60 @@ def _cmd_run(options) -> int:
     return 0
 
 
+def _cmd_codegen(options) -> int:
+    from repro.backend import Target, codegen_module, print_asm
+    from repro.backend.sim import Simulator
+
+    try:
+        target = Target(k=options.k)
+    except ValueError as error:
+        print(f"codegen: {error}", file=sys.stderr)
+        return 2
+    with open(options.source) as handle:
+        source = handle.read()
+    stats = ManagerStats()
+    collector = RemarkCollector() if options.remarks else None
+    manager = _build_manager(options, stats, collector)
+    if options.ir:
+        from repro.pipeline.driver import compile_ir
+
+        module = compile_ir(
+            source, _level(options.level), manager=manager, verify=options.verify
+        )
+    else:
+        module = compile_source(source, manager=manager, verify=options.verify)
+    alloc = codegen_module(module, target, schedule=not options.no_schedule)
+    asm = print_asm(module, target)
+    if options.asm and options.asm != "-":
+        with open(options.asm, "w") as handle:
+            handle.write(asm)
+    else:
+        print(asm, end="")
+    for name, st in alloc.items():
+        print(
+            f"# {name}: {st.iterations} round(s), {st.spill_count} spilled, "
+            f"{st.spill_loads} reload(s), {st.spill_stores} store(s), "
+            f"{st.frame_slots} frame slot(s)",
+            file=sys.stderr,
+        )
+    if options.run:
+        memory = Memory()
+        args = [_parse_scalar(a) for a in options.args]
+        for values, elemsize in options.array:
+            args.append(memory.allocate_array(values, elemsize))
+        result = Simulator(module, target).run(options.run, args, memory)
+        if result.value is not None:
+            print(f"value: {result.value}")
+        print(
+            f"cycles: {result.cycles} ({result.instructions} instructions, "
+            f"{result.stall_cycles} stall, {result.branch_cycles} branch, "
+            f"{result.call_cycles} call; {result.lds_ops} lds / "
+            f"{result.sts_ops} sts)"
+        )
+    _finish_pipeline(options, stats, collector)
+    return 0
+
+
 _TRIPLE_QUOTED = re.compile(r'"""(.*?)"""|\'\'\'(.*?)\'\'\'', re.S)
 
 
@@ -782,6 +926,12 @@ def _cmd_passes(options) -> int:
         if doc:
             print(f"  {'':<22} ({doc})")
     print()
+    print("backend targets (repro codegen --k / bench table1):")
+    from repro.backend import bench_targets
+
+    for target in bench_targets():
+        print(f"  {target.name:<16} {target.describe()}")
+    print()
     print("checkers (repro lint / --verify lint):")
     from repro.verify import all_checkers
 
@@ -814,6 +964,8 @@ def _dispatch(options) -> int:
         return _cmd_serve(options)
     if options.command == "cache":
         return _cmd_cache(options)
+    if options.command == "codegen":
+        return _cmd_codegen(options)
     if options.command == "table1":
         from repro.bench.table1 import main as table1_main
 
@@ -825,6 +977,7 @@ def _dispatch(options) -> int:
             remarks_path=options.remarks,
             stats_json=options.stats_json,
             verify=options.verify,
+            cycles=options.cycles,
         )
         return 0
     if options.command == "table2":
@@ -833,6 +986,16 @@ def _dispatch(options) -> int:
         table2_main()
         return 0
     if options.command == "bench":
+        if options.bench_command == "table1":
+            from repro.backend.target import BENCH_KS
+            from repro.bench.backend import main as backend_main
+
+            return backend_main(
+                quick=options.quick,
+                json_out=options.json_out,
+                schedule=not options.no_schedule,
+                ks=options.ks or BENCH_KS,
+            )
         if options.bench_command == "serve":
             from repro.bench.serve import main as serve_bench_main
 

@@ -88,7 +88,10 @@ class Instruction:
     @property
     def has_side_effect(self) -> bool:
         """True when the instruction must not be deleted even if dead."""
-        return self.opcode in (Opcode.STORE, Opcode.CALL, Opcode.RET) or self.is_terminator
+        return (
+            self.opcode in (Opcode.STORE, Opcode.STS, Opcode.CALL, Opcode.RET)
+            or self.is_terminator
+        )
 
     # -- def/use -------------------------------------------------------------
 

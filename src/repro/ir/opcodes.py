@@ -58,6 +58,9 @@ class Opcode(enum.Enum):
     # -- memory -------------------------------------------------------------
     LOAD = "load"  # target <- mem[src0]
     STORE = "store"  # mem[src1] <- src0
+    # -- frame slots (introduced by the codegen backend; docs/BACKEND.md) ----
+    LDS = "lds"  # target <- frame[imm]  (incoming-arg or spill slot)
+    STS = "sts"  # frame[imm] <- src0    (spill slot)
     # -- control flow --------------------------------------------------------
     JMP = "jmp"  # unconditional branch
     CBR = "cbr"  # conditional branch: src0 != 0 -> labels[0] else labels[1]
@@ -191,6 +194,12 @@ EXPRESSION_OPCODES = frozenset(
         Opcode.LOAD,
     }
 )
+
+#: Operations carrying an immediate constant in ``Instruction.imm``.  The
+#: printer and parser treat this set generically so that any opcode the
+#: backend lowering introduces round-trips losslessly (``LOADI`` carries a
+#: numeric constant; ``LDS``/``STS`` carry a frame-slot index).
+IMMEDIATE_OPCODES = frozenset({Opcode.LOADI, Opcode.LDS, Opcode.STS})
 
 #: IDIV/FDIV/MOD can trap on a zero divisor, so speculative motion (PRE
 #: insertion on paths that did not previously evaluate them) must be careful.

@@ -75,6 +75,11 @@ def _parse_rhs(target: str, rhs: str, line_no: int) -> Instruction:
         raise IRSyntaxError(f"unknown opcode {mnemonic!r}", line_no) from None
     if op is Opcode.LOADI:
         return Instruction(op, target=target, imm=_parse_imm(rest.strip(), line_no))
+    if op is Opcode.LDS:
+        imm = _parse_imm(rest.strip(), line_no)
+        if not isinstance(imm, int):
+            raise IRSyntaxError(f"lds slot must be an integer, got {imm!r}", line_no)
+        return Instruction(op, target=target, imm=imm)
     srcs = _split_args(rest)
     for src in srcs:
         if not _REG_RE.match(src):
@@ -108,6 +113,14 @@ def _parse_instruction(text: str, line_no: int) -> Instruction:
         if len(srcs) != 2:
             raise IRSyntaxError("store requires 'value, address'", line_no)
         return Instruction(Opcode.STORE, srcs=srcs)
+    if head == "sts":
+        parts = _split_args(rest)
+        if len(parts) != 2:
+            raise IRSyntaxError("sts requires 'value, slot'", line_no)
+        imm = _parse_imm(parts[1], line_no)
+        if not isinstance(imm, int):
+            raise IRSyntaxError(f"sts slot must be an integer, got {imm!r}", line_no)
+        return Instruction(Opcode.STS, srcs=[parts[0]], imm=imm)
     if head in ("call", "intrin"):
         call_m = _CALL_RE.match(text)
         if not call_m:

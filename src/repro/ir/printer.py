@@ -38,6 +38,10 @@ def print_instruction(inst: Instruction) -> str:
     op = inst.opcode
     if op is Opcode.LOADI:
         return f"{inst.target} <- loadi {_format_imm(inst.imm)}"
+    if op is Opcode.LDS:
+        return f"{inst.target} <- lds {_format_imm(inst.imm)}"
+    if op is Opcode.STS:
+        return f"sts {inst.srcs[0]}, {_format_imm(inst.imm)}"
     if op is Opcode.PHI:
         pairs = ", ".join(
             f"{lbl}: {src}" for src, lbl in zip(inst.srcs, inst.phi_labels)
@@ -57,6 +61,14 @@ def print_instruction(inst: Instruction) -> str:
         return f"{inst.target} <- {call}" if inst.target else call
     if op is Opcode.NOP:
         return "nop"
+    if inst.imm is not None:
+        # every immediate-carrying opcode must have an explicit form above;
+        # falling through would silently drop the immediate and break the
+        # printer/parser round-trip
+        raise ValueError(
+            f"print_instruction: opcode {op.value!r} carries an immediate "
+            f"({inst.imm!r}) but has no textual form"
+        )
     # ordinary computation: target <- op srcs...
     srcs = ", ".join(inst.srcs)
     return f"{inst.target} <- {op.value} {srcs}" if srcs else f"{inst.target} <- {op.value}"

@@ -104,6 +104,16 @@ def _validate_shape(func: Function, label: str, inst, label_set: set[str]) -> No
     elif op is Opcode.STORE:
         if inst.target is not None or len(inst.srcs) != 2:
             _fail(func, f"block {label}: malformed store {inst}")
+    elif op is Opcode.LDS:
+        if inst.target is None or not isinstance(inst.imm, int) or inst.srcs:
+            _fail(func, f"block {label}: malformed lds {inst}")
+        if inst.imm < 0:
+            _fail(func, f"block {label}: negative frame slot {inst}")
+    elif op is Opcode.STS:
+        if inst.target is not None or not isinstance(inst.imm, int) or len(inst.srcs) != 1:
+            _fail(func, f"block {label}: malformed sts {inst}")
+        if inst.imm < 0:
+            _fail(func, f"block {label}: negative frame slot {inst}")
     elif op is Opcode.JMP:
         if len(inst.labels) != 1 or inst.srcs:
             _fail(func, f"block {label}: malformed jmp {inst}")

@@ -6,49 +6,20 @@ reassociation and PRE (sections 3.2 and 4.1, and the Figure 9 → Figure 10
 step).  This pass is exactly that phase, run on virtual registers: two
 names connected by a copy are merged when they do not interfere.
 
-Interference is built from liveness: a definition interferes with every
-register live across it, except that a copy's target does not interfere
-with its source (they hold the same value).
+The interference graph comes from
+:func:`repro.backend.interference.build_interference` — the same builder
+the Chaitin–Briggs allocator colors (one implementation, two clients).
+Pre-RA the coalescer is *aggressive* (no degree criterion: virtual
+registers are unlimited, so any non-interfering copy pair merges); the
+allocator applies the conservative Briggs test instead.
 """
 
 from __future__ import annotations
 
 from repro.analysis.manager import analyses
+from repro.backend.interference import build_interference
 from repro.ir.function import Function
-from repro.ir.opcodes import Opcode
 from repro.pm.registry import register_pass
-
-
-def _build_interference(func: Function) -> dict[str, set[str]]:
-    liveness = analyses(func).liveness()
-    interference: dict[str, set[str]] = {reg: set() for reg in func.all_registers()}
-
-    def add(a: str, b: str) -> None:
-        if a != b:
-            interference[a].add(b)
-            interference[b].add(a)
-
-    for blk in func.blocks:
-        live = set(liveness.at_exit(blk.label))
-        for inst in reversed(blk.instructions):
-            for target in inst.defs():
-                skip = inst.srcs[0] if inst.is_copy else None
-                for other in live:
-                    if other != skip:
-                        add(target, other)
-                live.discard(target)
-            if not inst.is_phi:
-                live.update(inst.uses())
-    # incoming parameters are all live on entry: they interfere with each
-    # other and with anything else live into the entry block
-    entry_live = set(liveness.at_entry(func.entry.label)) | set(func.params)
-    params = list(func.params)
-    for i, param in enumerate(params):
-        for other in params[i + 1:]:
-            add(param, other)
-        for other in entry_live:
-            add(param, other)
-    return interference
 
 
 @register_pass(
@@ -65,7 +36,7 @@ def coalesce(func: Function, max_rounds: int = 25) -> Function:
     params = set(func.params)
 
     for _ in range(max_rounds):
-        interference = _build_interference(func)
+        graph = build_interference(func)
         parent: dict[str, str] = {}
 
         def find(reg: str) -> str:
@@ -77,27 +48,20 @@ def coalesce(func: Function, max_rounds: int = 25) -> Function:
             return root
 
         merged = False
-        for blk in func.blocks:
-            for inst in blk.instructions:
-                if not inst.is_copy:
-                    continue
-                target, source = find(inst.target), find(inst.srcs[0])
-                if target == source:
-                    continue
-                if target in params and source in params:
-                    continue
-                if source in interference[target]:
-                    continue
-                # prefer the parameter name as representative (the
-                # function signature must keep its registers)
-                rep, gone = (target, source) if target in params else (source, target)
-                parent[gone] = rep
-                # conservative union of interference neighbourhoods
-                for neighbour in interference[gone]:
-                    interference[neighbour].discard(gone)
-                    interference[neighbour].add(rep)
-                    interference[rep].add(neighbour)
-                merged = True
+        for target, source in graph.moves:
+            target, source = find(target), find(source)
+            if target == source:
+                continue
+            if target in params and source in params:
+                continue
+            if graph.interferes(target, source):
+                continue
+            # prefer the parameter name as representative (the
+            # function signature must keep its registers)
+            rep, gone = (target, source) if target in params else (source, target)
+            parent[gone] = rep
+            graph.merge(rep, gone)  # conservative neighbourhood union
+            merged = True
         if not merged:
             break
         # apply the renaming and drop copies that became self-copies

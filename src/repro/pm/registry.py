@@ -212,3 +212,5 @@ def _ensure_registered() -> None:
         # pass modules carry @register_pass; levels registers sequences
         import repro.passes  # noqa: F401
         import repro.pipeline.levels  # noqa: F401
+        # the backend registers lower/regalloc/schedule + codegen sequences
+        import repro.backend  # noqa: F401

@@ -59,6 +59,86 @@ def observe(
     )
 
 
+def observe_machine(
+    module_or_func,
+    name: Optional[str] = None,
+    args: Sequence = (),
+    arrays: Sequence[tuple[Sequence, int]] = (),
+    *,
+    k: int = 16,
+    schedule: bool = True,
+):
+    """Lower + allocate + schedule a copy, simulate it, capture behaviour.
+
+    The differential twin of :func:`observe`: identical argument handling,
+    but the routine runs on the ``rvk`` cycle simulator after codegen.
+    Returns ``(Observation, SimResult)`` — the observation's
+    ``dynamic_count`` is the simulator's *instruction* count.  The input
+    module/function is never mutated (codegen runs on a printed copy).
+    """
+    from repro.backend import Simulator, Target, codegen_module
+    from repro.ir import parse_module, print_module
+
+    if isinstance(module_or_func, Function):
+        module = Module([module_or_func])
+        name = module_or_func.name
+    else:
+        module = module_or_func
+    assert name is not None
+    machine = parse_module(print_module(module))
+    target = Target(k=k)
+    codegen_module(machine, target, schedule=schedule)
+    memory = Memory()
+    bases = []
+    full_args = list(args)
+    for values, elemsize in arrays:
+        base = memory.allocate_array(list(values), elemsize)
+        bases.append((base, len(list(values)), elemsize))
+        full_args.append(base)
+    result = Simulator(machine, target).run(name, full_args, memory)
+    final_arrays = [
+        memory.read_array(base, count, elemsize) for base, count, elemsize in bases
+    ]
+    observation = Observation(
+        value=result.value,
+        arrays=final_arrays,
+        dynamic_count=result.instructions,
+        result=result,
+    )
+    return observation, result
+
+
+def assert_codegen_preserves_behavior(
+    module_or_func,
+    name: Optional[str] = None,
+    cases: Sequence[dict] = ({},),
+    ks: Sequence[int] = (8, 16, 32),
+) -> None:
+    """Check sim == interp for every case at every k (both schedulings)."""
+    for case in cases:
+        args = case.get("args", ())
+        arrays = case.get("arrays", ())
+        expected = observe(module_or_func, name, args=args, arrays=arrays)
+        for k in ks:
+            for schedule in (False, True):
+                actual, _ = observe_machine(
+                    module_or_func,
+                    name,
+                    args=args,
+                    arrays=arrays,
+                    k=k,
+                    schedule=schedule,
+                )
+                label = f"k={k} schedule={schedule} case={case}"
+                assert actual.value == expected.value, (
+                    f"return value diverged at {label}: "
+                    f"{expected.value} -> {actual.value}"
+                )
+                assert actual.arrays == expected.arrays, (
+                    f"memory effects diverged at {label}"
+                )
+
+
 def deep_copy_function(func: Function) -> Function:
     """A structurally independent copy of a function."""
     from repro.ir import parse_function, print_function

@@ -168,3 +168,103 @@ def test_builder_round_trip():
     func = b.finish()
     text = print_function(func)
     assert print_function(parse_function(text)) == text
+
+
+def test_frame_slot_round_trip():
+    text = (
+        "function f(a) {\n"
+        "entry:\n"
+        "    a <- lds 0\n"
+        "    r1 <- add a, a\n"
+        "    sts r1, 3\n"
+        "    r2 <- lds 3\n"
+        "    ret r2\n"
+        "}"
+    )
+    func = parse_function(text)
+    validate_function(func)
+    lds, _add, sts, reload_, _ret = func.entry.instructions
+    assert lds.opcode is Opcode.LDS and lds.imm == 0 and lds.target == "a"
+    assert sts.opcode is Opcode.STS and sts.imm == 3 and sts.srcs == ["r1"]
+    assert reload_.imm == 3
+    assert print_function(parse_function(print_function(func))) == print_function(func)
+
+
+def test_frame_slot_rejects_float_slots():
+    with pytest.raises(IRSyntaxError, match="slot must be an integer"):
+        parse_function("function f() {\nentry:\n    r0 <- lds 1.5\n    ret\n}")
+    with pytest.raises(IRSyntaxError, match="slot must be an integer"):
+        parse_function("function f() {\nentry:\n    sts r0, 2.5\n    ret\n}")
+
+
+def _instruction_for(op: Opcode):
+    """A representative, printable instruction of every opcode."""
+    from repro.ir.instructions import Instruction
+
+    binary = {
+        Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.IDIV, Opcode.FDIV,
+        Opcode.MOD, Opcode.MIN, Opcode.MAX, Opcode.AND, Opcode.OR,
+        Opcode.XOR, Opcode.SHL, Opcode.SHR, Opcode.CMPLT, Opcode.CMPLE,
+        Opcode.CMPGT, Opcode.CMPGE, Opcode.CMPEQ, Opcode.CMPNE,
+    }
+    unary = {Opcode.NEG, Opcode.NOT, Opcode.ABS, Opcode.ITOF, Opcode.FTOI,
+             Opcode.COPY, Opcode.LOAD}
+    if op in binary:
+        return Instruction(op, target="t", srcs=["a", "b"])
+    if op in unary:
+        return Instruction(op, target="t", srcs=["a"])
+    if op is Opcode.LOADI:
+        return Instruction(op, target="t", imm=-3)
+    if op is Opcode.LDS:
+        return Instruction(op, target="t", imm=2)
+    if op is Opcode.STS:
+        return Instruction(op, srcs=["a"], imm=2)
+    if op is Opcode.STORE:
+        return Instruction(op, srcs=["a", "b"])
+    if op is Opcode.CALL:
+        return Instruction(op, target="t", srcs=["a"], callee="g")
+    if op is Opcode.INTRIN:
+        return Instruction(op, target="t", srcs=["a"], callee="sqrt")
+    if op is Opcode.NOP:
+        return Instruction(op)
+    return None  # terminators and phi are covered by EXAMPLE
+
+
+def test_every_opcode_round_trips_without_dropping_fields():
+    """The fuzz round-trip: no opcode may print lossily (backend guard).
+
+    ``lds``/``sts`` were added by the codegen backend; this sweep keeps
+    any future opcode honest — a form that drops its immediate (or any
+    operand) diverges after one print/parse cycle.
+    """
+    from repro.ir.printer import print_instruction
+
+    for op in Opcode:
+        inst = _instruction_for(op)
+        if inst is None:
+            continue
+        text = (
+            "function f(a, b) {\n"
+            "entry:\n"
+            f"    {print_instruction(inst)}\n"
+            "    ret\n"
+            "}"
+        )
+        func = parse_function(text)
+        parsed = func.entry.instructions[0]
+        assert parsed.opcode is inst.opcode, op
+        assert parsed.target == inst.target, op
+        assert parsed.srcs == inst.srcs, op
+        assert parsed.imm == inst.imm, op
+        assert parsed.callee == inst.callee, op
+        assert print_instruction(parsed) == print_instruction(inst), op
+
+
+def test_printer_refuses_to_drop_an_immediate():
+    """An imm on an opcode with no imm-carrying form must raise, not vanish."""
+    from repro.ir.instructions import Instruction
+    from repro.ir.printer import print_instruction
+
+    rogue = Instruction(Opcode.ADD, target="t", srcs=["a", "b"], imm=7)
+    with pytest.raises(ValueError, match="immediate"):
+        print_instruction(rogue)

@@ -232,6 +232,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="promote warnings to errors (exit 1 when any error remains)",
     )
 
+    certify_cmd = commands.add_parser(
+        "certify",
+        help="statically certify every pass run (value graph + PRE "
+        "placement audit, replay fallback)",
+    )
+    certify_cmd.add_argument(
+        "sources", nargs="*", help="mini-FORTRAN source files to certify"
+    )
+    certify_cmd.add_argument(
+        "--suite",
+        action="store_true",
+        help="also certify every benchmark-suite routine",
+    )
+    certify_cmd.add_argument(
+        "--fuzz",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also certify N seeded random integer programs "
+        "(the deterministic fuzz corpus)",
+    )
+    certify_cmd.add_argument(
+        "--level",
+        default="all",
+        choices=["all"] + [level.value for level in OptLevel],
+        help="optimization level to certify; 'all' means every level "
+        "(default: all)",
+    )
+    certify_cmd.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format on stdout (default: text)",
+    )
+    certify_cmd.add_argument(
+        "--json",
+        metavar="OUT.JSON",
+        dest="json_out",
+        help="also write the JSON report to a file",
+    )
+    certify_cmd.add_argument(
+        "--werror",
+        action="store_true",
+        help="promote warning diagnostics to errors "
+        "(exit 1 when any error remains)",
+    )
+
     passes_cmd = commands.add_parser(
         "passes", help="list registered passes, sequences and checkers"
     )
@@ -546,6 +593,42 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="X",
         help="exit 1 unless warm daemon throughput beats the one-shot CLI "
         "baseline by this factor (the CI gate)",
+    )
+
+    certify_bench_cmd = bench_sub.add_parser(
+        "certify",
+        help="time the static certifier against the replay oracle over "
+        "the suite's pass runs; writes BENCH_certify.json",
+    )
+    certify_bench_cmd.add_argument(
+        "--quick",
+        action="store_true",
+        help="small deterministic suite subset for fast iteration (the "
+        "speedup gate belongs to the full run: replay cost concentrates "
+        "in the loop-heavy routines)",
+    )
+    certify_bench_cmd.add_argument(
+        "--repeat",
+        type=int,
+        default=3,
+        metavar="N",
+        help="repetitions per timed section; best-of-N is reported "
+        "(default: 3)",
+    )
+    certify_bench_cmd.add_argument(
+        "--json",
+        dest="json_out",
+        default="BENCH_certify.json",
+        metavar="OUT.JSON",
+        help="report path (default: BENCH_certify.json)",
+    )
+    certify_bench_cmd.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit 1 unless the certifier beats replay validation by "
+        "this factor on the pass pairs (the CI gate)",
     )
 
     ablation_cmd = commands.add_parser(
@@ -898,6 +981,134 @@ def _cmd_lint(options) -> int:
     return 1 if error_count else 0
 
 
+def _cmd_certify(options) -> int:
+    """``repro certify``: run the pipeline under ``verify=certify``.
+
+    Every pass run is statically certified (value-graph proof, PRE
+    placement audit); inconclusive runs fall back to the interpreting
+    replay oracle inside the PassManager, so a clean exit means every
+    transformation was either *proved* or *dynamically validated*.
+    """
+    from repro.pm.manager import PassVerificationError
+    from repro.verify.diagnostics import summarize
+
+    programs: list[tuple[str, str]] = []
+    for path in options.sources:
+        with open(path) as handle:
+            programs.append((path, handle.read()))
+    if options.suite:
+        from repro.bench.suite import suite_routines
+
+        for routine in suite_routines():
+            programs.append((f"suite:{routine.name}", routine.source))
+    if options.fuzz:
+        from repro.verify.certify.fuzz import corpus
+
+        programs.extend(corpus(options.fuzz))
+    if not programs:
+        print(
+            "certify: nothing to certify (pass source files, --suite, "
+            "or --fuzz N)",
+            file=sys.stderr,
+        )
+        return 2
+
+    levels = (
+        list(OptLevel) if options.level == "all" else [_level(options.level)]
+    )
+    verdicts = {"proved": 0, "inconclusive": 0, "refuted": 0}
+    records: list[dict] = []
+    diagnostic_rows: list[dict] = []
+    failures = 0
+    for origin, text in programs:
+        for level in levels:
+            level_name = level.value
+            collector = RemarkCollector()
+            failed: Optional[str] = None
+            try:
+                compile_source(
+                    text, level=level, verify="certify", collector=collector
+                )
+            except PassVerificationError as error:
+                failed = str(error)
+            except Exception as error:  # noqa: BLE001 — reported, not raised
+                failed = f"compilation failed: {error}"
+            if failed is not None:
+                failures += 1
+                records.append({
+                    "source": origin,
+                    "level": level_name,
+                    "verdict": "error",
+                    "reason": failed,
+                })
+                if options.format == "text":
+                    print(f"{origin} @ {level_name}: ERROR {failed}")
+            for remark in collector.remarks:
+                if remark.event == "certify":
+                    verdict = remark.data["verdict"]
+                    verdicts[verdict] = verdicts.get(verdict, 0) + 1
+                    records.append({
+                        "source": origin,
+                        "level": level_name,
+                        "pass": remark.pass_name,
+                        "function": remark.function,
+                        **remark.data,
+                    })
+                    if options.format == "text" and verdict == "refuted":
+                        print(
+                            f"{origin} @ {level_name}: {remark.pass_name} "
+                            f"REFUTED on {remark.function}: "
+                            f"{remark.data['reason']}"
+                        )
+                elif remark.event == "diagnostic":
+                    row = dict(remark.data)
+                    severity = row.get("severity")
+                    if options.werror and severity == "warning":
+                        row["severity"] = severity = "error"
+                    row["source"] = origin
+                    row["level"] = level_name
+                    diagnostic_rows.append(row)
+                    if options.format == "text" and severity == "error":
+                        print(
+                            f"{origin} @ {level_name}: "
+                            f"[{row.get('checker')}] {row.get('message')}"
+                        )
+
+    error_count = failures + sum(
+        1 for row in diagnostic_rows if row.get("severity") == "error"
+    )
+    certified = sum(verdicts.values())
+    report = {
+        "programs": len(programs),
+        "levels": [level.value for level in levels],
+        "werror": bool(options.werror),
+        "pass_runs": certified,
+        "verdicts": verdicts,
+        "errors": error_count,
+        "notes": sum(
+            1 for row in diagnostic_rows if row.get("severity") == "note"
+        ),
+        "records": records,
+        "diagnostics": diagnostic_rows,
+    }
+    if options.format == "json":
+        print(json.dumps(report, indent=2))
+    else:
+        rate = (100.0 * verdicts["proved"] / certified) if certified else 0.0
+        print(
+            f"certified {certified} pass runs over {len(programs)} "
+            f"program(s) at {len(levels)} level(s): "
+            f"{verdicts['proved']} proved ({rate:.1f}%), "
+            f"{verdicts['inconclusive']} replay-validated, "
+            f"{verdicts['refuted']} refuted, {failures} failed"
+        )
+    if options.json_out:
+        with open(options.json_out, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+    return 1 if error_count else 0
+
+
 def _cmd_passes(options) -> int:
     from repro.bench import ablation  # noqa: F401  (registers ablation/*)
     from repro.pm import all_passes, get_sequence, sequence_names, spec_label
@@ -958,6 +1169,8 @@ def _dispatch(options) -> int:
         return _cmd_run(options)
     if options.command == "lint":
         return _cmd_lint(options)
+    if options.command == "certify":
+        return _cmd_certify(options)
     if options.command == "passes":
         return _cmd_passes(options)
     if options.command == "serve":
@@ -995,6 +1208,15 @@ def _dispatch(options) -> int:
                 json_out=options.json_out,
                 schedule=not options.no_schedule,
                 ks=options.ks or BENCH_KS,
+            )
+        if options.bench_command == "certify":
+            from repro.bench.certify import main as certify_bench_main
+
+            return certify_bench_main(
+                quick=options.quick,
+                repeat=options.repeat,
+                json_out=options.json_out,
+                min_speedup=options.min_speedup,
             )
         if options.bench_command == "serve":
             from repro.bench.serve import main as serve_bench_main

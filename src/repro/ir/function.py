@@ -110,6 +110,25 @@ class Function:
         for blk in self.blocks:
             yield from blk.instructions
 
+    def clone(self) -> "Function":
+        """A deep structural copy, much cheaper than a print/parse trip."""
+        copy = Function(self.name, list(self.params))
+        for blk in self.blocks:
+            copy.blocks.append(BasicBlock(blk.label, [
+                Instruction(
+                    inst.opcode,
+                    target=inst.target,
+                    srcs=inst.srcs,
+                    imm=inst.imm,
+                    callee=inst.callee,
+                    labels=inst.labels,
+                    phi_labels=inst.phi_labels,
+                )
+                for inst in blk.instructions
+            ]))
+        copy.sync_counters()
+        return copy
+
     def static_count(self) -> int:
         """Static number of operations (every instruction counts)."""
         return sum(len(blk) for blk in self.blocks)

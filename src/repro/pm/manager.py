@@ -62,6 +62,9 @@ VERIFY_POLICIES = (
     "transval",
     "transval:each",
     "transval:final",
+    "certify",
+    "certify:each",
+    "certify:final",
 )
 
 #: Backward-compatible alias for the pre-lint structural modes.
@@ -78,6 +81,8 @@ class VerifyPlan:
     lint_final: bool = False
     transval_each: bool = False
     transval_final: bool = False
+    certify_each: bool = False
+    certify_final: bool = False
 
     @property
     def check_each(self) -> bool:
@@ -87,6 +92,15 @@ class VerifyPlan:
     @property
     def check_final(self) -> bool:
         return self.structural_final or self.lint_final
+
+    @property
+    def snapshot_each(self) -> bool:
+        """Policies that need the pre-pass printing after every pass."""
+        return self.transval_each or self.certify_each
+
+    @property
+    def snapshot_final(self) -> bool:
+        return self.transval_final or self.certify_final
 
     @property
     def off(self) -> bool:
@@ -102,6 +116,9 @@ _VERIFY_TOKENS = {
     "transval": {"transval_each": True},
     "transval:each": {"transval_each": True},
     "transval:final": {"transval_final": True},
+    "certify": {"certify_each": True},
+    "certify:each": {"certify_each": True},
+    "certify:final": {"certify_final": True},
 }
 
 
@@ -111,10 +128,13 @@ def parse_verify(spec: str) -> VerifyPlan:
     A spec is a comma-separated list of policies: ``off`` (alone),
     ``each``/``final`` (structural validation), ``lint``/``lint:final``
     (the :mod:`repro.verify` checkers; bare ``lint`` means after every
-    pass, so a broken pass is *named*), and ``transval``/
-    ``transval:final`` (interpret-and-diff translation validation).
-    ``"lint,transval:final"`` lints after every pass and replays the
-    whole sequence once at the end.
+    pass, so a broken pass is *named*), ``transval``/``transval:final``
+    (interpret-and-diff translation validation), and ``certify``/
+    ``certify:final`` (the static certifier of
+    :mod:`repro.verify.certify`, which proves equivalence without
+    executing and falls back to ``transval`` replay only on
+    inconclusive attempts).  ``"lint,certify:final"`` lints after every
+    pass and certifies the whole sequence once at the end.
     """
     tokens = [token.strip() for token in str(spec).split(",") if token.strip()]
     if not tokens:
@@ -372,11 +392,11 @@ class PassManager:
         started = time.perf_counter()
         plan = self.verify_plan
         manager = analyses(func)
-        baseline_text = print_function(func) if plan.transval_final else None
+        baseline_text = print_function(func) if plan.snapshot_final else None
         for label, pass_fn, preserves in zip(
             self.labels, self._resolved, self._preserves
         ):
-            before_text = print_function(func) if plan.transval_each else None
+            before_text = print_function(func) if plan.snapshot_each else None
             before = _sizes(func)
             t0 = time.perf_counter()
             with remark_context(collector, label, func.name):
@@ -395,12 +415,16 @@ class PassManager:
             )
             if plan.check_each:
                 self._check(func, label, collector, lint=plan.lint_each)
-            if plan.transval_each:
+            if plan.certify_each:
+                self._certify(func, label, before_text, collector)
+            elif plan.transval_each:
                 self._transval(func, label, before_text, collector)
         final_label = self.labels[-1] if self.labels else "<empty>"
         if plan.check_final:
             self._check(func, final_label, collector, lint=plan.lint_final)
-        if plan.transval_final:
+        if plan.certify_final:
+            self._certify(func, final_label, baseline_text, collector)
+        elif plan.transval_final:
             self._transval(func, final_label, baseline_text, collector)
         stats.functions += 1
         stats.seconds += time.perf_counter() - started
@@ -461,19 +485,70 @@ class PassManager:
                 label, func.name, diagnostics, sequence=self.sequence_name
             )
 
+    def _certify(
+        self,
+        func: Function,
+        label: str,
+        before_text: str,
+        collector: Optional[RemarkCollector],
+    ) -> None:
+        """Statically certify ``before_text`` → ``func``; replay fallback.
+
+        A ``refuted`` verdict (the PRE placement audit found a contract
+        violation) is fatal immediately.  A ``proved`` verdict is final
+        — nothing is executed.  ``inconclusive`` falls back to the
+        interpreting :func:`~repro.verify.transval.validate_translation`
+        oracle, so ``verify="certify"`` is never weaker than replay —
+        just cheaper wherever the static proof lands.
+        """
+        from repro.verify.certify import certify_pass
+
+        before = parse_function(before_text)
+        result = certify_pass(before, func, pass_name=label)
+        self._emit_diagnostics(
+            list(result.diagnostics) + list(result.remarks), label, collector
+        )
+        if collector is not None:
+            collector.add(Remark(
+                label,
+                func.name,
+                "certify",
+                {
+                    "verdict": result.verdict,
+                    "engine": result.engine,
+                    "obligations": result.obligations,
+                    "reason": result.reason,
+                },
+            ))
+        if result.refuted:
+            from repro.verify.diagnostics import errors
+
+            fatal = errors(result.diagnostics) or result.diagnostics
+            raise PassVerificationError(
+                label, func.name, fatal, sequence=self.sequence_name
+            )
+        if not result.proved:
+            self._transval(func, label, before_text, collector)
+
     def _emit_diagnostics(
         self, diagnostics, label: str, collector: Optional[RemarkCollector]
     ) -> None:
-        """Route diagnostics into the remarks channel as ``"diagnostic"``."""
+        """Route diagnostics into the remarks channel as ``"diagnostic"``.
+
+        Every record is stamped with its originating pass (``origin``)
+        before emission, so a diagnostic that escapes the collector (in
+        a raised :class:`PassVerificationError`, a JSONL dump, a test
+        assertion) still names the pass that produced it.
+        """
+        for diagnostic in diagnostics:
+            if diagnostic.origin is None:
+                diagnostic.origin = label
         if collector is None:
             return
         for diagnostic in diagnostics:
-            data = {
-                key: value
-                for key, value in diagnostic.as_dict().items()
-                if key != "function"
-            }
-            collector.add(Remark(label, diagnostic.function, "diagnostic", data))
+            collector.add(
+                Remark(label, diagnostic.function, "diagnostic", diagnostic.as_dict())
+            )
 
     # -- whole module ------------------------------------------------------------
 

@@ -1,6 +1,6 @@
-"""Semantic IR verification: the lint checkers and the translation validator.
+"""Semantic IR verification: lint checkers, replay oracle, static certifier.
 
-Two halves (see ``docs/VERIFY.md``):
+Three layers (see ``docs/VERIFY.md`` and ``docs/CERTIFY.md``):
 
 * :mod:`repro.verify.lint` + :mod:`repro.verify.checkers` — a registry
   of dataflow-backed IR checkers emitting structured
@@ -10,13 +10,27 @@ Two halves (see ``docs/VERIFY.md``):
 * :mod:`repro.verify.transval` — a per-pass translation validator that
   replays a function pre/post transformation through the interpreter on
   deterministic generated inputs, with an α-renaming-invariant
-  fingerprint fast path.
+  fingerprint fast path;
+* :mod:`repro.verify.certify` — the static certifier: value-graph
+  translation validation (a joint optimistic value-numbering proof of
+  observable equivalence, no execution) plus the PRE placement audit
+  (safety/correctness/optimality facts re-proved with the passes' own
+  bitset dataflow engine).
 
-Both plug into :class:`repro.pm.manager.PassManager` as the
-``verify="lint"`` and ``verify="transval"`` policies and into the
-``repro lint`` CLI subcommand.
+All plug into :class:`repro.pm.manager.PassManager` as the
+``verify="lint"``, ``verify="transval"`` and ``verify="certify"``
+policies and into the ``repro lint`` / ``repro certify`` CLI
+subcommands.
 """
 
+from repro.verify.certify import (
+    CertifyResult,
+    EquivalenceProof,
+    PlacementAudit,
+    audit_placement,
+    certify_pass,
+    prove_equivalence,
+)
 from repro.verify.checkers import (
     CheckerInfo,
     all_checkers,
@@ -41,13 +55,18 @@ from repro.verify.transval import (
 )
 
 __all__ = [
+    "CertifyResult",
     "CheckerInfo",
     "Diagnostic",
+    "EquivalenceProof",
     "InputCase",
     "LintError",
+    "PlacementAudit",
     "Reporter",
     "SEVERITIES",
     "all_checkers",
+    "audit_placement",
+    "certify_pass",
     "checker_ids",
     "errors",
     "generate_cases",
@@ -55,6 +74,7 @@ __all__ = [
     "lint_function",
     "lint_module",
     "promote_warnings",
+    "prove_equivalence",
     "register_checker",
     "semantic_fingerprint",
     "summarize",

@@ -1,0 +1,118 @@
+"""Seeded integer-program generator for the certifier fuzz corpus.
+
+Random mini-FORTRAN routines, deterministic per seed, built to stress
+the certifier rather than the runtime: repeated subexpressions across
+branch arms and loop bodies (partial redundancies for ``pre``), deep
+reassociable sums and products (for ``reassociate``/``gvn``), and
+branchy scalar control flow (for ``clean``/``dce``).
+
+Everything is **integer-only** on purpose.  The value-graph engine
+models arithmetic as exact (the same license ``reassociate
+[distribute=True]`` assumes), and over machine floats distribution
+really does change rounding — so a float corpus could be *proved* by
+the certifier yet *diverge* under the interpreter-replay oracle
+without either being wrong (see ``docs/CERTIFY.md``).  Over integers
+the exact-arithmetic semantics and the interpreter's coincide, which
+is what makes the cross-check in the fuzz tests sound:
+``certify proved`` must imply ``transval clean``.
+
+``repro certify --fuzz N`` and ``tests/test_certify.py`` both draw
+from here, so CI and the CLI exercise the same corpus.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["corpus", "random_program"]
+
+_PARAMS = ("a", "b", "c")
+_LOCALS = ("t0", "t1", "t2", "t3")
+_CMP = ("<", "<=", ">", ">=", "==", "!=")
+
+
+class _Gen:
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(0x5EED ^ seed)
+        self.defined = list(_PARAMS)
+
+    def atom(self) -> str:
+        if self.rng.random() < 0.35:
+            return str(self.rng.randint(-7, 9))
+        return self.rng.choice(self.defined)
+
+    def expr(self, depth: int = 0) -> str:
+        # shallow trees with a bias toward + and * keep the generated
+        # code inside the optimizer's sweet spot (reassociable sums,
+        # distributable products) without overflowing the interpreter
+        if depth >= 2 or self.rng.random() < 0.4:
+            return self.atom()
+        op = self.rng.choice("++**-")
+        return f"({self.expr(depth + 1)} {op} {self.expr(depth + 1)})"
+
+    def assign(self, indent: str) -> str:
+        target = self.rng.choice(_LOCALS)
+        line = f"{indent}{target} = {self.expr()}"
+        if target not in self.defined:
+            self.defined.append(target)
+        return line
+
+    def condition(self) -> str:
+        return f"{self.atom()} {self.rng.choice(_CMP)} {self.atom()}"
+
+    def block(self, indent: str, budget: int) -> list[str]:
+        lines: list[str] = []
+        while budget > 0:
+            roll = self.rng.random()
+            if roll < 0.55 or budget < 3:
+                lines.append(self.assign(indent))
+                budget -= 1
+            elif roll < 0.8:
+                # the same expression in both arms: a partial
+                # redundancy PRE should hoist
+                shared = self.expr()
+                target = self.rng.choice(_LOCALS)
+                lines.append(f"{indent}if {self.condition()} then")
+                lines.append(f"{indent}  {target} = {shared}")
+                lines.append(self.assign(indent + "  "))
+                lines.append(f"{indent}else")
+                lines.append(f"{indent}  {target} = {shared}")
+                lines.append(f"{indent}end")
+                if target not in self.defined:
+                    self.defined.append(target)
+                budget -= 3
+            else:
+                var = "i" if "i" not in self.defined else "j"
+                lo = self.rng.randint(1, 2)
+                hi = lo + self.rng.randint(1, 4)
+                lines.append(f"{indent}do {var} = {lo}, {hi}")
+                if var not in self.defined:
+                    self.defined.append(var)
+                lines.append(self.assign(indent + "  "))
+                lines.append(self.assign(indent + "  "))
+                lines.append(f"{indent}end")
+                budget -= 3
+        return lines
+
+
+def random_program(seed: int) -> str:
+    """One deterministic integer routine named ``fuzz<seed>``."""
+    gen = _Gen(seed)
+    params = ", ".join(f"{p}: int" for p in _PARAMS)
+    lines = [f"routine fuzz{seed}({params}) -> int"]
+    lines.append("  integer " + ", ".join((*_LOCALS, "i", "j")))
+    for name in _LOCALS + ("i", "j"):
+        gen.defined.append(name) if name not in gen.defined else None
+        lines.append(f"  {name} = 0")
+    lines.extend(gen.block("  ", 8 + gen.rng.randint(0, 6)))
+    lines.append(f"  return {gen.expr()}")
+    lines.append("end")
+    return "\n".join(lines) + "\n"
+
+
+def corpus(count: int, *, base_seed: int = 0) -> list[tuple[str, str]]:
+    """``count`` programs as ``(name, source)`` pairs."""
+    return [
+        (f"fuzz:{base_seed + i}", random_program(base_seed + i))
+        for i in range(count)
+    ]

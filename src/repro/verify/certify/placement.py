@@ -1,0 +1,205 @@
+"""PRE placement audit: safety and correctness proofs for pre/pre-mr.
+
+The value-graph engine (:mod:`repro.verify.certify.valuegraph`) proves
+that a PRE run preserved behaviour; this module checks the *placement
+contract* the paper states for the transformation itself, by re-solving
+availability and anticipability with the same bitset engine the passes
+use — on the pass's **input** for the safety direction and on its
+**output** for the correctness direction:
+
+* **safety** — every inserted computation of an expression lands where
+  the expression was anticipable in the input (``ANTIN ∪ ANTOUT`` of
+  the insertion block): no path that never computed the expression is
+  made to compute it, so PRE can never slow a path down or introduce a
+  trap the original program did not have.  An inserted expression that
+  the input never computed *anywhere* is a hard contract violation.
+* **correctness** — every deleted computation happens where the
+  expression is available in the *output* (``AVIN`` of the deletion
+  block, or a surviving computation earlier in the same block): the
+  temporary that replaced it provably carries the right value on every
+  path.
+* **missed redundancy** (the optimality lint) — a computation that is
+  both locally anticipable and available on entry in the *output*
+  (``ANTLOC ∩ AVIN``) is still fully redundant; PRE should have removed
+  it.  Reported as a ``note`` remark, never an error: Morel–Renvoise
+  legitimately leaves some of these behind (that gap is the paper's
+  motivation for the lazy-code-motion reformulation).
+
+Block-level occurrence counting is the granularity: both sides are
+normalized with the passes' own :func:`~repro.passes.pre_common.
+normalize_for_pre` (label allocation is deterministic, so the before
+copy re-derives exactly the split-block labels the pass created), and
+per-block multisets of lexical expression keys are diffed.  A CFG
+whose block or edge sets still disagree after that is *inconclusive* —
+the pass did something this audit does not model, and the caller falls
+back to the value-graph/replay oracles.
+
+Unlike the value-graph engine, this audit **can refute**: its error
+diagnostics mean the pass broke the placement contract, not merely
+that a proof failed.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.ir.function import Function
+from repro.verify.diagnostics import Diagnostic
+
+#: Pass base names this audit understands (both PRE equation systems).
+PRE_PASSES = frozenset({"pre", "pre-mr"})
+
+
+@dataclass
+class PlacementAudit:
+    """The outcome of one placement audit.
+
+    ``verdict`` is ``"clean"`` (every insertion proved safe and every
+    deletion proved correct), ``"refuted"`` (the pass violated the
+    placement contract; ``diagnostics`` holds errors), or
+    ``"inconclusive"`` (the output is not block-comparable with the
+    input).  ``remarks`` carries the missed-redundancy notes, which are
+    advisory in every verdict.
+    """
+
+    verdict: str
+    reason: str
+    checks: int = 0
+    diagnostics: list = field(default_factory=list)
+    remarks: list = field(default_factory=list)
+
+
+def _occurrences(func: Function) -> dict[str, Counter]:
+    return {
+        blk.label: Counter(
+            inst.expr_key()
+            for inst in blk.instructions
+            if inst.is_expression
+        )
+        for blk in func.blocks
+    }
+
+
+def audit_placement(before: Function, after: Function) -> PlacementAudit:
+    """Audit one PRE run; neither argument is mutated."""
+    from repro.passes.pre_common import prepare_pre
+    from repro.verify.checkers.defuse import undefined_uses
+
+    try:
+        normalized_before = before.clone()
+        normalized_after = after.clone()
+        ctx_before = prepare_pre(normalized_before)
+        ctx_after = prepare_pre(normalized_after)
+    except ValueError as error:  # φ-bearing input: not a PRE boundary
+        return PlacementAudit("inconclusive", f"not PRE-normalizable: {error}")
+    if ctx_before is None and ctx_after is None:
+        return PlacementAudit("clean", "no expressions on either side")
+    if ctx_before is None or ctx_after is None:
+        return PlacementAudit(
+            "inconclusive", "expressions exist on only one side"
+        )
+
+    labels_before = {blk.label for blk in normalized_before.blocks}
+    labels_after = {blk.label for blk in normalized_after.blocks}
+    if labels_before != labels_after or set(ctx_before.edges) != set(
+        ctx_after.edges
+    ):
+        return PlacementAudit(
+            "inconclusive",
+            "the normalized CFGs are not block-comparable "
+            "(the pass reshaped control flow)",
+        )
+
+    def fail(message, label, severity="error"):
+        return Diagnostic(
+            checker="certify-placement",
+            severity=severity,
+            function=after.name,
+            message=message,
+            block=label,
+        )
+
+    universe_before = set(ctx_before.table.keys)
+    occurrences_before = _occurrences(normalized_before)
+    occurrences_after = _occurrences(normalized_after)
+    diagnostics: list[Diagnostic] = []
+    remarks: list[Diagnostic] = []
+    checks = 0
+
+    for label in sorted(labels_before):
+        counts_before = occurrences_before[label]
+        counts_after = occurrences_after[label]
+        for key in set(counts_before) | set(counts_after):
+            diff = counts_after[key] - counts_before[key]
+            if diff > 0:
+                checks += 1
+                if key not in universe_before:
+                    diagnostics.append(fail(
+                        f"inserted expression {key} is never computed "
+                        f"anywhere in the input program",
+                        label,
+                    ))
+                    continue
+                anticipable = ctx_before.keys_of(
+                    ctx_before.ant_in.get(label, 0)
+                    | ctx_before.ant_out.get(label, 0)
+                )
+                if key not in anticipable:
+                    diagnostics.append(fail(
+                        f"unsafe insertion: {key} placed in {label} where "
+                        f"it is not anticipable in the input — some path "
+                        f"through {label} never computed it",
+                        label,
+                    ))
+            elif diff < 0:
+                checks += 1
+                available = ctx_after.keys_of(ctx_after.avail_in.get(label, 0))
+                if key not in available and not counts_after[key]:
+                    diagnostics.append(fail(
+                        f"incorrect deletion: {key} removed from {label} "
+                        f"where it is not available in the output — the "
+                        f"replacing temporary is undefined on some path",
+                        label,
+                    ))
+
+    # differential def-use: an insertion the pass forgot (or a deleted
+    # definition it left dangling) shows up as uses of undefined
+    # registers that the input did not have
+    if not any(True for _ in undefined_uses(normalized_before)):
+        for issue in undefined_uses(normalized_after):
+            checks += 1
+            diagnostics.append(fail(
+                f"the transformed code reads {issue.register!r} in "
+                f"{issue.block} before any definition reaches it "
+                f"(the input had no such read)",
+                issue.block,
+            ))
+
+    # the optimality lint: surviving fully-redundant computations
+    for label in sorted(labels_after):
+        redundant = ctx_after.keys_of(
+            ctx_after.antloc.get(label, 0) & ctx_after.avail_in.get(label, 0)
+        )
+        for key in sorted(redundant, key=repr):
+            remarks.append(fail(
+                f"missed redundancy: {key} in {label} is available on "
+                f"every path into the block and still recomputed",
+                label,
+                severity="note",
+            ))
+
+    if diagnostics:
+        return PlacementAudit(
+            "refuted",
+            f"{len(diagnostics)} placement-contract violations",
+            checks=checks,
+            diagnostics=diagnostics,
+            remarks=remarks,
+        )
+    return PlacementAudit(
+        "clean",
+        f"{checks} placement facts certified",
+        checks=checks,
+        remarks=remarks,
+    )

@@ -31,13 +31,20 @@ class CheckerInfo:
     fn: Callable
     severity: str  # default severity of its findings
     description: str
+    #: Whether the checker is meaningful on backend (machine-level) IR —
+    #: code the rvk lowering produced, with ``lds``/``sts`` frame traffic
+    #: and physical-register names.  Checkers that audit *optimizer*
+    #: conventions (SSA naming discipline, rank order, critical edges)
+    #: are skipped there; the lint driver reports the skip once as a
+    #: structured ``backend-ir`` note instead of a finding flood.
+    machine: bool = True
 
 
 _CHECKERS: dict[str, CheckerInfo] = {}
 
 
 def register_checker(
-    checker_id: str, *, severity: str = "error"
+    checker_id: str, *, severity: str = "error", machine: bool = True
 ) -> Callable[[Callable], Callable]:
     """Decorator registering a ``(Function, Reporter) -> None`` checker."""
     if severity not in SEVERITIES:
@@ -53,6 +60,7 @@ def register_checker(
             fn=fn,
             severity=severity,
             description=doc[0] if doc else "",
+            machine=machine,
         )
         return fn
 

@@ -33,6 +33,7 @@ from repro.analysis.manager import analyses
 from repro.cfg.graph import ControlFlowGraph
 from repro.dataflow.framework import DataflowProblem, solve
 from repro.ir.function import Function
+from repro.ir.opcodes import Opcode
 from repro.verify.checkers import register_checker
 
 
@@ -118,9 +119,65 @@ def undefined_uses(func: Function) -> Iterator[UndefinedUse]:
                 possible.add(target)
 
 
+def undefined_frame_reads(func: Function) -> Iterator[UndefinedUse]:
+    """Yield every ``lds`` that may read a never-written frame slot.
+
+    Backend IR extension of the same definite-assignment discipline:
+    frame slots are the backend's registers.  Slots ``0..arity-1`` hold
+    the incoming arguments (written by the caller per the rvk ABI in
+    :mod:`repro.backend.lower`), so they count as assigned at entry;
+    every other slot must be ``sts``-written on all paths before a
+    ``lds`` reads it.
+    """
+    slots = {
+        inst.imm
+        for inst in func.instructions()
+        if inst.opcode in (Opcode.LDS, Opcode.STS)
+    }
+    if not slots:
+        return
+    cfg = analyses(func).cfg()
+    universe = frozenset(slots) | frozenset(range(len(func.params)))
+    gen = {
+        blk.label: frozenset(
+            inst.imm for inst in blk.instructions if inst.opcode is Opcode.STS
+        )
+        for blk in func.blocks
+    }
+    must = solve(
+        DataflowProblem(
+            direction="forward",
+            meet="intersection",
+            universe=universe,
+            gen=gen,
+            kill={blk.label: frozenset() for blk in func.blocks},
+            boundary=frozenset(range(len(func.params))),
+        ),
+        cfg,
+    )
+    blocks = func.block_map()
+    for label in cfg.reverse_postorder:
+        written = set(must.at_entry(label))
+        for index, inst in enumerate(blocks[label].instructions):
+            if inst.opcode is Opcode.LDS and inst.imm not in written:
+                yield UndefinedUse(
+                    label, index, inst, f"frame[{inst.imm}]", None, True
+                )
+            elif inst.opcode is Opcode.STS:
+                written.add(inst.imm)
+
+
 @register_checker("def-use", severity="error")
 def check_def_use(func: Function, report) -> None:
     """Every use must be definitely assigned (definitions dominate uses)."""
+    for issue in undefined_frame_reads(func):
+        report(
+            f"lds reads frame slot {issue.register} not written on every "
+            f"path from the entry (arity {len(func.params)})",
+            block=issue.block,
+            inst=issue.inst,
+            index=issue.index,
+        )
     for issue in undefined_uses(func):
         if issue.pred is not None:
             where = f"on the edge from {issue.pred}"

@@ -18,7 +18,7 @@ from repro.ir.function import Function
 from repro.verify.checkers import register_checker
 
 
-@register_checker("naming", severity="note")
+@register_checker("naming", severity="note", machine=False)
 def check_naming(func: Function, report) -> None:
     """One name per congruence class (post-GVN naming discipline)."""
     result = check_naming_discipline(func)

@@ -26,7 +26,7 @@ from repro.ssa import to_ssa
 from repro.verify.checkers import register_checker
 
 
-@register_checker("rank-order", severity="note")
+@register_checker("rank-order", severity="note", machine=False)
 def check_rank_order(func: Function, report) -> None:
     """Associative operands should be ordered by non-decreasing rank."""
     ssa_copy = parse_function(print_function(func))

@@ -20,7 +20,7 @@ def check_unreachable(func: Function, report) -> None:
             )
 
 
-@register_checker("critical-edge", severity="note")
+@register_checker("critical-edge", severity="note", machine=False)
 def check_critical_edges(func: Function, report) -> None:
     """Audit critical edges (PRE needs them split before edge placement).
 

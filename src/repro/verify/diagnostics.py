@@ -33,6 +33,11 @@ class Diagnostic:
     block: Optional[str] = None
     instruction: Optional[str] = None
     index: Optional[int] = None
+    #: The pass (label) whose verification produced this finding.  Set
+    #: by the PassManager's verify hooks (and by anything else that
+    #: knows); standalone lint leaves it ``None``.  Having it on the
+    #: record makes every remarks-JSONL row self-describing.
+    origin: Optional[str] = None
 
     def location(self) -> str:
         """``function/block[index]`` with absent parts omitted."""
@@ -62,6 +67,8 @@ class Diagnostic:
             record["index"] = self.index
         if self.instruction is not None:
             record["instruction"] = self.instruction
+        if self.origin is not None:
+            record["origin"] = self.origin
         return record
 
     @classmethod
@@ -74,6 +81,7 @@ class Diagnostic:
             block=record.get("block"),
             instruction=record.get("instruction"),
             index=record.get("index"),
+            origin=record.get("origin"),
         )
 
 
@@ -140,6 +148,7 @@ def promote_warnings(diagnostics: Iterable[Diagnostic]) -> list[Diagnostic]:
             block=d.block,
             instruction=d.instruction,
             index=d.index,
+            origin=d.origin,
         )
         for d in diagnostics
     ]

@@ -15,12 +15,35 @@ when analyses are most likely to hit impossible states.
 
 from __future__ import annotations
 
+import re
 from typing import Iterable, Optional, Sequence
 
 from repro.ir.function import Function, Module
+from repro.ir.opcodes import Opcode
 from repro.ir.validate import IRValidationError, validate_function
 from repro.verify.checkers import CheckerInfo, all_checkers, get_checker
 from repro.verify.diagnostics import Diagnostic, Reporter, errors
+
+#: Physical register names of the rvk backend (``x0`` ... ``x{k-1}``).
+_PHYSICAL_REG = re.compile(r"^x\d+$")
+
+
+def is_backend_function(func: Function) -> bool:
+    """Whether ``func`` is machine-level IR from the rvk backend.
+
+    Backend code is recognizable by frame-slot traffic (``lds``/``sts``
+    exist only after lowering) or by every defined register being a
+    physical name (``x0``, ``x1``, ...).  The distinction matters to the
+    verify layer: optimizer-convention checkers and the interpreting
+    translation validator are meaningless there (docs/BACKEND.md — the
+    backend is gated by the cycle simulator instead).
+    """
+    targets = set()
+    for inst in func.instructions():
+        if inst.opcode in (Opcode.LDS, Opcode.STS):
+            return True
+        targets.update(inst.defs())
+    return bool(targets) and all(_PHYSICAL_REG.match(t) for t in targets)
 
 
 class LintError(Exception):
@@ -65,7 +88,24 @@ def lint_function(
                 )
             ]
     diagnostics: list[Diagnostic] = []
-    for info in _selected(checker_ids):
+    selected = _selected(checker_ids)
+    if is_backend_function(func):
+        skipped = [info.id for info in selected if not info.machine]
+        selected = [info for info in selected if info.machine]
+        if skipped:
+            diagnostics.append(
+                Diagnostic(
+                    checker="backend-ir",
+                    severity="note",
+                    function=func.name,
+                    message=(
+                        "machine-level (rvk backend) IR: skipping "
+                        "optimizer-convention checkers "
+                        + ", ".join(skipped)
+                    ),
+                )
+            )
+    for info in selected:
         reporter = Reporter(info.id, info.severity, func.name)
         try:
             info.fn(func, reporter)

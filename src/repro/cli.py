@@ -10,8 +10,10 @@
     python -m repro table1 | table2 | ablation                 # the experiments
     python -m repro serve                                      # compile daemon
     python -m repro compile prog.f --daemon                    # use the daemon
+    python -m repro fleet serve --shards 4                     # compile fleet
+    python -m repro compile prog.f --fleet                     # use the fleet
     python -m repro cache stats | clear | prune                # disk IR cache
-    python -m repro bench serve                                # daemon load test
+    python -m repro bench serve | fleet                        # service load tests
 
 The source language is the mini-FORTRAN of :mod:`repro.frontend`; array
 arguments are comma-separated element lists suffixed with the element
@@ -43,6 +45,7 @@ import json
 import os
 import re
 import sys
+import threading
 from typing import Optional, Sequence
 
 from repro.interp import Interpreter, Memory
@@ -158,6 +161,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="daemon socket path (default: $REPRO_DAEMON_SOCKET or the "
         "per-user runtime path)",
+    )
+    compile_cmd.add_argument(
+        "--fleet",
+        action="store_true",
+        help="compile via a running 'repro fleet serve' gateway when one "
+        "is up (in-process fallback otherwise); a tiered first answer is "
+        "noted on stderr",
+    )
+    compile_cmd.add_argument(
+        "--tenant",
+        default=None,
+        metavar="NAME",
+        help="tenant to account the request to (fleet quotas; "
+        "default: 'default')",
+    )
+    compile_cmd.add_argument(
+        "--priority",
+        choices=("interactive", "batch"),
+        default="interactive",
+        help="fleet priority class: interactive may briefly wait for "
+        "quota tokens, batch is shed immediately (default: interactive)",
     )
     _add_level_argument(compile_cmd)
     _add_pipeline_arguments(compile_cmd)
@@ -439,6 +463,107 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the final metrics snapshot on shutdown",
     )
 
+    fleet_cmd = commands.add_parser(
+        "fleet", help="run or query the distributed compile fleet "
+        "(docs/SERVICE.md)"
+    )
+    fleet_sub = fleet_cmd.add_subparsers(dest="fleet_command", required=True)
+    fleet_serve_cmd = fleet_sub.add_parser(
+        "serve", help="run the gateway plus its shard daemons"
+    )
+    fleet_serve_cmd.add_argument(
+        "--socket",
+        metavar="PATH",
+        default=None,
+        help="gateway Unix socket (default: $REPRO_FLEET_SOCKET or the "
+        "per-user runtime path)",
+    )
+    fleet_serve_cmd.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        metavar="N",
+        help="shard daemons behind the gateway (default: 2)",
+    )
+    fleet_serve_cmd.add_argument(
+        "--workers-per-shard",
+        type=int,
+        default=1,
+        metavar="N",
+        help="compile workers inside each shard (default: 1)",
+    )
+    fleet_serve_cmd.add_argument(
+        "--store-dir",
+        default=".repro_store",
+        metavar="DIR",
+        help="shared artifact store directory (default: .repro_store)",
+    )
+    fleet_serve_cmd.add_argument(
+        "--store-max-mb",
+        type=int,
+        default=512,
+        metavar="MB",
+        help="LRU size cap for the artifact store (default: 512 MB)",
+    )
+    fleet_serve_cmd.add_argument(
+        "--cache-dir",
+        default=".repro_cache",
+        metavar="DIR",
+        help="pass cache shared by all shards' workers "
+        "(default: .repro_cache)",
+    )
+    fleet_serve_cmd.add_argument(
+        "--tier1-level",
+        default="none",
+        metavar="LEVEL",
+        help="the fast tier answering cold requests while the requested "
+        "level compiles in the background (default: none)",
+    )
+    fleet_serve_cmd.add_argument(
+        "--no-tiering",
+        action="store_true",
+        help="always compile at the requested level before replying",
+    )
+    fleet_serve_cmd.add_argument(
+        "--max-upgrades",
+        type=int,
+        default=2,
+        metavar="N",
+        help="concurrent background O2 upgrade compiles (default: 2)",
+    )
+    fleet_serve_cmd.add_argument(
+        "--quota-rate",
+        type=float,
+        default=200.0,
+        metavar="RPS",
+        help="default per-tenant request rate (default: 200/s)",
+    )
+    fleet_serve_cmd.add_argument(
+        "--quota-burst",
+        type=float,
+        default=400.0,
+        metavar="N",
+        help="default per-tenant burst allowance (default: 400)",
+    )
+    fleet_serve_cmd.add_argument(
+        "--quota",
+        action="append",
+        default=[],
+        metavar="TENANT=RATE:BURST",
+        dest="quota_overrides",
+        help="per-tenant quota override (repeatable), e.g. ci=50:100",
+    )
+    fleet_stats_cmd = fleet_sub.add_parser(
+        "stats", help="print a running fleet's merged stats report"
+    )
+    fleet_stats_cmd.add_argument(
+        "--socket",
+        metavar="PATH",
+        default=None,
+        help="gateway socket (default: $REPRO_FLEET_SOCKET or the "
+        "per-user runtime path)",
+    )
+
     cache_cmd = commands.add_parser(
         "cache", help="inspect, clear or prune the on-disk IR cache"
     )
@@ -476,7 +601,7 @@ def build_parser() -> argparse.ArgumentParser:
             )
 
     bench_cmd = commands.add_parser(
-        "bench", help="microbenchmarks (dataflow, serve)"
+        "bench", help="microbenchmarks (dataflow, serve, fleet)"
     )
     bench_sub = bench_cmd.add_subparsers(dest="bench_command", required=True)
     dataflow_cmd = bench_sub.add_parser(
@@ -595,6 +720,73 @@ def build_parser() -> argparse.ArgumentParser:
         "baseline by this factor (the CI gate)",
     )
 
+    fleet_bench_cmd = bench_sub.add_parser(
+        "fleet",
+        help="drive the compile fleet: tiered latency, cross-shard warm "
+        "hits, shard-kill failover; writes BENCH_fleet.json",
+    )
+    fleet_bench_cmd.add_argument(
+        "--quick", action="store_true", help="small corpus (the CI smoke run)"
+    )
+    fleet_bench_cmd.add_argument(
+        "--clients",
+        type=int,
+        default=4,
+        metavar="N",
+        help="concurrent client connections (default: 4)",
+    )
+    fleet_bench_cmd.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        metavar="N",
+        help="shards in the primary fleet (default: 4)",
+    )
+    fleet_bench_cmd.add_argument(
+        "--duplicates",
+        type=int,
+        default=None,
+        metavar="N",
+        help="times each request is repeated in the warm pass "
+        "(default: 2 quick / 3 full)",
+    )
+    fleet_bench_cmd.add_argument(
+        "--json",
+        dest="json_out",
+        default="BENCH_fleet.json",
+        metavar="OUT.JSON",
+        help="report path (default: BENCH_fleet.json)",
+    )
+    fleet_bench_cmd.add_argument(
+        "--min-warm-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit 1 unless warm fleet throughput beats the single-daemon "
+        "baseline by this factor",
+    )
+    fleet_bench_cmd.add_argument(
+        "--min-hit-rate",
+        type=float,
+        default=None,
+        metavar="F",
+        help="exit 1 unless the cross-shard store hit rate reaches this "
+        "fraction (the CI gate, e.g. 0.9)",
+    )
+    fleet_bench_cmd.add_argument(
+        "--max-tier1-p99-frac",
+        type=float,
+        default=None,
+        metavar="F",
+        help="exit 1 unless tier-1 first-answer p99 is under this "
+        "fraction of the same flood's O2-under-load p99 (e.g. 0.5)",
+    )
+    fleet_bench_cmd.add_argument(
+        "--no-scaling",
+        action="store_true",
+        help="skip the 1/2/4-shard cold scaling section",
+    )
+
     certify_bench_cmd = bench_sub.add_parser(
         "certify",
         help="time the static certifier against the replay oracle over "
@@ -663,7 +855,45 @@ def _finish_pipeline(options, stats: ManagerStats, collector) -> None:
 def _cmd_compile(options) -> int:
     with open(options.source) as handle:
         source = handle.read()
-    if options.daemon:
+    if options.fleet:
+        from repro.service import protocol
+        from repro.service.client import DaemonError, try_connect
+
+        kind = "ir" if options.ir else "source"
+        level = options.level if options.level else "none"
+        path = options.daemon_socket or protocol.default_fleet_socket_path()
+        client = try_connect(path, connect_retries=3)
+        if client is None:
+            print(
+                f"compile: no fleet gateway on {path}; compiling in-process",
+                file=sys.stderr,
+            )
+        else:
+            try:
+                reply = client.compile(
+                    kind,
+                    source,
+                    level,
+                    options.verify,
+                    tenant=options.tenant or "default",
+                    priority=options.priority,
+                )
+            except DaemonError as error:
+                print(f"compile: fleet error [{error.kind}]: {error}",
+                      file=sys.stderr)
+                return 1
+            finally:
+                client.close()
+            if reply.get("tier") == 1:
+                print(
+                    f"compile: tier-1 answer at level "
+                    f"{reply.get('level')!r}; level {level!r} is being "
+                    "upgraded in the background",
+                    file=sys.stderr,
+                )
+            print(reply["ir"])
+            return 0
+    if options.daemon or options.fleet:
         from repro.service.client import DaemonError, compile_with_fallback
 
         kind = "ir" if options.ir else "source"
@@ -746,6 +976,76 @@ def _cmd_serve(options) -> int:
                           sort_keys=True)
                 handle.write("\n")
         print(daemon.metrics.format(), file=sys.stderr)
+    return 0
+
+
+def _cmd_fleet(options) -> int:
+    from repro.service.protocol import default_fleet_socket_path
+
+    if options.fleet_command == "stats":
+        from repro.service.client import try_connect
+
+        path = options.socket or default_fleet_socket_path()
+        client = try_connect(path)
+        if client is None:
+            print(f"fleet: no gateway listening on {path}", file=sys.stderr)
+            return 1
+        try:
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+        finally:
+            client.close()
+        return 0
+
+    from repro.service.fleet import FleetConfig, FleetHandle
+
+    overrides = {}
+    for spec in options.quota_overrides:
+        try:
+            tenant, _, limits = spec.partition("=")
+            rate, _, burst = limits.partition(":")
+            overrides[tenant] = (float(rate), float(burst or rate))
+        except ValueError:
+            print(f"fleet: bad --quota spec {spec!r} "
+                  "(expected TENANT=RATE:BURST)", file=sys.stderr)
+            return 2
+    config = FleetConfig(
+        socket_path=options.socket or default_fleet_socket_path(),
+        shards=options.shards,
+        workers_per_shard=options.workers_per_shard,
+        store_dir=options.store_dir,
+        store_max_bytes=options.store_max_mb * 1024 * 1024,
+        cache_dir=options.cache_dir,
+        tier1_level=options.tier1_level,
+        tiering=not options.no_tiering,
+        max_upgrades=options.max_upgrades,
+        quota_rate=options.quota_rate,
+        quota_burst=options.quota_burst,
+        quotas=overrides,
+    )
+    handle = FleetHandle(config)
+    handle.start()
+    print(
+        f"repro fleet: gateway on {config.socket_path} "
+        f"({config.shards} shards x {config.workers_per_shard} workers, "
+        f"tier1 {config.tier1_level!r}, store {config.store_dir})",
+        file=sys.stderr,
+    )
+    import signal
+
+    stop = threading.Event()
+
+    def _terminate(signum, frame):  # noqa: ARG001
+        stop.set()
+
+    previous_term = signal.signal(signal.SIGTERM, _terminate)
+    previous_int = signal.signal(signal.SIGINT, _terminate)
+    try:
+        stop.wait()
+    finally:
+        signal.signal(signal.SIGTERM, previous_term)
+        signal.signal(signal.SIGINT, previous_int)
+        handle.stop()
+        print(handle.gateway.metrics.format(), file=sys.stderr)
     return 0
 
 
@@ -1175,6 +1475,8 @@ def _dispatch(options) -> int:
         return _cmd_passes(options)
     if options.command == "serve":
         return _cmd_serve(options)
+    if options.command == "fleet":
+        return _cmd_fleet(options)
     if options.command == "cache":
         return _cmd_cache(options)
     if options.command == "codegen":
@@ -1217,6 +1519,20 @@ def _dispatch(options) -> int:
                 repeat=options.repeat,
                 json_out=options.json_out,
                 min_speedup=options.min_speedup,
+            )
+        if options.bench_command == "fleet":
+            from repro.bench.fleet import main as fleet_bench_main
+
+            return fleet_bench_main(
+                quick=options.quick,
+                clients=options.clients,
+                shards=options.shards,
+                duplicates=options.duplicates,
+                json_out=options.json_out,
+                min_warm_speedup=options.min_warm_speedup,
+                min_hit_rate=options.min_hit_rate,
+                max_tier1_p99_frac=options.max_tier1_p99_frac,
+                scaling=not options.no_scaling,
             )
         if options.bench_command == "serve":
             from repro.bench.serve import main as serve_bench_main

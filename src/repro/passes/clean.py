@@ -37,12 +37,44 @@ def clean(func: Function, max_rounds: int = 100) -> Function:
 
 def _fold_redundant_branches(func: Function) -> bool:
     changed = False
+    stranded: set[str] = set()
     for blk in func.blocks:
         term = blk.terminator
         if term is not None and term.opcode is Opcode.CBR and term.labels[0] == term.labels[1]:
+            stranded.update(term.uses())
             blk.instructions[-1] = Instruction(Opcode.JMP, labels=[term.labels[0]])
             changed = True
+    if stranded:
+        _sweep_stranded_defs(func, stranded)
     return changed
+
+
+def _sweep_stranded_defs(func: Function, candidates: set[str]) -> None:
+    """Delete pure definitions orphaned by a branch fold.
+
+    ``dce`` runs before ``clean``, so a condition chain stranded when a
+    two-way branch's arms converge would otherwise survive to the final
+    output.  A register read nowhere in the function has no observable
+    use — every side-effect-free definition of it can go, and the
+    operands of the deleted definitions become candidates in turn.
+    """
+    while candidates:
+        read: set[str] = set()
+        for inst in func.instructions():
+            read.update(inst.uses())
+        dead = {reg for reg in candidates if reg not in read}
+        candidates = set()
+        if not dead:
+            return
+        for blk in func.blocks:
+            kept = []
+            for inst in blk.instructions:
+                defs = inst.defs()
+                if defs and not inst.has_side_effect and all(d in dead for d in defs):
+                    candidates.update(inst.uses())
+                else:
+                    kept.append(inst)
+            blk.instructions = kept
 
 
 def _merge_straight_line(func: Function) -> bool:

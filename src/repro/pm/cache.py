@@ -25,15 +25,25 @@ disk hit re-touches its file (``os.utime``), so recency survives
 ``noatime`` mounts and is shared across every process using the
 directory; eviction orders on the newer of atime/mtime.  ``repro cache
 stats|clear|prune`` manages the directory from the CLI.
+
+The :class:`ArtifactStore` at the bottom is the fleet's shared layer
+(:mod:`repro.service.fleet`): whole compile *replies* keyed on the
+service request key, each tagged with the optimization ``level``, a
+``generation`` counter and the ``producer`` shard — so any gateway or
+shard can serve an artifact that some other shard compiled, and a
+tiered O1 answer can later be upgraded in place by the O2 background
+job.  Both classes share the same atomic write discipline.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import tempfile
 import threading
 from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Optional
 
 
@@ -44,6 +54,42 @@ def cache_key(ir_text: str, fingerprint: str) -> str:
     digest.update(b"\x00")
     digest.update(fingerprint.encode())
     return digest.hexdigest()
+
+
+def atomic_write_text(directory: str, path: str, text: str) -> None:
+    """Publish ``text`` at ``path`` atomically under concurrent writers.
+
+    The payload lands in a uniquely named temp file in the same
+    directory, then ``os.replace`` makes it visible in one step —
+    readers see either the old entry or the complete new one, never a
+    torn write, no matter how many processes store the same key.
+
+    A concurrent ``clear()`` may remove the directory or unlink the
+    temp file between write and rename; that shows up as
+    ``FileNotFoundError`` from ``mkstemp`` or ``replace`` and is
+    retried once after recreating the directory (the second attempt can
+    only lose the same race to another full ``clear``, at which point
+    the entry is *supposed* to be gone and giving up is correct).
+    """
+    for attempt in (0, 1):
+        tmp = None
+        try:
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+            return
+        except FileNotFoundError:
+            if attempt:
+                return  # lost twice to clear(): the entry should not exist
+        except BaseException:
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+            raise
 
 
 class PassCache:
@@ -84,8 +130,8 @@ class PassCache:
             try:
                 with open(self._path(key)) as handle:
                     text = handle.read()
-            except FileNotFoundError:
-                text = None
+            except OSError:
+                text = None  # evicted/cleared mid-lookup: plain miss
             if text is not None:
                 self._touch(key)
                 with self._lock:
@@ -107,30 +153,31 @@ class PassCache:
             self._memory.move_to_end(key)
             self._shrink_memory()
         if self.directory:
-            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
             try:
-                with os.fdopen(fd, "w") as handle:
-                    handle.write(optimized_text)
-                os.replace(tmp, self._path(key))
-            except BaseException:
-                if os.path.exists(tmp):
-                    os.unlink(tmp)
-                raise
+                atomic_write_text(self.directory, self._path(key), optimized_text)
+            except OSError:
+                return  # disk store is an optimization; memory tier has it
             if self.max_bytes is not None or self.max_entries is not None:
                 self.prune()
 
     def prune(self) -> int:
         """Evict disk entries LRU-first until both caps hold; returns count.
 
-        Safe under concurrency: losing a race to unlink just means some
-        other worker already evicted (or re-stored) the file, and
-        readers of evicted keys fall back to a miss + recompile.
+        Safe under concurrency: entries may vanish between the listing
+        and the ``stat``/``unlink`` (another pruner got there first, or
+        ``clear`` swept the directory) — each loss is skipped, never
+        fatal, and readers of evicted keys fall back to a miss +
+        recompile.
         """
-        if not self.directory or not os.path.isdir(self.directory):
+        if not self.directory:
             return 0
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return 0  # directory itself vanished mid-scan
         entries = []
         total = 0
-        for name in os.listdir(self.directory):
+        for name in names:
             if not name.endswith(".iloc"):
                 continue
             path = os.path.join(self.directory, name)
@@ -165,8 +212,12 @@ class PassCache:
         """Entry count and byte total of the on-disk store."""
         entries = 0
         total = 0
-        if self.directory and os.path.isdir(self.directory):
-            for name in os.listdir(self.directory):
+        if self.directory:
+            try:
+                names = os.listdir(self.directory)
+            except OSError:
+                names = []
+            for name in names:
                 if name.endswith(".iloc"):
                     try:
                         total += os.stat(
@@ -190,8 +241,12 @@ class PassCache:
             self.hits = 0
             self.misses = 0
             self.evictions = 0
-        if self.directory and os.path.isdir(self.directory):
-            for name in os.listdir(self.directory):
+        if self.directory:
+            try:
+                names = os.listdir(self.directory)
+            except OSError:
+                names = []
+            for name in names:
                 if name.endswith(".iloc") or name.endswith(".tmp"):
                     try:
                         os.unlink(os.path.join(self.directory, name))
@@ -218,3 +273,266 @@ class PassCache:
 
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.iloc")
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """One stored compile result plus its provenance tag."""
+
+    text: str
+    level: str
+    generation: int
+    producer: str
+    tier: int
+
+
+class ArtifactStore:
+    """The fleet's shared, content-addressed compile-artifact store.
+
+    Artifacts are keyed on ``(request key, level)`` — the request key is
+    the service's SHA-256 content address, so identical requests map to
+    identical artifacts no matter which shard compiled them, and a
+    tiered request holds *two* entries: the fast O1 answer and, once the
+    background upgrade lands, the O2 text at the requested level.
+
+    One file per entry, ``<key>.<level>.art``: a single JSON header line
+    (``level``, ``generation``, ``producer``, ``tier``) followed by the
+    artifact text.  Writes go through :func:`atomic_write_text`, so any
+    number of gateways and shards can share the directory; because
+    compilation is deterministic, two writers racing on the same
+    ``(key, level)`` write identical payloads and either winner is
+    correct.  A bounded in-memory LRU tier fronts the disk (safe for the
+    same reason: same key+level implies same bytes).
+    """
+
+    SUFFIX = ".art"
+
+    def __init__(
+        self,
+        directory: Optional[str],
+        *,
+        max_bytes: Optional[int] = None,
+        max_entries: Optional[int] = None,
+        memory_entries: int = 512,
+    ) -> None:
+        self.directory = directory
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+        self.memory_entries = max(0, int(memory_entries))
+        self._memory: OrderedDict[tuple[str, str], Artifact] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.evictions = 0
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+
+    # -- read/write --------------------------------------------------------------
+
+    def get(self, key: str, level: str) -> Optional[Artifact]:
+        """The stored artifact for ``(key, level)``, or ``None``."""
+        memory_key = (key, level)
+        with self._lock:
+            artifact = self._memory.get(memory_key)
+            if artifact is not None:
+                self._memory.move_to_end(memory_key)
+                self.hits += 1
+                return artifact
+        artifact = self._read(key, level)
+        with self._lock:
+            if artifact is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._remember(memory_key, artifact)
+        return artifact
+
+    def get_best(self, key: str, levels: list) -> Optional[Artifact]:
+        """The first hit walking ``levels`` in preference order."""
+        for level in levels:
+            artifact = self.get(key, level)
+            if artifact is not None:
+                return artifact
+        return None
+
+    def put(
+        self,
+        key: str,
+        text: str,
+        *,
+        level: str,
+        generation: int = 0,
+        producer: str = "",
+        tier: int = 2,
+    ) -> Artifact:
+        """Publish one artifact (atomic on disk, visible fleet-wide)."""
+        artifact = Artifact(
+            text=text,
+            level=level,
+            generation=int(generation),
+            producer=producer,
+            tier=int(tier),
+        )
+        with self._lock:
+            self.puts += 1
+            self._remember((key, level), artifact)
+        if self.directory:
+            header = json.dumps(
+                {
+                    "level": level,
+                    "generation": artifact.generation,
+                    "producer": producer,
+                    "tier": artifact.tier,
+                },
+                separators=(",", ":"),
+            )
+            try:
+                atomic_write_text(
+                    self.directory, self._path(key, level), header + "\n" + text
+                )
+            except OSError:
+                pass  # disk tier is an optimization; memory holds the entry
+            if self.max_bytes is not None or self.max_entries is not None:
+                self.prune()
+        return artifact
+
+    def _read(self, key: str, level: str) -> Optional[Artifact]:
+        if not self.directory:
+            return None
+        path = self._path(key, level)
+        try:
+            with open(path) as handle:
+                raw = handle.read()
+        except OSError:
+            return None
+        header, sep, text = raw.partition("\n")
+        try:
+            meta = json.loads(header)
+            if not isinstance(meta, dict) or not sep:
+                raise ValueError("truncated artifact")
+        except ValueError:
+            return None  # torn/corrupt entry reads as a miss, never a crash
+        try:
+            os.utime(path)  # shared LRU recency, like PassCache
+        except OSError:
+            pass
+        return Artifact(
+            text=text,
+            level=str(meta.get("level", level)),
+            generation=int(meta.get("generation", 0)),
+            producer=str(meta.get("producer", "")),
+            tier=int(meta.get("tier", 2)),
+        )
+
+    def _remember(self, memory_key: tuple, artifact: Artifact) -> None:
+        """LRU-bound the memory tier (caller holds the lock)."""
+        if not self.memory_entries:
+            return
+        self._memory[memory_key] = artifact
+        self._memory.move_to_end(memory_key)
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)
+
+    # -- maintenance -------------------------------------------------------------
+
+    def prune(self) -> int:
+        """Evict disk artifacts LRU-first until the caps hold.
+
+        Mirrors :meth:`PassCache.prune`, including its mid-scan safety:
+        entries vanishing between listing and stat/unlink are skipped.
+        """
+        if not self.directory:
+            return 0
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return 0
+        entries = []
+        total = 0
+        for name in names:
+            if not name.endswith(self.SUFFIX):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                status = os.stat(path)
+            except OSError:
+                continue
+            entries.append(
+                (max(status.st_atime, status.st_mtime), status.st_size, path)
+            )
+            total += status.st_size
+        entries.sort()
+        evicted = 0
+        index = 0
+        while index < len(entries) and (
+            (self.max_bytes is not None and total > self.max_bytes)
+            or (
+                self.max_entries is not None
+                and len(entries) - index > self.max_entries
+            )
+        ):
+            stamp, size, path = entries[index]
+            index += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+        with self._lock:
+            self.evictions += evicted
+        return evicted
+
+    def clear(self) -> None:
+        with self._lock:
+            self._memory.clear()
+            self.hits = 0
+            self.misses = 0
+            self.puts = 0
+            self.evictions = 0
+        if self.directory:
+            try:
+                names = os.listdir(self.directory)
+            except OSError:
+                names = []
+            for name in names:
+                if name.endswith(self.SUFFIX) or name.endswith(".tmp"):
+                    try:
+                        os.unlink(os.path.join(self.directory, name))
+                    except OSError:
+                        pass
+
+    def stats(self) -> dict:
+        """Counters plus the on-disk entry/byte totals."""
+        entries = 0
+        total = 0
+        if self.directory:
+            try:
+                names = os.listdir(self.directory)
+            except OSError:
+                names = []
+            for name in names:
+                if name.endswith(self.SUFFIX):
+                    try:
+                        total += os.stat(
+                            os.path.join(self.directory, name)
+                        ).st_size
+                    except OSError:
+                        continue
+                    entries += 1
+        with self._lock:
+            hits, misses, puts = self.hits, self.misses, self.puts
+        lookups = hits + misses
+        return {
+            "directory": self.directory,
+            "entries": entries,
+            "bytes": total,
+            "hits": hits,
+            "misses": misses,
+            "puts": puts,
+            "hit_ratio": round(hits / lookups, 4) if lookups else 0.0,
+        }
+
+    def _path(self, key: str, level: str) -> str:
+        return os.path.join(self.directory, f"{key}.{level}{self.SUFFIX}")

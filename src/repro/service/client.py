@@ -6,6 +6,14 @@ bench sends a window of requests before collecting replies).  Replies
 arrive in completion order, so the client parks out-of-order frames in
 a table keyed by request id.
 
+Connecting rides out restarts: ``ECONNREFUSED``/``ENOENT`` (a daemon or
+fleet shard that is restarting has either unlinked its socket or bound
+it but not yet accepted) is retried with bounded exponential backoff —
+``connect_retries`` extra attempts, ``connect_backoff`` doubling up to
+``connect_backoff_cap`` — so clients ride out a shard restart instead
+of failing their first request.  The same client speaks to a plain
+daemon or a fleet gateway: the wire format is identical.
+
 :func:`compile_with_fallback` is the ``repro compile --daemon``
 contract: use the daemon when one is listening, otherwise compile
 in-process — same bytes either way, so callers cannot tell the
@@ -16,9 +24,15 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 from typing import Optional
 
 from repro.service import protocol
+
+#: Errnos that mean "nobody is accepting *yet*": worth retrying when a
+#: daemon/shard is restarting.  ENOENT = socket file not (re)created,
+#: ECONNREFUSED = bound but the listener is gone or not accepting.
+_RETRYABLE_CONNECT = (ConnectionRefusedError, FileNotFoundError)
 
 
 class DaemonError(Exception):
@@ -30,17 +44,51 @@ class DaemonError(Exception):
 
 
 class DaemonClient:
-    """One connection to a compile daemon."""
+    """One connection to a compile daemon or fleet gateway."""
 
-    def __init__(self, path: str, timeout: Optional[float] = 60.0) -> None:
+    def __init__(
+        self,
+        path: str,
+        timeout: Optional[float] = 60.0,
+        *,
+        connect_retries: int = 0,
+        connect_backoff: float = 0.05,
+        connect_backoff_cap: float = 1.0,
+    ) -> None:
         self.path = path
-        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        self._sock.settimeout(timeout)
-        self._sock.connect(path)
+        self._sock = self._connect(
+            path, timeout, connect_retries, connect_backoff, connect_backoff_cap
+        )
         self._reader = protocol.read_messages(self._sock)
         self._parked: dict[int, dict] = {}
         self._lock = threading.Lock()
         self._next_id = 0
+
+    @staticmethod
+    def _connect(
+        path: str,
+        timeout: Optional[float],
+        retries: int,
+        backoff: float,
+        backoff_cap: float,
+    ) -> socket.socket:
+        """Connect with bounded exponential backoff on refused/missing."""
+        attempt = 0
+        while True:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout)
+            try:
+                sock.connect(path)
+                return sock
+            except _RETRYABLE_CONNECT:
+                sock.close()
+                if attempt >= max(0, retries):
+                    raise
+                time.sleep(min(backoff * (2**attempt), backoff_cap))
+                attempt += 1
+            except BaseException:
+                sock.close()
+                raise
 
     # -- plumbing ----------------------------------------------------------------
 
@@ -96,10 +144,22 @@ class DaemonClient:
         verify: str = "final",
         *,
         fault: Optional[dict] = None,
+        tenant: str = protocol.DEFAULT_TENANT,
+        priority: str = "interactive",
+        no_store: bool = False,
     ) -> dict:
         """One compile round-trip; raises :class:`DaemonError` on failure."""
         reply = self.request(
-            protocol.compile_request(kind, text, level, verify, fault=fault)
+            protocol.compile_request(
+                kind,
+                text,
+                level,
+                verify,
+                fault=fault,
+                tenant=tenant,
+                priority=priority,
+                no_store=no_store,
+            )
         )
         if not reply.get("ok"):
             raise DaemonError(reply.get("error", {}))
@@ -113,12 +173,16 @@ class DaemonClient:
 
 
 def try_connect(
-    path: Optional[str] = None, timeout: float = 5.0
+    path: Optional[str] = None,
+    timeout: float = 5.0,
+    *,
+    connect_retries: int = 0,
 ) -> Optional[DaemonClient]:
     """A connected client, or ``None`` when no daemon is listening."""
     path = path if path is not None else protocol.default_socket_path()
     try:
-        return DaemonClient(path, timeout=timeout)
+        return DaemonClient(path, timeout=timeout,
+                            connect_retries=connect_retries)
     except OSError:
         return None
 
@@ -130,17 +194,24 @@ def compile_with_fallback(
     verify: str = "final",
     *,
     socket_path: Optional[str] = None,
+    tenant: str = protocol.DEFAULT_TENANT,
+    priority: str = "interactive",
 ) -> tuple[str, str]:
     """Compile via the daemon if one is up, else in-process.
 
     Returns ``(printed IR, "daemon" | "local")``.  The two paths are
     byte-identical (both run :func:`repro.pipeline.driver.
     compile_payload`), so the second element is purely informational.
+    Against a fleet gateway, a tiered first answer is compiled at the
+    gateway's O1 level — callers who need the requested level exactly
+    should check the reply's ``tier`` via :meth:`DaemonClient.compile`.
     """
     client = try_connect(socket_path)
     if client is not None:
         try:
-            return client.compile(kind, text, level, verify)["ir"], "daemon"
+            reply = client.compile(kind, text, level, verify,
+                                   tenant=tenant, priority=priority)
+            return reply["ir"], "daemon"
         finally:
             client.close()
     from repro.ir.printer import print_module

@@ -1,0 +1,53 @@
+"""Rendezvous (highest-random-weight) hashing for shard routing.
+
+The gateway routes each compile request to a shard by its existing
+SHA-256 request key.  Rendezvous hashing scores every ``(key, shard)``
+pair independently and picks the highest score, which gives the two
+properties consistent routing needs without a ring or virtual nodes:
+
+* **Determinism** — the same key over the same shard set always picks
+  the same shard, in every gateway process, with no shared state.
+* **Minimal remapping** — removing a shard only moves the keys whose
+  top choice *was* that shard (exactly its ~1/N of keyspace): every
+  other key's top choice is untouched because per-shard scores do not
+  depend on the membership set.  Adding a shard back restores the old
+  mapping for the keys it reclaims.
+
+:func:`ranked` is the failover order: when the top shard is down, the
+second-highest score is the key's deterministic next home, so retries
+from concurrent gateways converge on the same fallback shard (and its
+warm caches) instead of scattering.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Optional, Sequence
+
+
+def score(key: str, shard_id: str) -> int:
+    """The rendezvous weight of placing ``key`` on ``shard_id``."""
+    digest = hashlib.sha256(f"{key}|{shard_id}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def choose(key: str, shard_ids: Iterable[str]) -> Optional[str]:
+    """The shard owning ``key`` over ``shard_ids`` (``None`` if empty).
+
+    Ties (astronomically unlikely with 64-bit scores) break on the
+    shard id so the choice stays deterministic.
+    """
+    best: Optional[str] = None
+    best_score = -1
+    for shard_id in shard_ids:
+        weight = score(key, shard_id)
+        if weight > best_score or (weight == best_score and
+                                   (best is None or shard_id < best)):
+            best, best_score = shard_id, weight
+    return best
+
+
+def ranked(key: str, shard_ids: Sequence[str]) -> list[str]:
+    """Every shard ordered by preference for ``key`` (failover order)."""
+    return sorted(shard_ids, key=lambda shard_id: (-score(key, shard_id),
+                                                   shard_id))

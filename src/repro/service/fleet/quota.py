@@ -1,0 +1,134 @@
+"""Per-tenant token-bucket quotas with priority classes.
+
+The shard scheduler already sheds load when its pending table fills
+(``overloaded``); quotas sit *in front* of that, at the gateway, and
+answer a different question — not "is the fleet full" but "is this
+tenant taking more than its share".  Each tenant owns one token
+bucket: ``rate`` tokens/second refill up to a ``burst`` cap, and every
+compile request spends one token.
+
+Priority classes split what happens on an empty bucket:
+
+* ``interactive`` (default) — the request may *wait* for the next
+  token, up to ``max_delay`` seconds.  Short bursts above the rate
+  smear out into a little latency instead of errors.
+* ``batch`` — shed immediately with ``quota-exceeded``.  Bulk
+  recompiles discover their budget without queueing in front of
+  interactive traffic.
+
+Buckets are created on first sight of a tenant (``rate``/``burst``
+from per-tenant overrides or the defaults), so the tenant set stays
+open.  All arithmetic is on ``time.monotonic`` floats; the manager is
+used from a single asyncio thread but stays lock-guarded so sync
+tests and the stats snapshot can poke it safely.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+
+class TokenBucket:
+    """One tenant's budget: ``rate`` tokens/s refilling up to ``burst``."""
+
+    def __init__(self, rate: float, burst: float) -> None:
+        self.rate = max(1e-9, float(rate))
+        self.burst = max(1.0, float(burst))
+        self.tokens = self.burst
+        self.updated = time.monotonic()
+        self.spent = 0
+        self.denied = 0
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self.updated)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated = now
+
+    def try_take(self, now: Optional[float] = None) -> bool:
+        """Spend one token if available right now."""
+        now = time.monotonic() if now is None else now
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            self.spent += 1
+            return True
+        return False
+
+    def wait_time(self, now: Optional[float] = None) -> float:
+        """Seconds until one token will be available (0 if it is now)."""
+        now = time.monotonic() if now is None else now
+        self._refill(now)
+        if self.tokens >= 1.0:
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class QuotaManager:
+    """Tenant → bucket, with priority-dependent admission."""
+
+    def __init__(
+        self,
+        *,
+        default_rate: float = 200.0,
+        default_burst: float = 400.0,
+        overrides: Optional[dict] = None,
+        max_delay: float = 0.25,
+    ) -> None:
+        self.default_rate = default_rate
+        self.default_burst = default_burst
+        #: tenant → (rate, burst) for tenants with explicit quotas.
+        self.overrides = dict(overrides or {})
+        self.max_delay = max_delay
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def bucket(self, tenant: str) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                rate, burst = self.overrides.get(
+                    tenant, (self.default_rate, self.default_burst)
+                )
+                bucket = self._buckets[tenant] = TokenBucket(rate, burst)
+            return bucket
+
+    def admit(self, tenant: str, priority: str) -> tuple[bool, float]:
+        """Admission decision for one request.
+
+        Returns ``(admitted, delay_seconds)``: ``(True, 0)`` is a free
+        pass, ``(True, d)`` means the caller must wait ``d`` seconds
+        first (interactive smoothing; the token is *already spent*),
+        ``(False, 0)`` is a shed.  Spending the token at decision time
+        keeps one await-free critical section — two racing interactive
+        requests cannot both be promised the same future token.
+        """
+        bucket = self.bucket(tenant)
+        with self._lock:
+            now = time.monotonic()
+            if bucket.try_take(now):
+                return True, 0.0
+            if priority == "interactive":
+                delay = bucket.wait_time(now)
+                if delay <= self.max_delay:
+                    # borrow the upcoming token: the balance goes
+                    # (briefly) negative-of-one and refill repays it
+                    bucket.tokens -= 1.0
+                    bucket.spent += 1
+                    return True, delay
+            bucket.denied += 1
+            return False, 0.0
+
+    def snapshot(self) -> dict:
+        """Per-tenant spend/deny totals for the stats reply."""
+        with self._lock:
+            return {
+                tenant: {
+                    "rate": bucket.rate,
+                    "burst": bucket.burst,
+                    "spent": bucket.spent,
+                    "denied": bucket.denied,
+                }
+                for tenant, bucket in sorted(self._buckets.items())
+            }

@@ -10,6 +10,15 @@ did the time go" across the whole pool with the same pass labels the
 The histogram keeps exact samples up to a cap and falls back to
 log-spaced buckets beyond it, so p50/p99 stay meaningful on multi-hour
 daemons without unbounded memory.
+
+The fleet gateway reuses all of this with two extensions: **labeled**
+latency histograms (``observe_labeled("tier", "1", s)`` /
+``("tenant", name, s)``) so tiered first answers and per-tenant service
+levels are separately observable, and :func:`merge_snapshots`, which
+folds N shard ``stats`` snapshots into one fleet-wide report (counters
+sum exactly; merged latency is count-weighted for the mean and takes
+the worst shard's quantiles, which is the conservative bound a
+fleet-level SLO wants).
 """
 
 from __future__ import annotations
@@ -117,9 +126,14 @@ class Metrics:
         "cache_misses",
     )
 
-    def __init__(self) -> None:
-        self._counters = {name: Counter() for name in self.COUNTER_NAMES}
+    def __init__(self, extra_counters: tuple = ()) -> None:
+        self._counters = {
+            name: Counter()
+            for name in (*self.COUNTER_NAMES, *extra_counters)
+        }
         self.latency = LatencyHistogram()
+        self._labeled: dict[str, dict[str, LatencyHistogram]] = {}
+        self._labeled_lock = threading.Lock()
         self._pass_stats = ManagerStats()
         self._pass_lock = threading.Lock()
         self._started = time.monotonic()
@@ -129,6 +143,20 @@ class Metrics:
 
     def inc(self, name: str, amount: int = 1) -> None:
         self._counters[name].inc(amount)
+
+    def observe_labeled(self, group: str, label: str, seconds: float) -> None:
+        """Record a latency under ``group``/``label`` (e.g. tier/tenant).
+
+        Histograms are created on first use, so label sets stay open
+        (new tenants just appear); each label is a full
+        :class:`LatencyHistogram` with the same bounded-memory story.
+        """
+        with self._labeled_lock:
+            series = self._labeled.setdefault(group, {})
+            histogram = series.get(label)
+            if histogram is None:
+                histogram = series[label] = LatencyHistogram()
+        histogram.observe(seconds)
 
     def merge_worker_stats(self, stats_jsonable: dict) -> None:
         """Fold one worker batch report into the global pass rollup."""
@@ -158,6 +186,19 @@ class Metrics:
             },
             "passes": self.pass_rollup(),
         }
+        with self._labeled_lock:
+            labeled = {
+                group: sorted(series)
+                for group, series in self._labeled.items()
+            }
+        if labeled:
+            report["latency_by"] = {
+                group: {
+                    label: self._labeled[group][label].snapshot()
+                    for label in labels
+                }
+                for group, labels in labeled.items()
+            }
         if scheduler is not None:
             report["scheduler"] = scheduler.gauges()
         return report
@@ -184,3 +225,43 @@ class Metrics:
             if self._pass_stats.passes:
                 lines.append(self._pass_stats.format())
         return "\n".join(lines)
+
+
+def merge_snapshots(snapshots: list) -> dict:
+    """Fold N ``Metrics.snapshot()`` dicts into one fleet-wide view.
+
+    Counters and cache totals sum exactly.  Latency: ``count`` and the
+    count-weighted ``mean_ms`` are exact; ``p50/p90/p99/max`` take the
+    worst contributing shard (quantiles do not compose, and for a
+    fleet-level SLO the conservative bound is the honest one).
+    """
+    counters: dict[str, int] = {}
+    latency = {"count": 0, "mean_ms": 0.0, "p50_ms": 0.0, "p90_ms": 0.0,
+               "p99_ms": 0.0, "max_ms": 0.0}
+    weighted_mean = 0.0
+    cache_hits = cache_misses = 0
+    for snap in snapshots:
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        lat = snap.get("latency", {})
+        count = lat.get("count", 0)
+        latency["count"] += count
+        weighted_mean += lat.get("mean_ms", 0.0) * count
+        for quantile in ("p50_ms", "p90_ms", "p99_ms", "max_ms"):
+            latency[quantile] = max(latency[quantile], lat.get(quantile, 0.0))
+        cache = snap.get("cache", {})
+        cache_hits += cache.get("hits", 0)
+        cache_misses += cache.get("misses", 0)
+    if latency["count"]:
+        latency["mean_ms"] = round(weighted_mean / latency["count"], 3)
+    lookups = cache_hits + cache_misses
+    return {
+        "sources": len(snapshots),
+        "counters": counters,
+        "latency": latency,
+        "cache": {
+            "hits": cache_hits,
+            "misses": cache_misses,
+            "hit_ratio": round(cache_hits / lookups, 4) if lookups else 0.0,
+        },
+    }

@@ -32,6 +32,17 @@ worker sharding: the SHA-256 of ``(kind, level, verify, payload
 text)``.  The injected ``fault`` is deliberately *excluded* — it is
 test machinery, not compile input, and excluding it lets the tests
 dedupe a clean request against a hung twin.
+
+The fleet gateway (:mod:`repro.service.fleet`) speaks the same wire
+format with three additions: requests may carry ``tenant`` (quota
+accounting identity, default ``"default"``) and ``priority``
+(``"interactive"`` or ``"batch"``); compile replies carry ``tier``
+(``1`` = fast first answer, ``2`` = the requested level) plus the
+``level`` actually compiled and ``served_from`` (``"store"`` or
+``"shard"``).  ``tenant`` and ``priority`` are excluded from the
+request key for the same reason ``fault`` is: artifacts are
+content-addressed, and the same program compiled for two tenants is
+the same artifact.
 """
 
 from __future__ import annotations
@@ -46,7 +57,7 @@ from typing import Iterator, Optional
 from repro.pipeline.levels import OptLevel
 from repro.pm.manager import parse_verify
 
-#: Error kinds a daemon reply may carry.
+#: Error kinds a daemon (or gateway) reply may carry.
 ERROR_KINDS = (
     "bad-request",
     "compile-error",
@@ -54,10 +65,20 @@ ERROR_KINDS = (
     "worker-crash",
     "timeout",
     "overloaded",
+    "quota-exceeded",
+    "shard-unavailable",
 )
 
 #: Request operations the daemon understands.
 OPERATIONS = ("compile", "stats", "ping", "shutdown")
+
+#: Gateway priority classes: interactive requests may briefly wait for
+#: quota tokens and ride out shard backpressure; batch requests are
+#: shed immediately in both cases.
+PRIORITIES = ("interactive", "batch")
+
+#: The tenant requests are accounted to when they do not name one.
+DEFAULT_TENANT = "default"
 
 
 class ProtocolError(Exception):
@@ -80,6 +101,17 @@ def default_socket_path() -> str:
     runtime = os.environ.get("XDG_RUNTIME_DIR") or tempfile.gettempdir()
     uid = getattr(os, "getuid", lambda: "user")()
     return os.path.join(runtime, f"repro-daemon-{uid}.sock")
+
+
+def default_fleet_socket_path() -> str:
+    """The conventional gateway socket: ``$REPRO_FLEET_SOCKET`` or a
+    per-user path beside the daemon's."""
+    override = os.environ.get("REPRO_FLEET_SOCKET")
+    if override:
+        return override
+    runtime = os.environ.get("XDG_RUNTIME_DIR") or tempfile.gettempdir()
+    uid = getattr(os, "getuid", lambda: "user")()
+    return os.path.join(runtime, f"repro-fleet-{uid}.sock")
 
 
 def encode(message: dict) -> bytes:
@@ -129,8 +161,17 @@ def compile_request(
     verify: str = "final",
     *,
     fault: Optional[dict] = None,
+    tenant: str = DEFAULT_TENANT,
+    priority: str = "interactive",
+    no_store: bool = False,
 ) -> dict:
-    """Build a normalized internal compile job (also the client payload)."""
+    """Build a normalized internal compile job (also the client payload).
+
+    ``tenant``/``priority`` drive gateway quotas; ``no_store`` bypasses
+    the artifact store and tiering (a bench/test knob forcing the
+    request down the shard compile path) — all three are ignored by a
+    plain daemon and excluded from the request key.
+    """
     return {
         "op": "compile",
         "kind": kind,
@@ -138,6 +179,9 @@ def compile_request(
         "level": level,
         "verify": verify,
         "fault": fault,
+        "tenant": tenant,
+        "priority": priority,
+        "no_store": no_store,
     }
 
 
@@ -179,4 +223,21 @@ def validate_compile(message: dict) -> dict:
     fault = message.get("fault")
     if fault is not None and not isinstance(fault, dict):
         raise ProtocolError("fault injection spec must be an object")
-    return compile_request(kind, text, level, verify, fault=fault)
+    tenant = message.get("tenant", DEFAULT_TENANT)
+    if not isinstance(tenant, str) or not tenant.strip():
+        raise ProtocolError("tenant must be a non-empty string")
+    priority = message.get("priority", "interactive")
+    if priority not in PRIORITIES:
+        raise ProtocolError(
+            f"unknown priority {priority!r}; expected one of {list(PRIORITIES)}"
+        )
+    return compile_request(
+        kind,
+        text,
+        level,
+        verify,
+        fault=fault,
+        tenant=tenant.strip(),
+        priority=priority,
+        no_store=bool(message.get("no_store", False)),
+    )

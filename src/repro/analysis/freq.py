@@ -1,0 +1,53 @@
+"""Profile-aware frequency context for placement passes.
+
+:class:`FrequencyInfo` is the single answer to "how often does this
+block / edge run?" that ``lospre`` (and the dynamic Table 1 report)
+consume.  Resolution order:
+
+1. a measured profile in the store whose ``source_hash`` matches the
+   function body *exactly* (collected on the same prefix-optimized,
+   PRE-normalized form — see :mod:`repro.profile.collect`);
+2. otherwise — never collected, stale hash, or an all-zero profile
+   (the function never actually executed) — the loop-depth static
+   estimate from :mod:`repro.profile.estimate`.
+
+Either way the result is total: every reachable block and edge has a
+weight, so consumers never branch on profile presence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.profile.estimate import static_profile
+from repro.profile.model import FunctionProfile, function_source_hash
+from repro.profile.store import default_store
+
+
+@dataclass
+class FrequencyInfo:
+    """Resolved block/edge weights plus their provenance."""
+
+    source: str  # "measured" | "static"
+    profile: FunctionProfile
+
+    def block(self, label: str) -> int:
+        return self.profile.block_weight(label)
+
+    def edge(self, src: str, dst: str) -> int:
+        return self.profile.edge_weight(src, dst)
+
+
+def resolve_frequencies(func, *, store=None) -> FrequencyInfo:
+    """The best available frequency assignment for ``func``.
+
+    ``func`` must already be in the form its consumers will keep (for
+    lospre: after :func:`~repro.passes.pre_common.normalize_for_pre`),
+    since the lookup hash is computed from the current printing.
+    """
+    if store is None:
+        store = default_store()
+    measured = store.get(func.name, function_source_hash(func))
+    if measured is not None and measured.total > 0:
+        return FrequencyInfo(source="measured", profile=measured)
+    return FrequencyInfo(source="static", profile=static_profile(func))

@@ -165,6 +165,99 @@ def summarize(rows: list[Table1Row]) -> dict:
     }
 
 
+@dataclass
+class DynamicRow:
+    """Static vs profile-weighted dynamic counts for one routine.
+
+    ``static`` is the finished module's instruction count (φ and nop
+    excluded), ``dynamic`` the interpreter's operation count on the
+    driver inputs — at DISTRIBUTION (``-O2``) and at the ``spec`` level
+    compiled against profiles collected from those same inputs.
+    """
+
+    name: str
+    static_o2: int
+    dynamic_o2: int
+    static_spec: int
+    dynamic_spec: int
+
+
+def _static_ops(module) -> int:
+    from repro.ir.opcodes import Opcode
+
+    return sum(
+        1
+        for func in module.functions.values()
+        for blk in func.blocks
+        for inst in blk.instructions
+        if inst.opcode not in (Opcode.PHI, Opcode.NOP)
+    )
+
+
+def generate_dynamic_rows(
+    routines: Optional[Iterable[SuiteRoutine]] = None,
+) -> list[DynamicRow]:
+    """Measure the ``--dynamic`` section (suite order, no sorting)."""
+    from repro.frontend import compile_program
+    from repro.pipeline.levels import SPEC_LEVEL
+    from repro.profile.collect import (
+        collect_module_profiles,
+        prepare_profiled_module,
+    )
+    from repro.profile.store import ProfileStore, set_default_store
+
+    rows = []
+    for routine in routines if routines is not None else suite_routines():
+        store = ProfileStore(None)
+        profiled = prepare_profiled_module(compile_program(routine.source))
+        collect_module_profiles(
+            profiled,
+            [(routine.entry_name, routine.args, routine.fresh_arrays())],
+            store=store,
+        )
+        measured = {}
+        for label, level in (("o2", OptLevel.DISTRIBUTION), ("spec", SPEC_LEVEL)):
+            with set_default_store(store):
+                module = compile_source(routine.source, level=level)
+            run = run_routine(
+                module, routine.entry_name, routine.args, routine.fresh_arrays()
+            )
+            measured[label] = (_static_ops(module), run.dynamic_count)
+        rows.append(
+            DynamicRow(
+                name=routine.name,
+                static_o2=measured["o2"][0],
+                dynamic_o2=measured["o2"][1],
+                static_spec=measured["spec"][0],
+                dynamic_spec=measured["spec"][1],
+            )
+        )
+    return rows
+
+
+def format_dynamic_table(rows: list[DynamicRow]) -> str:
+    headers = [
+        "routine",
+        "static O2",
+        "dynamic O2",
+        "static spec",
+        "dynamic spec",
+        "vs O2",
+    ]
+    body = [
+        [
+            row.name,
+            format_count(row.static_o2),
+            format_count(row.dynamic_o2),
+            format_count(row.static_spec),
+            format_count(row.dynamic_spec),
+            format_pct(row.dynamic_o2, row.dynamic_spec),
+        ]
+        for row in rows
+    ]
+    return format_table(headers, body)
+
+
 def main(
     jobs: int = 1,
     executor: str = "thread",
@@ -174,6 +267,7 @@ def main(
     stats_json: Optional[str] = None,
     verify: str = "final",
     cycles: bool = False,
+    dynamic: bool = False,
 ) -> None:  # pragma: no cover - exercised via CLI
     """Print Table 1 to stdout; diagnostics (``--stats``) go to stderr.
 
@@ -227,6 +321,21 @@ def main(
                 f"{dist[str(k)]['total_spilled']} spills"
                 for k in (8, 16, 32)
             )
+        )
+    if dynamic:
+        # the profiling extension: static size vs profile-weighted
+        # dynamic counts, -O2 against the spec level (docs/PROFILE.md);
+        # appended so the default table output stays byte-identical
+        dynamic_rows = generate_dynamic_rows()
+        print()
+        print(format_dynamic_table(dynamic_rows))
+        total_o2 = sum(row.dynamic_o2 for row in dynamic_rows)
+        total_spec = sum(row.dynamic_spec for row in dynamic_rows)
+        print()
+        print(
+            f"dynamic totals: O2 {format_count(total_o2)}, "
+            f"spec {format_count(total_spec)} "
+            f"({format_pct(total_o2, total_spec) or '0%'})"
         )
     if remarks_path:
         collector.write(remarks_path)

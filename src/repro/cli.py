@@ -14,6 +14,9 @@
     python -m repro compile prog.f --fleet                     # use the fleet
     python -m repro cache stats | clear | prune                # disk IR cache
     python -m repro bench serve | fleet                        # service load tests
+    python -m repro profile collect --suite                    # bank profiles
+    python -m repro compile prog.f --level spec                # profile-guided PRE
+    python -m repro bench lospre                               # speculative PRE gate
 
 The source language is the mini-FORTRAN of :mod:`repro.frontend`; array
 arguments are comma-separated element lists suffixed with the element
@@ -84,18 +87,23 @@ def _parse_array(text: str):
     return values, int(size)
 
 
-def _level(name: Optional[str]) -> Optional[OptLevel]:
+def _level(name: Optional[str]):
     if name is None or name == "none":
         return None
+    if name == "spec":
+        from repro.pipeline.levels import SPEC_LEVEL
+
+        return SPEC_LEVEL
     return OptLevel(name)
 
 
 def _add_level_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--level",
-        choices=["none"] + [level.value for level in OptLevel],
+        choices=["none"] + [level.value for level in OptLevel] + ["spec"],
         default="distribution",
-        help="optimization level (default: distribution, the paper's best)",
+        help="optimization level (default: distribution, the paper's best; "
+        "'spec' adds profile-guided speculative PRE, see docs/PROFILE.md)",
     )
 
 
@@ -226,7 +234,9 @@ def build_parser() -> argparse.ArgumentParser:
     lint_cmd.add_argument(
         "--level",
         default="all",
-        choices=["all", "none"] + [level.value for level in OptLevel],
+        choices=["all", "none"]
+        + [level.value for level in OptLevel]
+        + ["spec"],
         help="optimization level to lint after; 'all' means every level "
         "(default: all)",
     )
@@ -280,7 +290,7 @@ def build_parser() -> argparse.ArgumentParser:
     certify_cmd.add_argument(
         "--level",
         default="all",
-        choices=["all"] + [level.value for level in OptLevel],
+        choices=["all"] + [level.value for level in OptLevel] + ["spec"],
         help="optimization level to certify; 'all' means every level "
         "(default: all)",
     )
@@ -359,6 +369,63 @@ def build_parser() -> argparse.ArgumentParser:
     _add_level_argument(codegen_cmd)
     _add_pipeline_arguments(codegen_cmd)
 
+    profile_cmd = commands.add_parser(
+        "profile",
+        help="collect or inspect execution profiles for --level spec "
+        "(docs/PROFILE.md)",
+    )
+    profile_sub = profile_cmd.add_subparsers(
+        dest="profile_command", required=True
+    )
+    profile_collect_cmd = profile_sub.add_parser(
+        "collect",
+        help="run programs under the interpreter and bank block/edge "
+        "counters in the profile store",
+    )
+    profile_collect_cmd.add_argument(
+        "source", nargs="?", help="mini-FORTRAN source file"
+    )
+    profile_collect_cmd.add_argument(
+        "routine", nargs="?", help="routine to invoke"
+    )
+    profile_collect_cmd.add_argument(
+        "args", nargs="*", help="scalar arguments"
+    )
+    profile_collect_cmd.add_argument(
+        "--array",
+        action="append",
+        default=[],
+        type=_parse_array,
+        metavar="V,V,...:SIZE",
+        help="array argument (appended after scalars); repeatable",
+    )
+    profile_collect_cmd.add_argument(
+        "--suite",
+        action="store_true",
+        help="also profile every benchmark-suite routine on its driver "
+        "inputs",
+    )
+    profile_collect_cmd.add_argument(
+        "--dir",
+        default=None,
+        metavar="DIR",
+        help="profile store directory (default: $REPRO_PROFILE_DIR or "
+        ".repro_profiles)",
+    )
+    profile_show_cmd = profile_sub.add_parser(
+        "show", help="list the profiles banked in the store"
+    )
+    profile_show_cmd.add_argument(
+        "--dir",
+        default=None,
+        metavar="DIR",
+        help="profile store directory (default: $REPRO_PROFILE_DIR or "
+        ".repro_profiles)",
+    )
+    profile_show_cmd.add_argument(
+        "--json", action="store_true", help="print full profiles as JSON"
+    )
+
     table1_cmd = commands.add_parser("table1", help="regenerate the paper's Table 1")
     _add_pipeline_arguments(table1_cmd)
     table1_cmd.add_argument(
@@ -382,6 +449,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats-json",
         metavar="OUT.JSON",
         help="write per-pass timing totals as JSON (CI benchmark artifact)",
+    )
+    table1_cmd.add_argument(
+        "--dynamic",
+        action="store_true",
+        help="append a profile-weighted section: static vs dynamic "
+        "operation counts at -O2 and at the spec level (docs/PROFILE.md)",
     )
 
     commands.add_parser("table2", help="regenerate the paper's Table 2")
@@ -785,6 +858,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-scaling",
         action="store_true",
         help="skip the 1/2/4-shard cold scaling section",
+    )
+
+    lospre_bench_cmd = bench_sub.add_parser(
+        "lospre",
+        help="profile-guided speculative PRE vs both conservative "
+        "solvers over the suite; writes BENCH_lospre.json",
+    )
+    lospre_bench_cmd.add_argument(
+        "--quick",
+        action="store_true",
+        help="deterministic suite subset; waives the strict-aggregate "
+        "gate (the CI smoke run)",
+    )
+    lospre_bench_cmd.add_argument(
+        "--json",
+        dest="json_out",
+        default="BENCH_lospre.json",
+        metavar="OUT.JSON",
+        help="report path (default: BENCH_lospre.json)",
+    )
+    lospre_bench_cmd.add_argument(
+        "--profile-dir",
+        default=None,
+        metavar="DIR",
+        help="persist the collected profiles to DIR (default: in-memory, "
+        "nothing leaks between runs)",
     )
 
     certify_bench_cmd = bench_sub.add_parser(
@@ -1409,6 +1508,77 @@ def _cmd_certify(options) -> int:
     return 1 if error_count else 0
 
 
+def _cmd_profile(options) -> int:
+    """``repro profile collect | show``: the lospre profile store."""
+    from repro.profile import collect_module_profiles, prepare_profiled_module
+    from repro.profile.store import ProfileStore, default_store
+
+    store = ProfileStore(options.dir) if options.dir else default_store()
+    if options.profile_command == "show":
+        entries = store.entries()
+        if options.json:
+            print(json.dumps([p.to_json() for p in entries], indent=2))
+            return 0
+        if not entries:
+            print(f"no profiles in {store.directory or 'memory'}")
+            return 0
+        for p in entries:
+            print(
+                f"{p.function:<12} hash {p.source_hash[:12]}  "
+                f"runs {p.runs:<3} blocks {len(p.block_counts):<3} "
+                f"entries {p.total}"
+            )
+        return 0
+
+    from repro.frontend import compile_program
+
+    programs: list[tuple[str, str, list, list]] = []
+    if options.suite:
+        from repro.bench.suite import suite_routines
+
+        for routine in suite_routines():
+            programs.append(
+                (
+                    routine.source,
+                    routine.entry_name,
+                    list(routine.args),
+                    routine.fresh_arrays(),
+                )
+            )
+    if options.source:
+        if not options.routine:
+            print(
+                "profile collect: a routine name is required with a "
+                "source file",
+                file=sys.stderr,
+            )
+            return 2
+        with open(options.source) as handle:
+            text = handle.read()
+        args = [_parse_scalar(a) for a in options.args]
+        programs.append((text, options.routine, args, list(options.array)))
+    if not programs:
+        print(
+            "profile collect: nothing to run (pass a source file or "
+            "--suite)",
+            file=sys.stderr,
+        )
+        return 2
+
+    functions = 0
+    for text, entry, args, arrays in programs:
+        module = prepare_profiled_module(compile_program(text))
+        profiles = collect_module_profiles(
+            module, [(entry, args, arrays)], store=store
+        )
+        functions += len(profiles)
+    print(
+        f"profiled {len(programs)} run(s): {functions} function "
+        f"profile(s) -> {store.directory or 'memory'}"
+    )
+    return 0
+
+
 def _cmd_passes(options) -> int:
     from repro.bench import ablation  # noqa: F401  (registers ablation/*)
     from repro.pm import all_passes, get_sequence, sequence_names, spec_label
@@ -1481,6 +1651,8 @@ def _dispatch(options) -> int:
         return _cmd_cache(options)
     if options.command == "codegen":
         return _cmd_codegen(options)
+    if options.command == "profile":
+        return _cmd_profile(options)
     if options.command == "table1":
         from repro.bench.table1 import main as table1_main
 
@@ -1493,6 +1665,7 @@ def _dispatch(options) -> int:
             stats_json=options.stats_json,
             verify=options.verify,
             cycles=options.cycles,
+            dynamic=options.dynamic,
         )
         return 0
     if options.command == "table2":
@@ -1510,6 +1683,14 @@ def _dispatch(options) -> int:
                 json_out=options.json_out,
                 schedule=not options.no_schedule,
                 ks=options.ks or BENCH_KS,
+            )
+        if options.bench_command == "lospre":
+            from repro.bench.lospre import main as lospre_bench_main
+
+            return lospre_bench_main(
+                quick=options.quick,
+                json_out=options.json_out,
+                profile_dir=options.profile_dir,
             )
         if options.bench_command == "certify":
             from repro.bench.certify import main as certify_bench_main

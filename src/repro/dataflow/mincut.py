@@ -1,0 +1,223 @@
+"""Max-flow / min-cut on small tagged networks (Dinic's algorithm).
+
+The ``lospre`` pass phrases each expression's placement problem as an
+s-t min cut over the profile-weighted CFG; this module supplies the
+solver.  Networks here are tiny — nodes are basic blocks — so the
+implementation favors determinism and clarity over asymptotics:
+adjacency follows insertion order, level graphs come from plain BFS,
+and blocking flows from iterative DFS, so the same network always
+yields the same flow and the same cut.
+
+Arcs carry an opaque ``tag`` (the lospre pass tags each arc with the
+CFG edge or the use block it models) so callers recover *decisions*
+from the cut rather than reverse-engineering endpoints.
+
+Two minimum cuts are exposed: the classic source-side cut (nodes
+reachable from ``s`` in the residual graph) and the sink-side cut
+(nodes co-reachable to ``t``).  Both have minimum capacity; the
+sink-side cut is the *latest* one, which is what a lifetime-optimal
+placement wants — computations land as close to their uses as the cut
+value allows, minimizing the live range of the temporary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+#: Effectively-infinite capacity for arcs that must never be cut.
+#: Finite (so the arithmetic stays exact int) but larger than any sum
+#: of real profile weights.
+INFINITY = 1 << 62
+
+
+@dataclass
+class Arc:
+    """One directed arc; ``flow`` is mutated by the solver."""
+
+    src: Hashable
+    dst: Hashable
+    capacity: int
+    tag: Optional[object] = None
+    flow: int = 0
+    #: index of the reverse arc in the shared arc list
+    rev: int = -1
+
+    @property
+    def residual(self) -> int:
+        return self.capacity - self.flow
+
+
+@dataclass
+class MinCut:
+    """A minimum s-t cut: its value and the saturated arcs crossing it."""
+
+    value: int
+    arcs: list[Arc]
+    source_side: frozenset = field(default_factory=frozenset)
+
+    @property
+    def tags(self) -> list:
+        return [arc.tag for arc in self.arcs if arc.tag is not None]
+
+
+class FlowNetwork:
+    """A tagged flow network with deterministic Dinic max-flow."""
+
+    def __init__(self):
+        self.arcs: list[Arc] = []
+        self.adj: dict[Hashable, list[int]] = {}
+
+    def add_node(self, node: Hashable) -> None:
+        self.adj.setdefault(node, [])
+
+    def add_arc(
+        self,
+        src: Hashable,
+        dst: Hashable,
+        capacity: int,
+        tag: Optional[object] = None,
+    ) -> Arc:
+        """Add ``src -> dst`` with ``capacity``; returns the forward arc."""
+        if capacity < 0:
+            raise ValueError(f"negative capacity {capacity} on {src}->{dst}")
+        self.add_node(src)
+        self.add_node(dst)
+        forward = Arc(src, dst, capacity, tag)
+        backward = Arc(dst, src, 0)
+        forward.rev = len(self.arcs) + 1
+        backward.rev = len(self.arcs)
+        self.adj[src].append(len(self.arcs))
+        self.arcs.append(forward)
+        self.adj[dst].append(len(self.arcs))
+        self.arcs.append(backward)
+        return forward
+
+    def _levels(self, source: Hashable, sink: Hashable) -> Optional[dict]:
+        """BFS level assignment on the residual graph; ``None`` if the
+        sink is unreachable (max flow reached)."""
+        levels = {source: 0}
+        frontier = [source]
+        while frontier:
+            nxt = []
+            for node in frontier:
+                for index in self.adj[node]:
+                    arc = self.arcs[index]
+                    if arc.residual > 0 and arc.dst not in levels:
+                        levels[arc.dst] = levels[node] + 1
+                        nxt.append(arc.dst)
+            frontier = nxt
+        return levels if sink in levels else None
+
+    def _augment(
+        self, source: Hashable, sink: Hashable, levels: dict, iters: dict
+    ) -> int:
+        """One DFS augmenting path along the level graph; 0 when done."""
+        path: list[int] = []
+        node = source
+        while True:
+            if node == sink:
+                pushed = min(self.arcs[i].residual for i in path)
+                for i in path:
+                    self.arcs[i].flow += pushed
+                    self.arcs[self.arcs[i].rev].flow -= pushed
+                return pushed
+            advanced = False
+            while iters[node] < len(self.adj[node]):
+                index = self.adj[node][iters[node]]
+                arc = self.arcs[index]
+                if (
+                    arc.residual > 0
+                    and levels.get(arc.dst, -1) == levels[node] + 1
+                ):
+                    path.append(index)
+                    node = arc.dst
+                    advanced = True
+                    break
+                iters[node] += 1
+            if advanced:
+                continue
+            if node == source:
+                return 0
+            # dead end: retreat and retire the arc that led here
+            levels[node] = -1
+            node = self.arcs[path.pop()].src
+            iters[node] += 1
+
+    def max_flow(self, source: Hashable, sink: Hashable) -> int:
+        """Total s-t max flow (arc ``flow`` fields left populated)."""
+        self.add_node(source)
+        self.add_node(sink)
+        total = 0
+        while True:
+            levels = self._levels(source, sink)
+            if levels is None:
+                return total
+            iters = {node: 0 for node in self.adj}
+            while True:
+                pushed = self._augment(source, sink, levels, iters)
+                if pushed == 0:
+                    break
+                total += pushed
+
+    def min_cut(
+        self, source: Hashable, sink: Hashable, *, side: str = "sink"
+    ) -> MinCut:
+        """A minimum s-t cut (runs :meth:`max_flow` first).
+
+        ``side="source"`` returns the earliest cut — arcs leaving the
+        set of residual-reachable nodes from ``source``.  ``side="sink"``
+        (default) returns the latest cut — arcs entering the set of
+        nodes that still reach ``sink`` in the residual graph.  Both
+        are minimum cuts of the same value.
+        """
+        value = self.max_flow(source, sink)
+        if side == "source":
+            inside = self._residual_reachable(source)
+            cut = [
+                arc
+                for arc in self.arcs[::2]
+                if arc.src in inside and arc.dst not in inside
+            ]
+            side_set = inside
+        elif side == "sink":
+            inside = self._residual_coreachable(sink)
+            cut = [
+                arc
+                for arc in self.arcs[::2]
+                if arc.src not in inside and arc.dst in inside
+            ]
+            side_set = frozenset(self.adj) - inside
+        else:
+            raise ValueError(f"side must be 'source' or 'sink', not {side!r}")
+        assert sum(arc.capacity for arc in cut) == value, "cut/flow mismatch"
+        return MinCut(value=value, arcs=cut, source_side=frozenset(side_set))
+
+    def _residual_reachable(self, source: Hashable) -> frozenset:
+        seen = {source}
+        stack = [source]
+        while stack:
+            node = stack.pop()
+            for index in self.adj[node]:
+                arc = self.arcs[index]
+                if arc.residual > 0 and arc.dst not in seen:
+                    seen.add(arc.dst)
+                    stack.append(arc.dst)
+        return frozenset(seen)
+
+    def _residual_coreachable(self, sink: Hashable) -> frozenset:
+        """Nodes with a positive-residual path *to* the sink."""
+        seen = {sink}
+        stack = [sink]
+        while stack:
+            node = stack.pop()
+            # an arc u->v with residual > 0 lets u reach v; walking
+            # backwards from v means scanning arcs *into* v, which are
+            # exactly the reverse arcs listed in adj[v]
+            for index in self.adj[node]:
+                arc = self.arcs[index]
+                partner = self.arcs[arc.rev]  # partner: arc.dst -> node
+                if partner.residual > 0 and partner.src not in seen:
+                    seen.add(partner.src)
+                    stack.append(partner.src)
+        return frozenset(seen)

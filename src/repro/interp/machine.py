@@ -96,12 +96,18 @@ class Interpreter:
         module: Module,
         max_steps: int = 50_000_000,
         intrinsics: Optional[dict[str, Callable[..., Value]]] = None,
+        recorder: Optional[object] = None,
     ) -> None:
         self.module = module
         self.max_steps = max_steps
         self.intrinsics = dict(INTRINSICS)
         if intrinsics:
             self.intrinsics.update(intrinsics)
+        #: Optional profile sink with a ``record(function, prev, label)``
+        #: method (see :class:`repro.profile.collect.ProfileRecorder`);
+        #: called once per basic block executed, ``prev`` being ``None``
+        #: on function entry.
+        self.recorder = recorder
         self._steps = 0
         self._op_counts: Counter = Counter()
 
@@ -148,8 +154,11 @@ class Interpreter:
         label = func.entry.label
         prev_label: Optional[str] = None
         counts = self._op_counts
+        recorder = self.recorder
 
         while True:
+            if recorder is not None:
+                recorder.record(name, prev_label, label)
             block = blocks[label]
             instructions = block.instructions
             index = 0

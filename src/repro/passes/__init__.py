@@ -21,6 +21,7 @@ from repro.passes.constprop import sparse_conditional_constant_propagation
 from repro.passes.cse import available_cse, dominator_cse
 from repro.passes.dce import dead_code_elimination
 from repro.passes.gvn import global_value_numbering
+from repro.passes.lospre import lifetime_optimal_speculative_pre
 from repro.passes.lvn import local_value_numbering
 from repro.passes.peephole import peephole
 from repro.passes.pre import partial_redundancy_elimination
@@ -36,6 +37,7 @@ __all__ = [
     "dominator_cse",
     "global_reassociation",
     "global_value_numbering",
+    "lifetime_optimal_speculative_pre",
     "local_value_numbering",
     "morel_renvoise_pre",
     "partial_redundancy_elimination",

@@ -70,6 +70,11 @@ VERIFY_POLICIES = (
 #: Backward-compatible alias for the pre-lint structural modes.
 VERIFY_MODES = ("each", "final", "off")
 
+#: Passes whose output depends on the profile store, not just on the
+#: input text and the sequence fingerprint — sequences containing one
+#: bypass the :class:`~repro.pm.cache.PassCache` entirely.
+PROFILE_DEPENDENT_PASSES = frozenset({"lospre"})
+
 
 @dataclass(frozen=True)
 class VerifyPlan:
@@ -358,12 +363,21 @@ class PassManager:
         self._preserves = [
             get_pass(normalize_spec(spec)[0]).preserves for spec in self.specs
         ]
+        # profile-guided passes read state (the profile store) that the
+        # sequence fingerprint cannot capture, so their output for one
+        # input text is not a pure function of (text, fingerprint);
+        # caching such runs would replay stale placements
+        self._cacheable = all(
+            name not in PROFILE_DEPENDENT_PASSES
+            for name, _ in self.specs
+        )
 
     # -- single function ---------------------------------------------------------
 
     def run_function(self, func: Function) -> Function:
         """Optimize one function (cache-aware, in place)."""
-        if self.cache is not None:
+        use_cache = self.cache is not None and self._cacheable
+        if use_cache:
             source_text = print_function(func)
             cached = self.cache.lookup(source_text, self.fingerprint)
             if cached is not None:
@@ -378,7 +392,7 @@ class PassManager:
                 return func
             self.stats.cache_misses += 1
         self._run_passes(func, self.stats, self.collector)
-        if self.cache is not None:
+        if use_cache:
             self.cache.store(source_text, self.fingerprint, print_function(func))
         return func
 

@@ -1,0 +1,113 @@
+"""Profile collection: run the interpreter with counters attached.
+
+The contract that makes profiles *usable* by the ``lospre`` pass is
+label fidelity: the counters must be collected on exactly the CFG the
+pass will later see.  ``lospre`` runs after the distribution prefix
+(``reassociate[distribute] ; gvn``) and normalizes the function with
+:func:`repro.passes.pre_common.normalize_for_pre` (unreachable-block
+removal + critical-edge splitting) before solving.  Both steps are
+deterministic, so :func:`prepare_profiled_module` applies the same
+prefix + normalization here, and the resulting body hash — recorded in
+every profile — matches the hash ``lospre`` computes at lookup time.
+Any divergence (different prefix, edited source) changes the hash and
+the profile reads as stale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.passes.pre_common import check_phi_free, normalize_for_pre
+from repro.pm.manager import PassManager
+from repro.profile.model import FunctionProfile, function_source_hash
+
+#: The pipeline prefix lospre runs behind (see ``SPEC_SPECS`` in
+#: :mod:`repro.pipeline.levels`); collection replays it so labels and
+#: body hashes line up.
+PROFILE_PREFIX_SPECS = (("reassociate", {"distribute": True}), "gvn")
+
+
+class ProfileRecorder:
+    """Streams block-entry and edge-traversal events from the machine.
+
+    One recorder can span many runs and many functions; counts
+    accumulate.  The interpreter calls :meth:`record` once per basic
+    block executed — ``prev`` is ``None`` on function entry.
+    """
+
+    def __init__(self):
+        self.blocks: dict[str, dict[str, int]] = {}
+        self.edges: dict[str, dict[tuple[str, str], int]] = {}
+
+    def record(self, function: str, prev: Optional[str], label: str) -> None:
+        blocks = self.blocks.setdefault(function, {})
+        blocks[label] = blocks.get(label, 0) + 1
+        if prev is not None:
+            edges = self.edges.setdefault(function, {})
+            key = (prev, label)
+            edges[key] = edges.get(key, 0) + 1
+
+    def profile_for(self, func) -> FunctionProfile:
+        """A :class:`FunctionProfile` snapshot for ``func``'s counters."""
+        return FunctionProfile(
+            function=func.name,
+            source_hash=function_source_hash(func),
+            block_counts=dict(self.blocks.get(func.name, {})),
+            edge_counts=dict(self.edges.get(func.name, {})),
+        )
+
+
+def prepare_profiled_module(module, *, prefix: Sequence = PROFILE_PREFIX_SPECS):
+    """Optimize ``module`` with the lospre prefix and PRE-normalize it.
+
+    Returns the (mutated) module; after this call every φ-free function
+    body hashes to exactly what ``lospre`` will look up.
+    """
+    manager = PassManager(list(prefix), verify="off")
+    for func in module.functions.values():
+        manager.run_function(func)
+        if check_phi_free(func) is None:
+            normalize_for_pre(func)
+    return module
+
+
+def collect_module_profiles(
+    module,
+    runs: Sequence[tuple[str, Sequence, dict]],
+    *,
+    store=None,
+    recorder: Optional[ProfileRecorder] = None,
+    max_steps: Optional[int] = None,
+):
+    """Execute ``runs`` over a *prepared* module and bank the counters.
+
+    ``runs`` is a sequence of ``(entry name, args, arrays)`` triples in
+    the shape :func:`repro.pipeline.driver.run_routine` takes —
+    ``arrays`` being ``(initial_values, elemsize)`` pairs appended as
+    base addresses after the scalar args.  Every function the runs
+    touched yields one measured profile; profiles are merged into
+    ``store`` when one is given.  Returns the collected profiles.
+    """
+    from repro.interp.machine import Interpreter
+    from repro.interp.memory import Memory
+
+    if recorder is None:
+        recorder = ProfileRecorder()
+    kwargs = {} if max_steps is None else {"max_steps": max_steps}
+    interp = Interpreter(module, recorder=recorder, **kwargs)
+    for entry, args, arrays in runs:
+        memory = Memory()
+        call_args = list(args)
+        for values, elemsize in arrays:
+            call_args.append(memory.allocate_array(list(values), elemsize))
+        interp.run(entry, call_args, memory)
+    profiles = []
+    for name in sorted(recorder.blocks):
+        func = module.functions.get(name)
+        if func is None:
+            continue
+        profile = recorder.profile_for(func)
+        if store is not None:
+            profile = store.put(profile)
+        profiles.append(profile)
+    return profiles

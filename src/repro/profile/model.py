@@ -1,0 +1,128 @@
+"""The profile data model: per-function block and edge frequencies.
+
+A :class:`FunctionProfile` is a plain counter bundle tied to one exact
+function *body* via ``source_hash`` — the SHA-256 of the printed IR at
+collection time.  The hash is what makes staleness detection trivial:
+if the function a consumer holds prints to a different hash, the
+profile describes some other body and must not be trusted (the store
+returns ``None`` and the consumer falls back to static estimates).
+
+Profiles merge by summation, so repeated collection runs accumulate
+into one aggregate profile; ``runs`` records how many merges happened.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.ir.printer import print_function
+
+#: Bumped whenever the on-disk JSON layout changes; the store silently
+#: ignores entries written by other versions (treated as a miss).
+PROFILE_FORMAT_VERSION = 1
+
+#: An edge is a ``(source label, target label)`` pair.
+Edge = tuple[str, str]
+
+
+def function_source_hash(func) -> str:
+    """Content hash tying a profile to one exact function body."""
+    return hashlib.sha256(print_function(func).encode()).hexdigest()
+
+
+@dataclass
+class FunctionProfile:
+    """Block-entry and edge-traversal counts for one function body.
+
+    ``source`` records provenance: ``"measured"`` profiles come from
+    interpreter runs, ``"static"`` ones from the loop-depth estimator.
+    """
+
+    function: str
+    source_hash: str
+    block_counts: dict[str, int] = field(default_factory=dict)
+    edge_counts: dict[Edge, int] = field(default_factory=dict)
+    runs: int = 1
+    source: str = "measured"
+    version: int = PROFILE_FORMAT_VERSION
+
+    def block_weight(self, label: str) -> int:
+        """Entry count of ``label`` (0 if the block never executed)."""
+        return self.block_counts.get(label, 0)
+
+    def edge_weight(self, src: str, dst: str) -> int:
+        """Traversal count of edge ``src -> dst`` (0 if never taken)."""
+        return self.edge_counts.get((src, dst), 0)
+
+    @property
+    def total(self) -> int:
+        """Total block entries; 0 means the function never ran."""
+        return sum(self.block_counts.values())
+
+    def merge(self, other: "FunctionProfile") -> "FunctionProfile":
+        """Sum ``other`` into a new profile; bodies must match."""
+        if (other.function, other.source_hash) != (
+            self.function,
+            self.source_hash,
+        ):
+            raise ValueError(
+                f"cannot merge profile of {other.function!r}"
+                f"@{other.source_hash[:12]} into {self.function!r}"
+                f"@{self.source_hash[:12]}"
+            )
+        blocks = dict(self.block_counts)
+        for label, count in other.block_counts.items():
+            blocks[label] = blocks.get(label, 0) + count
+        edges = dict(self.edge_counts)
+        for edge, count in other.edge_counts.items():
+            edges[edge] = edges.get(edge, 0) + count
+        return FunctionProfile(
+            function=self.function,
+            source_hash=self.source_hash,
+            block_counts=blocks,
+            edge_counts=edges,
+            runs=self.runs + other.runs,
+            source=self.source,
+        )
+
+    def to_json(self) -> dict:
+        """JSON-serializable dict (edge keys flattened to ``i->j``)."""
+        return {
+            "version": self.version,
+            "function": self.function,
+            "source_hash": self.source_hash,
+            "source": self.source,
+            "runs": self.runs,
+            "blocks": dict(sorted(self.block_counts.items())),
+            "edges": {
+                f"{src}->{dst}": count
+                for (src, dst), count in sorted(self.edge_counts.items())
+            },
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping) -> "FunctionProfile":
+        """Inverse of :meth:`to_json`; raises on version mismatch."""
+        version = payload.get("version")
+        if version != PROFILE_FORMAT_VERSION:
+            raise ValueError(
+                f"profile format version {version!r} unsupported "
+                f"(expected {PROFILE_FORMAT_VERSION})"
+            )
+        edges: dict[Edge, int] = {}
+        for key, count in payload.get("edges", {}).items():
+            src, _, dst = key.partition("->")
+            edges[(src, dst)] = int(count)
+        return cls(
+            function=payload["function"],
+            source_hash=payload["source_hash"],
+            block_counts={
+                label: int(count)
+                for label, count in payload.get("blocks", {}).items()
+            },
+            edge_counts=edges,
+            runs=int(payload.get("runs", 1)),
+            source=payload.get("source", "measured"),
+        )

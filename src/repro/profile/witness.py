@@ -1,0 +1,80 @@
+"""The speculation witness: lospre's justification trail for certify.
+
+The certify placement audit refutes any insertion that is not
+anticipated at its landing block — the right verdict for the
+conservative solvers, but speculative PRE inserts exactly there *on
+purpose*, justified by frequencies.  Rather than weaken the audit, the
+``lospre`` pass deposits a witness per function: for every insertion it
+made, the landing block, the expression key, whether the placement is
+speculative (not anticipable there), and the profile arithmetic that
+justified it (cost of the chosen cut vs. the cost of leaving every use
+in place).  The audit re-derives every *static* fact itself (universe
+membership, trap safety, partial anticipability) and consults the
+witness only for the frequency justification — a missing or
+unjustified entry still refutes.
+
+The registry is thread-local: the pass manager certifies each pass on
+the thread that ran it, immediately after it ran, so the handoff needs
+no wider lifetime than that.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Keys are ``(landing block label, expression key)``.
+InsertionSite = tuple[str, tuple]
+
+
+@dataclass
+class InsertionWitness:
+    """Why one inserted computation is profitable under the profile."""
+
+    edge: tuple[str, str]
+    speculative: bool
+    edge_weight: int
+    placed_cost: int
+    retained_cost: int
+
+    @property
+    def justified(self) -> bool:
+        """Never-worse under the profile: cut cost ≤ all-uses cost."""
+        return self.placed_cost <= self.retained_cost
+
+
+@dataclass
+class SpeculationWitness:
+    """Everything lospre decided for one function run."""
+
+    function: str
+    profile_source: str  # "measured" | "static"
+    insertions: dict[InsertionSite, InsertionWitness] = field(
+        default_factory=dict
+    )
+
+
+_LOCAL = threading.local()
+
+
+def _registry() -> dict[str, SpeculationWitness]:
+    registry = getattr(_LOCAL, "registry", None)
+    if registry is None:
+        registry = _LOCAL.registry = {}
+    return registry
+
+
+def record_witness(witness: SpeculationWitness) -> None:
+    """Publish ``witness`` for the audit running later on this thread."""
+    _registry()[witness.function] = witness
+
+
+def lookup_witness(function: str) -> Optional[SpeculationWitness]:
+    """The most recent witness for ``function`` on this thread."""
+    return _registry().get(function)
+
+
+def clear_witnesses() -> None:
+    """Drop all witnesses (test isolation)."""
+    _registry().clear()

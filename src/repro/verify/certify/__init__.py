@@ -33,6 +33,7 @@ from typing import Optional
 from repro.ir.function import Function
 from repro.verify.certify.placement import (
     PRE_PASSES,
+    SPECULATIVE_PRE_PASSES,
     PlacementAudit,
     audit_placement,
 )
@@ -40,6 +41,7 @@ from repro.verify.certify.valuegraph import EquivalenceProof, prove_equivalence
 
 __all__ = [
     "PRE_PASSES",
+    "SPECULATIVE_PRE_PASSES",
     "CertifyResult",
     "EquivalenceProof",
     "PlacementAudit",
@@ -95,8 +97,13 @@ def certify_pass(
         pass_name.split("(")[0].split("[")[0].strip() if pass_name else None
     )
     audit: Optional[PlacementAudit] = None
-    if base in PRE_PASSES:
-        audit = audit_placement(before, after)
+    if base in PRE_PASSES or base in SPECULATIVE_PRE_PASSES:
+        # speculative solvers (lospre) are held to the same contract,
+        # except that a profile-witnessed speculative insertion is
+        # accepted where the conservative audit would refute
+        audit = audit_placement(
+            before, after, speculative=base in SPECULATIVE_PRE_PASSES
+        )
         if audit.verdict == "refuted":
             return CertifyResult(
                 "refuted",

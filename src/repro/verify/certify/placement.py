@@ -50,6 +50,12 @@ from repro.verify.diagnostics import Diagnostic
 #: Pass base names this audit understands (both PRE equation systems).
 PRE_PASSES = frozenset({"pre", "pre-mr"})
 
+#: Pass base names audited with the speculative contract: insertions
+#: may land where the expression is *not* anticipated, provided the
+#: pass deposited a profile witness justifying the site (see
+#: :mod:`repro.profile.witness`).
+SPECULATIVE_PRE_PASSES = frozenset({"lospre"})
+
 
 @dataclass
 class PlacementAudit:
@@ -81,8 +87,21 @@ def _occurrences(func: Function) -> dict[str, Counter]:
     }
 
 
-def audit_placement(before: Function, after: Function) -> PlacementAudit:
-    """Audit one PRE run; neither argument is mutated."""
+def audit_placement(
+    before: Function, after: Function, *, speculative: bool = False
+) -> PlacementAudit:
+    """Audit one PRE run; neither argument is mutated.
+
+    With ``speculative=True`` (lospre runs) an insertion that fails the
+    anticipability check is not refuted outright: the audit re-derives
+    the static speculation conditions itself — the expression cannot
+    trap, and is *partially* anticipable at the landing block — and
+    then demands the pass's profile witness show the placement is
+    never-worse under the frequencies it used (placed cost ≤ the cost
+    of leaving every use in place).  A missing witness entry, a
+    trapping opcode, a useless site, or unprofitable arithmetic still
+    refutes.
+    """
     from repro.passes.pre_common import prepare_pre
     from repro.verify.checkers.defuse import undefined_uses
 
@@ -126,6 +145,7 @@ def audit_placement(before: Function, after: Function) -> PlacementAudit:
     diagnostics: list[Diagnostic] = []
     remarks: list[Diagnostic] = []
     checks = 0
+    pant_mask = None  # partial anticipability, solved on first demand
 
     for label in sorted(labels_before):
         counts_before = occurrences_before[label]
@@ -145,13 +165,35 @@ def audit_placement(before: Function, after: Function) -> PlacementAudit:
                     ctx_before.ant_in.get(label, 0)
                     | ctx_before.ant_out.get(label, 0)
                 )
-                if key not in anticipable:
+                if key in anticipable:
+                    continue
+                if speculative:
+                    if pant_mask is None:
+                        pant_mask = _solve_partial_anticipability(ctx_before)
+                    problem = _speculation_objection(
+                        ctx_before, pant_mask, after.name, label, key
+                    )
+                    if problem is None:
+                        remarks.append(fail(
+                            f"speculative insertion: {key} in {label} is "
+                            f"not anticipated but trap-free, partially "
+                            f"anticipable, and profile-justified",
+                            label,
+                            severity="note",
+                        ))
+                        continue
                     diagnostics.append(fail(
-                        f"unsafe insertion: {key} placed in {label} where "
-                        f"it is not anticipable in the input — some path "
-                        f"through {label} never computed it",
+                        f"unjustified speculative insertion of {key} in "
+                        f"{label}: {problem}",
                         label,
                     ))
+                    continue
+                diagnostics.append(fail(
+                    f"unsafe insertion: {key} placed in {label} where "
+                    f"it is not anticipable in the input — some path "
+                    f"through {label} never computed it",
+                    label,
+                ))
             elif diff < 0:
                 checks += 1
                 available = ctx_after.keys_of(ctx_after.avail_in.get(label, 0))
@@ -203,3 +245,82 @@ def audit_placement(before: Function, after: Function) -> PlacementAudit:
         checks=checks,
         remarks=remarks,
     )
+
+
+def _solve_partial_anticipability(ctx) -> dict[str, int]:
+    """PANT masks per block: entry-side ∪ exit-side partial anticipability.
+
+    The union-meet dual of the anticipability solve in
+    :func:`repro.passes.pre_common.build_context`: an expression is
+    partially anticipable where *some* kill-free path still reaches a
+    use.  Speculating anywhere else computes a value no path wants —
+    refutable waste even when the profile calls it free.
+    """
+    from repro.dataflow.bitset import MaskProblem, solve_masks
+
+    cfg = ctx.cfg
+    reachable = ctx.reachable
+    labels = cfg.reverse_postorder
+    succs = {
+        lbl: [s for s in cfg.succs[lbl] if s in reachable] for lbl in labels
+    }
+    pant = solve_masks(
+        MaskProblem(
+            universe=ctx.universe,
+            meet="union",
+            order=cfg.postorder,
+            sources=succs,
+            boundary_blocks=frozenset(
+                lbl for lbl in labels if not succs[lbl]
+            ),
+            gen=ctx.antloc,
+            kill=ctx.kill,
+        )
+    )
+    # entry-side is ``after`` for backward problems (see build_context)
+    return {
+        lbl: pant.after.get(lbl, 0) | pant.before.get(lbl, 0)
+        for lbl in labels
+    }
+
+
+def _speculation_objection(
+    ctx, pant_mask: dict[str, int], function: str, label: str, key
+) -> str | None:
+    """Why a non-anticipated insertion is *not* acceptable (None = it is).
+
+    Static conditions (trap safety, partial anticipability) are
+    re-derived from the pass input; only the frequency arithmetic is
+    taken from the witness — and even that must balance.
+    """
+    from repro.passes.lospre import speculation_safe
+    from repro.profile.witness import lookup_witness
+
+    if not speculation_safe(key):
+        return (
+            f"{key[0].name.lower()} may trap at run time; trapping "
+            f"expressions may never be speculated, whatever the profile"
+        )
+    if not (pant_mask.get(label, 0) & ctx.universe.bit(key)):
+        return (
+            "no kill-free path from the insertion reaches any use "
+            "(not partially anticipable)"
+        )
+    witness = lookup_witness(function)
+    if witness is None:
+        return "the pass deposited no speculation witness"
+    entry = witness.insertions.get((label, key))
+    if entry is None:
+        return "the speculation witness has no entry for this site"
+    if not entry.speculative:
+        return (
+            "the witness claims this site is conservative, but the "
+            "expression is not anticipable there"
+        )
+    if not entry.justified:
+        return (
+            f"unprofitable under the pass's own profile: placed cost "
+            f"{entry.placed_cost} exceeds the {entry.retained_cost} of "
+            f"leaving every use in place"
+        )
+    return None

@@ -1,0 +1,102 @@
+"""Min-cut network tests: flow values, cut sides, infinite arcs, tags."""
+
+from repro.dataflow.mincut import INFINITY, FlowNetwork
+
+
+def _build(arcs):
+    net = FlowNetwork()
+    for src, dst, cap in arcs:
+        net.add_arc(src, dst, cap, tag=(src, dst))
+    return net
+
+
+def test_single_path_bottleneck():
+    net = _build([("S", "A", 3), ("A", "T", 2)])
+    cut = net.min_cut("S", "T")
+    assert cut.value == 2
+    assert cut.tags == [("A", "T")]
+
+
+def test_source_vs_sink_side_on_a_chain():
+    # every arc saturates; the two sides pick opposite ends of the chain
+    arcs = [("S", "A", 2), ("A", "B", 2), ("B", "T", 2)]
+    source_cut = _build(arcs).min_cut("S", "T", side="source")
+    sink_cut = _build(arcs).min_cut("S", "T", side="sink")
+    assert source_cut.value == sink_cut.value == 2
+    assert source_cut.tags == [("S", "A")]
+    assert sink_cut.tags == [("B", "T")]
+
+
+def test_parallel_paths():
+    net = _build(
+        [("S", "A", 1), ("S", "B", 2), ("A", "T", 2), ("B", "T", 1)]
+    )
+    cut = net.min_cut("S", "T")
+    assert cut.value == 2
+    assert sorted(cut.tags) == [("B", "T"), ("S", "A")]
+
+
+def test_diamond_prefers_cheap_side():
+    net = _build(
+        [
+            ("S", "A", 10),
+            ("A", "B", 3),
+            ("A", "C", 4),
+            ("B", "T", 10),
+            ("C", "T", 10),
+        ]
+    )
+    cut = net.min_cut("S", "T")
+    assert cut.value == 7
+    assert sorted(cut.tags) == [("A", "B"), ("A", "C")]
+
+
+def test_infinite_arcs_never_cut():
+    net = _build(
+        [("S", "A", INFINITY), ("A", "T", 5), ("A", "B", INFINITY), ("B", "T", 1)]
+    )
+    cut = net.min_cut("S", "T")
+    assert cut.value == 6
+    assert sorted(cut.tags) == [("A", "T"), ("B", "T")]
+
+
+def test_cut_capacity_equals_flow():
+    # a denser network: the assertion inside min_cut (cut capacity ==
+    # max flow) is the max-flow/min-cut duality check itself
+    net = _build(
+        [
+            ("S", "A", 16),
+            ("S", "B", 13),
+            ("A", "B", 10),
+            ("B", "A", 4),
+            ("A", "C", 12),
+            ("B", "D", 14),
+            ("C", "B", 9),
+            ("D", "C", 7),
+            ("C", "T", 20),
+            ("D", "T", 4),
+        ]
+    )
+    cut = net.min_cut("S", "T")
+    assert cut.value == 23  # CLRS figure 26.6
+
+
+def test_deterministic_across_runs():
+    arcs = [
+        ("S", "A", 5),
+        ("S", "B", 5),
+        ("A", "C", 3),
+        ("B", "C", 3),
+        ("C", "T", 4),
+    ]
+    first = _build(arcs).min_cut("S", "T")
+    second = _build(arcs).min_cut("S", "T")
+    assert first.value == second.value == 4
+    assert first.tags == second.tags
+
+
+def test_disconnected_sink_zero_cut():
+    net = _build([("S", "A", 3), ("B", "T", 3)])
+    cut = net.min_cut("S", "T")
+    assert cut.value == 0
+    assert cut.tags == []

@@ -535,6 +535,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="OUT.JSON",
         help="write the final metrics snapshot on shutdown",
     )
+    serve_cmd.add_argument(
+        "--incident-dir",
+        default=".repro_incidents",
+        metavar="DIR",
+        help="where workers record containment incidents for "
+        "`repro triage` (default: .repro_incidents)",
+    )
+    serve_cmd.add_argument(
+        "--no-incidents",
+        action="store_true",
+        help="disable incident recording (containment still degrades, "
+        "but leaves nothing to triage)",
+    )
 
     fleet_cmd = commands.add_parser(
         "fleet", help="run or query the distributed compile fleet "
@@ -922,6 +935,91 @@ def build_parser() -> argparse.ArgumentParser:
         "this factor on the pass pairs (the CI gate)",
     )
 
+    chaos_bench_cmd = bench_sub.add_parser(
+        "chaos",
+        help="inject pass crashes/miscompiles, poison pills, worker "
+        "kills and torn writes; gate on the never-fail contract; "
+        "writes BENCH_chaos.json",
+    )
+    chaos_bench_cmd.add_argument(
+        "--quick",
+        action="store_true",
+        help="deterministic suite subset and a smaller triage sample "
+        "(the CI smoke run)",
+    )
+    chaos_bench_cmd.add_argument(
+        "--json",
+        dest="json_out",
+        default="BENCH_chaos.json",
+        metavar="OUT.JSON",
+        help="report path (default: BENCH_chaos.json)",
+    )
+    chaos_bench_cmd.add_argument(
+        "--crash-pass",
+        default="pre",
+        metavar="LABEL",
+        help="the pass the targeted-crash section kills on every "
+        "application (default: pre)",
+    )
+    chaos_bench_cmd.add_argument(
+        "--incident-dir",
+        default=None,
+        metavar="DIR",
+        help="record incidents to DIR so `repro triage --dir DIR` can "
+        "inspect them after the run (default: a temp dir)",
+    )
+    chaos_bench_cmd.add_argument(
+        "--rate",
+        type=float,
+        default=0.05,
+        metavar="P",
+        help="per-(function, pass) crash AND corrupt probability for "
+        "the random-chaos section (default: 0.05)",
+    )
+    chaos_bench_cmd.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="chaos draw seed (default: 0)",
+    )
+
+    triage_cmd = commands.add_parser(
+        "triage",
+        help="inspect, bisect and reduce containment incidents "
+        "(docs/ROBUSTNESS.md)",
+    )
+    triage_cmd.add_argument(
+        "--dir",
+        dest="incident_dir",
+        default=".repro_incidents",
+        metavar="DIR",
+        help="incident store directory (default: .repro_incidents)",
+    )
+    triage_sub = triage_cmd.add_subparsers(dest="triage_command",
+                                           required=True)
+    triage_sub.add_parser("list", help="one row per recorded incident")
+    triage_show_cmd = triage_sub.add_parser(
+        "show", help="full detail for one incident (JSON)"
+    )
+    triage_show_cmd.add_argument("incident_id", metavar="ID")
+    triage_bisect_cmd = triage_sub.add_parser(
+        "bisect",
+        help="binary-search the pass sequence for the first bad "
+        "application",
+    )
+    triage_bisect_cmd.add_argument("incident_id", metavar="ID")
+    triage_reduce_cmd = triage_sub.add_parser(
+        "reduce",
+        help="shrink the incident to a minimal reproducing IR + pass "
+        "sequence and store it back",
+    )
+    triage_reduce_cmd.add_argument("incident_id", metavar="ID")
+    triage_reduce_cmd.add_argument(
+        "--max-checks",
+        type=int,
+        default=400,
+        metavar="N",
+        help="oracle-replay budget for the reducer (default: 400)",
+    )
+
     ablation_cmd = commands.add_parser(
         "ablation", help="run the design-choice ablations"
     )
@@ -1045,6 +1143,7 @@ def _cmd_serve(options) -> int:
         retry=RetryPolicy(max_attempts=max(1, options.retries)),
         cache_dir=None if options.no_cache else options.cache_dir,
         cache_max_bytes=options.cache_max_mb * 1024 * 1024,
+        incident_dir=None if options.no_incidents else options.incident_dir,
     )
     daemon = CompileDaemon(config)
     daemon.start()
@@ -1075,6 +1174,66 @@ def _cmd_serve(options) -> int:
                           sort_keys=True)
                 handle.write("\n")
         print(daemon.metrics.format(), file=sys.stderr)
+    return 0
+
+
+def _cmd_triage(options) -> int:
+    from repro.triage import IncidentStore
+
+    store = IncidentStore(options.incident_dir)
+    if options.triage_command == "list":
+        incidents = store.entries()
+        if not incidents:
+            print(f"no incidents in {options.incident_dir}")
+            return 0
+        for incident in incidents:
+            row = incident.summary()
+            flag = " [reduced]" if row["reduced"] else ""
+            print(
+                f"{row['id']}  {row['function']:<16} {row['pass']:<16} "
+                f"{row['error']:<24} x{row['count']}{flag}"
+            )
+        return 0
+
+    # the remaining subcommands name one incident; accept a unique prefix
+    wanted = options.incident_id
+    incident = store.get(wanted)
+    if incident is None:
+        matches = [
+            entry for entry in store.entries()
+            if entry.incident_id.startswith(wanted)
+        ]
+        if len(matches) > 1:
+            print(f"ambiguous incident id {wanted!r} "
+                  f"({len(matches)} matches)", file=sys.stderr)
+            return 1
+        incident = matches[0] if matches else None
+    if incident is None:
+        print(f"no incident {wanted!r} in {options.incident_dir}",
+              file=sys.stderr)
+        return 1
+
+    if options.triage_command == "show":
+        print(json.dumps(incident.to_json(), indent=2, sort_keys=True))
+        return 0
+    if options.triage_command == "bisect":
+        from repro.triage.bisect import bisect_incident
+
+        result = bisect_incident(incident)
+        if result is None:
+            print("incident does not reproduce under replay",
+                  file=sys.stderr)
+            return 1
+        print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+        return 0
+    from repro.triage.reduce import describe, reduce_incident
+
+    artifact = reduce_incident(incident, max_checks=options.max_checks)
+    if artifact is None:
+        print("incident does not reproduce under replay", file=sys.stderr)
+        return 1
+    store.update(incident.incident_id, reduced=artifact.to_json())
+    print(describe(artifact))
     return 0
 
 
@@ -1630,6 +1789,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # children on the way out; exit nonzero without a traceback spew
         print("interrupted", file=sys.stderr)
         return 130
+    except BrokenPipeError:
+        # `repro triage list | head` closes our stdout mid-print; the
+        # downstream consumer got what it wanted — exit like SIGPIPE
+        # without a traceback (devnull keeps the interpreter's final
+        # flush from raising again)
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
 
 
 def _dispatch(options) -> int:
@@ -1647,6 +1815,8 @@ def _dispatch(options) -> int:
         return _cmd_serve(options)
     if options.command == "fleet":
         return _cmd_fleet(options)
+    if options.command == "triage":
+        return _cmd_triage(options)
     if options.command == "cache":
         return _cmd_cache(options)
     if options.command == "codegen":
@@ -1714,6 +1884,17 @@ def _dispatch(options) -> int:
                 min_hit_rate=options.min_hit_rate,
                 max_tier1_p99_frac=options.max_tier1_p99_frac,
                 scaling=not options.no_scaling,
+            )
+        if options.bench_command == "chaos":
+            from repro.bench.chaos import main as chaos_bench_main
+
+            return chaos_bench_main(
+                quick=options.quick,
+                json_out=options.json_out,
+                crash_pass=options.crash_pass,
+                incident_dir=options.incident_dir,
+                rate=options.rate,
+                seed=options.seed,
             )
         if options.bench_command == "serve":
             from repro.bench.serve import main as serve_bench_main

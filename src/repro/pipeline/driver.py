@@ -103,18 +103,21 @@ def compile_payload(
 ) -> Module:
     """Compile one service payload: ``kind`` is ``"source"`` or ``"ir"``.
 
-    ``level_name`` is an :class:`OptLevel` value or ``"none"``.  When a
+    ``level_name`` is an :class:`OptLevel` value, any registered
+    sequence name (``spec``, ``extended``, ...) or ``"none"``.  When a
     ``manager`` is supplied (the daemon workers pass their warm,
     cache-backed one) its sequence must match ``level_name`` — the
     scheduler guarantees that by keying managers on (level, verify).
     """
+    from repro.pipeline.levels import resolve_level
+
     if kind == "source":
         module = compile_program(text)
     elif kind == "ir":
         module = parse_module(text)
     else:
         raise ValueError(f"unknown payload kind {kind!r}")
-    level = None if level_name in (None, "none") else OptLevel(level_name)
+    level = resolve_level(level_name)
     if manager is None and level is not None:
         manager = PassManager(level.value, verify=verify)
     return _optimize_module(module, manager, verify)

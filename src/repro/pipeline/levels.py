@@ -11,7 +11,7 @@ parallel fan-out) or the legacy :func:`optimize` helpers below.
 from __future__ import annotations
 
 import enum
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.ir.function import Function, Module
 from repro.pm.registry import register_sequence, resolve_spec
@@ -145,6 +145,61 @@ class SequenceLevel:
 
 #: The ``-Ospec`` level: ``--level spec`` on the CLI.
 SPEC_LEVEL = SequenceLevel("spec")
+
+#: The degradation ladder, as registry-style data: for each level, the
+#: next-lower level the containment layer retries at when a pass fails
+#: (spec → O2 → O1 → O0 → none).  ``"none"`` runs zero passes, so it
+#: cannot fail — walking the ladder always terminates in a valid
+#: compile, which is the service's never-fail guarantee
+#: (:mod:`repro.triage.containment`).
+DEGRADATION_LADDER: dict[str, Optional[str]] = {
+    "spec": "distribution",
+    "extended": "distribution",
+    "distribution": "partial",
+    "reassociation": "partial",
+    "partial": "baseline",
+    "baseline": "none",
+    "none": None,
+}
+
+
+def ladder_next(level_name: str) -> Optional[str]:
+    """The next rung down, or ``None`` from the bottom.
+
+    Unregistered sequence names step straight to ``"baseline"`` — an
+    unknown custom sequence still degrades into something honest.
+    """
+    if level_name in DEGRADATION_LADDER:
+        return DEGRADATION_LADDER[level_name]
+    return "baseline"
+
+
+def ladder_levels(level_name: str) -> list[str]:
+    """The full fallback chain starting at ``level_name`` (inclusive)."""
+    chain = [level_name]
+    seen = {level_name}
+    current: Optional[str] = level_name
+    while True:
+        current = ladder_next(current)
+        if current is None or current in seen:
+            return chain
+        chain.append(current)
+        seen.add(current)
+
+
+def resolve_level(level_name: str):
+    """``"none"`` → ``None``, a Table 1 name → :class:`OptLevel`, any
+    other registered sequence → :class:`SequenceLevel` (raising
+    ``KeyError`` on unknown names, like the registry does)."""
+    if level_name in (None, "none"):
+        return None
+    try:
+        return OptLevel(level_name)
+    except ValueError:
+        from repro.pm.registry import get_sequence
+
+        get_sequence(level_name)  # raises on unknown sequences
+        return SequenceLevel(level_name)
 
 
 def extended_passes() -> list[PassFn]:

@@ -16,7 +16,10 @@ one ``<key>.iloc`` file each, so the cache survives across processes
 (the CLI bench commands default to ``.repro_cache/`` in the working
 directory).  Writes are atomic (temp file + ``os.replace``) so
 concurrent processes and the parallel executor never observe torn
-entries.
+entries, and every disk entry carries a payload checksum so data torn
+or scribbled *outside* the atomic path (crashed filesystem, stray
+tooling) reads back as a miss — never as a corrupt hit
+(docs/ROBUSTNESS.md).
 
 Long-lived daemon workers (:mod:`repro.service.workers`) share one disk
 directory forever, so the store is **bounded**: ``max_bytes`` /
@@ -54,6 +57,33 @@ def cache_key(ir_text: str, fingerprint: str) -> str:
     digest.update(b"\x00")
     digest.update(fingerprint.encode())
     return digest.hexdigest()
+
+
+#: Integrity header of a ``.iloc`` entry: the first line is
+#: ``#sha256:<hex>`` over the payload that follows.  ``os.replace``
+#: already rules out torn writes from well-behaved writers; the checksum
+#: additionally catches entries truncated or scribbled on *outside* the
+#: atomic path (a crashed filesystem, a stray tool, chaos injection) —
+#: any mismatch reads as a miss, never as a corrupt hit.
+_CHECKSUM_PREFIX = "#sha256:"
+
+
+def _seal(text: str) -> str:
+    """Payload with its integrity header prepended."""
+    digest = hashlib.sha256(text.encode()).hexdigest()
+    return f"{_CHECKSUM_PREFIX}{digest}\n{text}"
+
+
+def _unseal(raw: str) -> Optional[str]:
+    """The verified payload, or ``None`` for torn/corrupt/legacy data."""
+    if not raw.startswith(_CHECKSUM_PREFIX):
+        return None
+    header, sep, text = raw.partition("\n")
+    if not sep:
+        return None
+    if hashlib.sha256(text.encode()).hexdigest() != header[len(_CHECKSUM_PREFIX):]:
+        return None
+    return text
 
 
 def atomic_write_text(directory: str, path: str, text: str) -> None:
@@ -129,9 +159,17 @@ class PassCache:
         if text is None and self.directory:
             try:
                 with open(self._path(key)) as handle:
-                    text = handle.read()
+                    raw = handle.read()
             except OSError:
-                text = None  # evicted/cleared mid-lookup: plain miss
+                raw = None  # evicted/cleared mid-lookup: plain miss
+            text = _unseal(raw) if raw is not None else None
+            if raw is not None and text is None:
+                # torn or corrupt entry: drop it so it cannot keep
+                # costing a read, and fall through to a plain miss
+                try:
+                    os.unlink(self._path(key))
+                except OSError:
+                    pass
             if text is not None:
                 self._touch(key)
                 with self._lock:
@@ -154,7 +192,9 @@ class PassCache:
             self._shrink_memory()
         if self.directory:
             try:
-                atomic_write_text(self.directory, self._path(key), optimized_text)
+                atomic_write_text(
+                    self.directory, self._path(key), _seal(optimized_text)
+                )
             except OSError:
                 return  # disk store is an optimization; memory tier has it
             if self.max_bytes is not None or self.max_entries is not None:
@@ -384,6 +424,7 @@ class ArtifactStore:
                     "generation": artifact.generation,
                     "producer": producer,
                     "tier": artifact.tier,
+                    "sha256": hashlib.sha256(text.encode()).hexdigest(),
                 },
                 separators=(",", ":"),
             )
@@ -411,8 +452,20 @@ class ArtifactStore:
             meta = json.loads(header)
             if not isinstance(meta, dict) or not sep:
                 raise ValueError("truncated artifact")
+            expected = meta.get("sha256")
+            if (
+                not isinstance(expected, str)
+                or hashlib.sha256(text.encode()).hexdigest() != expected
+            ):
+                raise ValueError("artifact payload checksum mismatch")
         except ValueError:
-            return None  # torn/corrupt entry reads as a miss, never a crash
+            # torn/corrupt entry reads as a miss, never a crash; drop it
+            # so the slot can be recompiled and re-published cleanly
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
         try:
             os.utime(path)  # shared LRU recency, like PassCache
         except OSError:

@@ -22,6 +22,23 @@ structured :class:`~repro.verify.diagnostics.Diagnostic` records and
 naming the guilty pass; every diagnostic (fatal or not) is also routed
 to the remark collector as a ``"diagnostic"`` event.
 
+**Sandboxed execution** (``on_error=``): with the default ``"raise"``,
+a pass exception or verify refutation propagates and aborts the
+compile.  Under ``"rollback"``, every pass runs against a recoverable
+:meth:`~repro.ir.function.Function.clone` snapshot — a failure restores
+the pre-pass IR, records an incident (when an ``incidents`` recorder is
+attached), and the pipeline *continues* with the remaining passes.
+Under ``"degrade"``, the first failure restores the pipeline-entry IR
+and raises :class:`DegradationRequired`, which the degradation ladder
+(:mod:`repro.triage.containment`) turns into a retry at a lower
+optimization level.  ``opt_bisect_limit`` skips every pass application
+past the limit (LLVM's ``--opt-bisect-limit``), which is what lets
+:mod:`repro.triage.bisect` pin the first bad application by binary
+search; ``chaos`` is the fault-injection hook of
+:mod:`repro.triage.chaos`.  Managers with a chaos hook or a bisect
+limit never touch the cache — their runs are deliberately not pure
+functions of (text, fingerprint).
+
 ``jobs > 1`` fans out per function through
 :mod:`repro.pm.parallel`; output is bit-identical to serial because
 every pass is function-local and results are merged in module order.
@@ -74,6 +91,9 @@ VERIFY_MODES = ("each", "final", "off")
 #: input text and the sequence fingerprint — sequences containing one
 #: bypass the :class:`~repro.pm.cache.PassCache` entirely.
 PROFILE_DEPENDENT_PASSES = frozenset({"lospre"})
+
+#: The failure policies a manager accepts (see the module docstring).
+ON_ERROR_POLICIES = ("raise", "rollback", "degrade")
 
 
 @dataclass(frozen=True)
@@ -202,6 +222,31 @@ def _rebuild_verification_error(pass_label, function, diagnostics, sequence):
     return PassVerificationError(
         pass_label, function, diagnostics, sequence=sequence
     )
+
+
+class DegradationRequired(Exception):
+    """A sandboxed run under ``on_error="degrade"`` hit a failure.
+
+    The function has already been restored to its pipeline-entry IR
+    when this is raised; the caller (the degradation ladder in
+    :mod:`repro.triage.containment`) retries at a lower level.
+    """
+
+    def __init__(
+        self,
+        pass_label: str,
+        function: str,
+        incident_id: Optional[str] = None,
+        error_type: str = "",
+    ):
+        super().__init__(
+            f"pass {pass_label!r} failed on {function!r} "
+            f"({error_type or 'error'}); degradation required"
+        )
+        self.pass_label = pass_label
+        self.function = function
+        self.incident_id = incident_id
+        self.error_type = error_type
 
 
 @dataclass
@@ -343,8 +388,18 @@ class PassManager:
         stats: Optional[ManagerStats] = None,
         jobs: int = 1,
         executor: str = "thread",
+        on_error: str = "raise",
+        incidents=None,
+        incident_context: Optional[dict] = None,
+        opt_bisect_limit: Optional[int] = None,
+        chaos=None,
     ) -> None:
         self.verify_plan = parse_verify(verify)
+        if on_error not in ON_ERROR_POLICIES:
+            raise ValueError(
+                f"unknown on_error policy {on_error!r}; "
+                f"expected one of {ON_ERROR_POLICIES}"
+            )
         if isinstance(sequence, str):
             self.sequence_name: Optional[str] = sequence
             self.specs = get_sequence(sequence)
@@ -359,6 +414,15 @@ class PassManager:
         self.stats = stats if stats is not None else ManagerStats()
         self.jobs = max(1, int(jobs))
         self.executor = executor
+        self.on_error = on_error
+        self.incidents = incidents  #: duck-typed: .record(dict) -> id
+        self.incident_context = dict(incident_context or {})
+        self.opt_bisect_limit = (
+            None if opt_bisect_limit is None else max(0, int(opt_bisect_limit))
+        )
+        self.chaos = chaos  #: duck-typed: .maybe_fail / .maybe_corrupt
+        self.incident_ids: list[str] = []
+        self._applications = 0  #: opt-bisect counter across run_* calls
         self._resolved = [resolve_spec(spec) for spec in self.specs]
         self._preserves = [
             get_pass(normalize_spec(spec)[0]).preserves for spec in self.specs
@@ -366,10 +430,16 @@ class PassManager:
         # profile-guided passes read state (the profile store) that the
         # sequence fingerprint cannot capture, so their output for one
         # input text is not a pure function of (text, fingerprint);
-        # caching such runs would replay stale placements
-        self._cacheable = all(
-            name not in PROFILE_DEPENDENT_PASSES
-            for name, _ in self.specs
+        # caching such runs would replay stale placements.  Chaos and
+        # opt-bisect runs are impure the same way (and a cache hit
+        # would skip the passes the injection/bisect must exercise).
+        self._cacheable = (
+            chaos is None
+            and self.opt_bisect_limit is None
+            and all(
+                name not in PROFILE_DEPENDENT_PASSES
+                for name, _ in self.specs
+            )
         )
 
     # -- single function ---------------------------------------------------------
@@ -391,8 +461,10 @@ class PassManager:
                     )
                 return func
             self.stats.cache_misses += 1
-        self._run_passes(func, self.stats, self.collector)
-        if use_cache:
+        contained = self._run_passes(func, self.stats, self.collector)
+        # a run with rolled-back passes is not the pure (text, sequence)
+        # image the cache is keyed on — storing it would poison replays
+        if use_cache and not contained:
             self.cache.store(source_text, self.fingerprint, print_function(func))
         return func
 
@@ -401,47 +473,201 @@ class PassManager:
         func: Function,
         stats: ManagerStats,
         collector: Optional[RemarkCollector],
-    ) -> None:
-        """The uncached pipeline: every pass, instrumented."""
+    ) -> int:
+        """The uncached pipeline: every pass, instrumented.
+
+        Returns the number of *contained* events (rolled-back passes
+        plus bisect-skipped applications) — zero means the run is the
+        pure image of (input, sequence) and is safe to cache.
+        """
         started = time.perf_counter()
         plan = self.verify_plan
         manager = analyses(func)
-        baseline_text = print_function(func) if plan.snapshot_final else None
-        for label, pass_fn, preserves in zip(
+        sandbox = self.on_error != "raise"
+        chaos = self.chaos
+        entry: Optional[Function] = func.clone() if sandbox else None
+        entry_text = (
+            print_function(func)
+            if (plan.snapshot_final or sandbox) else None
+        )
+        first_application = self._applications
+        contained = 0
+        for index, (label, pass_fn, preserves) in enumerate(zip(
             self.labels, self._resolved, self._preserves
-        ):
+        )):
+            self._applications += 1
+            application = self._applications
+            if (
+                self.opt_bisect_limit is not None
+                and application > self.opt_bisect_limit
+            ):
+                contained += 1
+                if collector is not None:
+                    collector.add(Remark(
+                        "pm", func.name, "bisect-skip",
+                        {"pass": label, "application": application},
+                    ))
+                continue
+            snapshot = func.clone() if sandbox else None
             before_text = print_function(func) if plan.snapshot_each else None
             before = _sizes(func)
+            chaos_fired: Optional[dict] = None
             t0 = time.perf_counter()
-            with remark_context(collector, label, func.name):
-                pass_fn(func)
-            elapsed = time.perf_counter() - t0
-            # declared invalidation: body analyses the pass did not
-            # promise to preserve are dropped; shape analyses revalidate
-            # against their stamps on next access
-            manager.after_pass(preserves)
-            after = _sizes(func)
-            stats.stat(label).record(
-                elapsed,
-                after[0] - before[0],
-                after[1] - before[1],
-                after[2] - before[2],
-            )
-            if plan.check_each:
-                self._check(func, label, collector, lint=plan.lint_each)
-            if plan.certify_each:
-                self._certify(func, label, before_text, collector)
-            elif plan.transval_each:
-                self._transval(func, label, before_text, collector)
+            try:
+                if chaos is not None:
+                    chaos.maybe_fail(func.name, label, application)
+                with remark_context(collector, label, func.name):
+                    pass_fn(func)
+                if chaos is not None:
+                    chaos_fired = chaos.maybe_corrupt(func, label, application)
+                elapsed = time.perf_counter() - t0
+                # declared invalidation: body analyses the pass did not
+                # promise to preserve are dropped; shape analyses
+                # revalidate against their stamps on next access
+                manager.after_pass(preserves)
+                after = _sizes(func)
+                stats.stat(label).record(
+                    elapsed,
+                    after[0] - before[0],
+                    after[1] - before[1],
+                    after[2] - before[2],
+                )
+                if plan.check_each:
+                    self._check(func, label, collector, lint=plan.lint_each)
+                if plan.certify_each:
+                    self._certify(func, label, before_text, collector)
+                elif plan.transval_each:
+                    self._transval(func, label, before_text, collector)
+            except Exception as error:  # noqa: BLE001 — policy boundary
+                if not sandbox:
+                    raise  # on_error="raise": byte-identical legacy path
+                contained += 1
+                self._contain(
+                    func, snapshot, manager, error,
+                    label=label,
+                    index=index,
+                    application=application - first_application,
+                    entry=entry,
+                    entry_text=entry_text,
+                    chaos_fired=chaos_fired,
+                    collector=collector,
+                )
         final_label = self.labels[-1] if self.labels else "<empty>"
-        if plan.check_final:
-            self._check(func, final_label, collector, lint=plan.lint_final)
-        if plan.certify_final:
-            self._certify(func, final_label, baseline_text, collector)
-        elif plan.transval_final:
-            self._transval(func, final_label, baseline_text, collector)
+        try:
+            if plan.check_final:
+                self._check(func, final_label, collector, lint=plan.lint_final)
+            if plan.certify_final:
+                self._certify(func, final_label, entry_text, collector)
+            elif plan.transval_final:
+                self._transval(func, final_label, entry_text, collector)
+        except Exception as error:  # noqa: BLE001 — policy boundary
+            if not sandbox:
+                raise
+            # the whole sequence is suspect: fall back to the entry IR
+            # (which the caller already accepted as valid input)
+            contained += 1
+            self._contain(
+                func, entry, manager, error,
+                label=final_label,
+                index=len(self.labels) - 1,
+                application=self._applications - first_application,
+                entry=None,
+                entry_text=entry_text,
+                chaos_fired=None,
+                collector=collector,
+            )
         stats.functions += 1
         stats.seconds += time.perf_counter() - started
+        return contained
+
+    def _contain(
+        self,
+        func: Function,
+        snapshot: Optional[Function],
+        manager,
+        error: Exception,
+        *,
+        label: str,
+        index: int,
+        application: int,
+        entry: Optional[Function],
+        entry_text: Optional[str],
+        chaos_fired: Optional[dict],
+        collector: Optional[RemarkCollector],
+    ) -> None:
+        """Roll ``func`` back and record the incident (sandbox modes).
+
+        Under ``rollback`` the pre-pass snapshot is restored and the
+        pipeline continues; under ``degrade`` the pipeline-entry IR is
+        restored and :class:`DegradationRequired` aborts the run.
+        """
+        restore = entry if self.on_error == "degrade" and entry is not None \
+            else snapshot
+        if restore is not None:
+            _adopt(func, restore)
+            manager.invalidate_all()
+        incident_id = self._record_incident(
+            func, error,
+            label=label,
+            index=index,
+            application=application,
+            entry_text=entry_text,
+            chaos_fired=chaos_fired,
+        )
+        if collector is not None:
+            collector.add(Remark(
+                label, func.name, "contained",
+                {
+                    "error": type(error).__name__,
+                    "policy": self.on_error,
+                    "incident": incident_id,
+                },
+            ))
+        if self.on_error == "degrade":
+            raise DegradationRequired(
+                label, func.name, incident_id, type(error).__name__
+            ) from error
+
+    def _record_incident(
+        self,
+        func: Function,
+        error: Exception,
+        *,
+        label: str,
+        index: int,
+        application: int,
+        entry_text: Optional[str],
+        chaos_fired: Optional[dict],
+    ) -> Optional[str]:
+        """Persist one contained failure to the attached recorder."""
+        is_verification = isinstance(error, PassVerificationError)
+        chaos_descriptor = chaos_fired
+        if chaos_descriptor is None:
+            chaos_descriptor = getattr(error, "descriptor", None) or None
+        record = {
+            "function": func.name,
+            "input_ir": entry_text or "",
+            "specs": [[name, options] for name, options in self.specs],
+            "sequence": self.sequence_name,
+            "verify": self.verify,
+            "pass_label": label,
+            "pass_index": index,
+            "application": application,
+            "error_kind": "verification" if is_verification else "exception",
+            "error_type": type(error).__name__,
+            "message": str(error),
+            "diagnostics": [
+                d.as_dict() for d in getattr(error, "diagnostics", [])
+            ],
+            "chaos": chaos_descriptor,
+            "context": dict(self.incident_context),
+        }
+        incident_id = None
+        if self.incidents is not None:
+            incident_id = self.incidents.record(record)
+        if incident_id is not None:
+            self.incident_ids.append(incident_id)
+        return incident_id
 
     # -- verification hooks ------------------------------------------------------
 

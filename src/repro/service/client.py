@@ -8,7 +8,8 @@ a table keyed by request id.
 
 Connecting rides out restarts: ``ECONNREFUSED``/``ENOENT`` (a daemon or
 fleet shard that is restarting has either unlinked its socket or bound
-it but not yet accepted) is retried with bounded exponential backoff —
+it but not yet accepted) is retried with bounded, jittered exponential
+backoff —
 ``connect_retries`` extra attempts, ``connect_backoff`` doubling up to
 ``connect_backoff_cap`` — so clients ride out a shard restart instead
 of failing their first request.  The same client speaks to a plain
@@ -22,6 +23,7 @@ difference except by speed.
 
 from __future__ import annotations
 
+import random
 import socket
 import threading
 import time
@@ -84,7 +86,12 @@ class DaemonClient:
                 sock.close()
                 if attempt >= max(0, retries):
                     raise
-                time.sleep(min(backoff * (2**attempt), backoff_cap))
+                # full jitter: draw from [0, ceiling] so a herd of
+                # clients reconnecting after one shard restart spreads
+                # out instead of re-arriving in lockstep
+                time.sleep(
+                    random.uniform(0.0, min(backoff * (2**attempt), backoff_cap))
+                )
                 attempt += 1
             except BaseException:
                 sock.close()
@@ -147,6 +154,7 @@ class DaemonClient:
         tenant: str = protocol.DEFAULT_TENANT,
         priority: str = "interactive",
         no_store: bool = False,
+        on_error: str = "degrade",
     ) -> dict:
         """One compile round-trip; raises :class:`DaemonError` on failure."""
         reply = self.request(
@@ -159,6 +167,7 @@ class DaemonClient:
                 tenant=tenant,
                 priority=priority,
                 no_store=no_store,
+                on_error=on_error,
             )
         )
         if not reply.get("ok"):

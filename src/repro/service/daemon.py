@@ -42,6 +42,9 @@ class DaemonConfig:
     cache_dir: Optional[str] = ".repro_cache"
     cache_max_bytes: Optional[int] = 256 * 1024 * 1024
     cache_max_entries: Optional[int] = None
+    #: where workers record containment incidents (``repro triage``
+    #: reads the same directory); ``None`` disables recording
+    incident_dir: Optional[str] = ".repro_incidents"
 
 
 class CompileDaemon:
@@ -56,6 +59,7 @@ class CompileDaemon:
                 cache_dir=self.config.cache_dir,
                 cache_max_bytes=self.config.cache_max_bytes,
                 cache_max_entries=self.config.cache_max_entries,
+                incident_dir=self.config.incident_dir,
             ),
         )
         self.scheduler = Scheduler(

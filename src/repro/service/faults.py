@@ -25,6 +25,7 @@ see :mod:`repro.service.protocol`.
 from __future__ import annotations
 
 import os
+import random
 import time
 from dataclasses import dataclass
 
@@ -43,26 +44,43 @@ class FaultInjected(Exception):
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Bounded retry with exponential backoff for worker-death recovery.
+    """Bounded retry with jittered exponential backoff for worker-death
+    recovery.
 
     ``max_attempts`` counts executions, not retries: the default 3
-    allows the first run plus two retries.  Backoff before retry *n*
-    (1-based) is ``backoff * 2**(n-1)`` capped at ``backoff_cap`` —
-    enough to ride out a crash-looping input without stalling the
-    shard for long.
+    allows the first run plus two retries.  The backoff *ceiling*
+    before retry *n* (1-based) is ``backoff * 2**(n-1)`` capped at
+    ``backoff_cap``; the actual delay is drawn uniformly from
+    ``[0, ceiling]`` ("full jitter") so a whole fleet of retriers hit
+    by one event does not resynchronize into thundering-herd retries.
+    ``jitter=False`` pins the delay to the ceiling (deterministic
+    tests).
     """
 
     max_attempts: int = 3
     backoff: float = 0.05
     backoff_cap: float = 1.0
+    jitter: bool = True
+
+    def ceiling(self, attempt: int) -> float:
+        """The deterministic backoff cap before retry ``attempt`` (1-based)."""
+        return min(self.backoff * (2 ** max(0, attempt - 1)), self.backoff_cap)
 
     def delay(self, attempt: int) -> float:
         """Seconds to wait before running attempt ``attempt`` (1-based retry)."""
-        return min(self.backoff * (2 ** max(0, attempt - 1)), self.backoff_cap)
+        ceiling = self.ceiling(attempt)
+        return random.uniform(0.0, ceiling) if self.jitter else ceiling
 
 
 def validate_fault(fault: dict) -> dict:
-    """Normalize an injection spec (raises ``ValueError`` on nonsense)."""
+    """Normalize an injection spec (raises ``ValueError`` on nonsense).
+
+    An optional ``"levels"`` list restricts the fault to firing only
+    when the job runs at one of those optimization levels — that is how
+    the chaos bench builds a *poison pill*: a request that kills every
+    worker at the requested level but compiles fine once the scheduler
+    quarantines it down the degradation ladder.
+    """
     kind = fault.get("kind")
     if kind not in ("crash", "hang", "error"):
         raise ValueError(f"unknown fault kind {kind!r}")
@@ -70,18 +88,30 @@ def validate_fault(fault: dict) -> dict:
     seconds = float(fault.get("seconds", 0.0))
     if attempts < 0 or seconds < 0:
         raise ValueError("fault attempts/seconds must be non-negative")
-    return {"kind": kind, "attempts": attempts, "seconds": seconds}
+    normalized = {"kind": kind, "attempts": attempts, "seconds": seconds}
+    if "levels" in fault:
+        levels = fault["levels"]
+        if not isinstance(levels, (list, tuple)) or not all(
+            isinstance(level, str) for level in levels
+        ):
+            raise ValueError("fault levels must be a list of level names")
+        normalized["levels"] = sorted(levels)
+    return normalized
 
 
-def maybe_trigger(fault: dict | None, attempt: int) -> None:
+def maybe_trigger(fault: dict | None, attempt: int, level: str | None = None) -> None:
     """Fire ``fault`` inside a worker if ``attempt`` is still covered.
 
     Runs *before* the compile so cache warmth can never mask a crash.
     ``crash`` exits the process hard (no cleanup — that is the point),
     ``hang`` sleeps ``seconds`` then lets the job proceed, ``error``
-    raises :class:`FaultInjected`.
+    raises :class:`FaultInjected`.  A level-gated fault (``"levels"``)
+    stays dormant when the job runs at a level outside its list.
     """
     if not fault or attempt >= int(fault.get("attempts", 1)):
+        return
+    levels = fault.get("levels")
+    if levels and level not in levels:
         return
     kind = fault.get("kind")
     if kind == "crash":

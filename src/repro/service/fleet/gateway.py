@@ -40,6 +40,7 @@ import asyncio
 import dataclasses
 import json
 import os
+import random
 import socket as socket_module
 import tempfile
 import threading
@@ -71,6 +72,7 @@ GATEWAY_COUNTERS = (
     "shard_failovers",
     "shard_restarts",
     "shard_errors",
+    "shard_crash_loops",
 )
 
 #: Line-length cap for shard/client frames (big fuzz-CFG modules).
@@ -109,6 +111,17 @@ class FleetConfig:
     #: tenant → (rate, burst) overrides.
     quotas: dict = field(default_factory=dict)
     shard_settings: ShardSettings = field(default_factory=ShardSettings)
+    #: Supervisor respawn policy: the first respawn of a dead shard is
+    #: (nearly) immediate; each consecutive death without a stable
+    #: period in between doubles the backoff *ceiling* (full jitter,
+    #: capped), and after ``crash_loop_cap`` consecutive deaths the
+    #: slot stops respawning — a crash-looping shard must not burn the
+    #: host while the rest of the fleet serves.  ``respawn_reset``
+    #: seconds of continuous liveness clears the streak.
+    respawn_backoff: float = 0.2
+    respawn_backoff_cap: float = 5.0
+    crash_loop_cap: int = 5
+    respawn_reset: float = 5.0
 
 
 class ShardLink:
@@ -236,6 +249,7 @@ class FleetGateway:
         self._clients: set[asyncio.Task] = set()
         self._client_writers: set[asyncio.StreamWriter] = set()
         self._foreground = 0  # shard-bound compiles with a waiting client
+        self._supervisor_state: dict = {}
         self._generation = 0
         self._stop: Optional[asyncio.Event] = None
         self._upgrade_sem: Optional[asyncio.Semaphore] = None
@@ -331,16 +345,55 @@ class FleetGateway:
             probe.close()
 
     async def _supervise(self) -> None:
-        """Respawn dead shards in place (same slot, bumped generation)."""
+        """Respawn dead shards in place (same slot, bumped generation).
+
+        Jittered exponential backoff per slot: death *n* of a streak
+        waits up to ``respawn_backoff * 2**(n-1)`` (full jitter, capped
+        at ``respawn_backoff_cap``) before the next spawn, so a shard
+        that dies on arrival does not get forked in a tight loop — and
+        after ``crash_loop_cap`` consecutive deaths the slot is parked
+        (``shard_crash_loops``; visible per-shard in the stats
+        topology) until an operator intervenes.  ``respawn_reset``
+        seconds of continuous liveness forgives the streak.
+        """
+        loop = asyncio.get_running_loop()
+        state = {
+            shard.shard_id: {"failures": 0, "next_try": 0.0, "alive_since": None}
+            for shard in self.shards
+        }
+        self._supervisor_state = state
         while True:
-            await asyncio.sleep(0.2)
+            await asyncio.sleep(0.05)
+            now = loop.time()
             for shard in self.shards:
-                if not shard.alive():
-                    self.metrics.inc("shard_restarts")
-                    link = self._links.get(shard.shard_id)
-                    if link is not None:
-                        link.reset()
-                    shard.spawn()
+                slot = state[shard.shard_id]
+                if shard.alive():
+                    if slot["alive_since"] is None:
+                        slot["alive_since"] = now
+                    elif (
+                        slot["failures"]
+                        and now - slot["alive_since"] >= self.config.respawn_reset
+                    ):
+                        slot["failures"] = 0
+                    continue
+                slot["alive_since"] = None
+                if slot["failures"] >= max(1, self.config.crash_loop_cap):
+                    continue  # parked: crash loop detected
+                if now < slot["next_try"]:
+                    continue
+                slot["failures"] += 1
+                if slot["failures"] >= max(1, self.config.crash_loop_cap):
+                    self.metrics.inc("shard_crash_loops")
+                ceiling = min(
+                    self.config.respawn_backoff * (2 ** slot["failures"]),
+                    self.config.respawn_backoff_cap,
+                )
+                slot["next_try"] = now + random.uniform(0.0, ceiling)
+                self.metrics.inc("shard_restarts")
+                link = self._links.get(shard.shard_id)
+                if link is not None:
+                    link.reset()
+                shard.spawn()
 
     # -- client connections ------------------------------------------------------
 
@@ -501,18 +554,24 @@ class FleetGateway:
             )
             if not reply.get("ok"):
                 return reply
-            self._store_artifact(o1_key, reply, level=o1_level, tier=1)
+            if not reply.get("degraded"):
+                self._store_artifact(o1_key, reply, level=o1_level, tier=1)
             self.metrics.inc("replies_shard")
             self._ensure_upgrade(key, request)
-            return {**reply, "tier": 1, "level": o1_level,
+            return {**reply, "tier": 1,
+                    "level": reply.get("level", o1_level),
                     "served_from": "shard"}
         reply = await self._foreground_compile(request, key)
         if not reply.get("ok"):
             return reply
-        if not no_store:
+        # a degraded reply is honest about its achieved level but is
+        # NOT the artifact this key promises — storing it would serve a
+        # lower-level compile as a clean store hit forever after
+        if not no_store and not reply.get("degraded"):
             self._store_artifact(key, reply, level=level, tier=2)
         self.metrics.inc("replies_shard")
-        return {**reply, "tier": 2, "level": level, "served_from": "shard"}
+        return {**reply, "tier": 2, "level": reply.get("level", level),
+                "served_from": "shard"}
 
     async def _foreground_compile(self, request: dict, key: str) -> dict:
         """A shard compile a client is waiting on (upgrades yield to it)."""
@@ -546,6 +605,7 @@ class FleetGateway:
             "level": request["level"],
             "verify": request["verify"],
             "fault": request.get("fault"),
+            "on_error": request.get("on_error", "degrade"),
         }
         loop = asyncio.get_running_loop()
         deadline = loop.time() + self.config.request_timeout
@@ -649,12 +709,14 @@ class FleetGateway:
                     self.metrics.inc("upgrades_done")
                     return
                 reply = await self._compile_once(request, key)
-                if reply.get("ok"):
+                if reply.get("ok") and not reply.get("degraded"):
                     self._store_artifact(
                         key, reply, level=request["level"], tier=2
                     )
                     self.metrics.inc("upgrades_done")
                 else:
+                    # a degraded O2 answer must not be stored as the
+                    # requested level; count it as a failed upgrade
                     self.metrics.inc("upgrades_failed")
         except asyncio.CancelledError:
             raise
@@ -690,6 +752,13 @@ class FleetGateway:
                     "alive": shard.alive(),
                     "generation": shard.generation,
                     "socket": shard.socket_path,
+                    "respawn_failures": self._supervisor_state.get(
+                        shard.shard_id, {}
+                    ).get("failures", 0),
+                    "crash_looped": self._supervisor_state.get(
+                        shard.shard_id, {}
+                    ).get("failures", 0)
+                    >= max(1, self.config.crash_loop_cap),
                 }
                 for shard in self.shards
             ],

@@ -124,6 +124,9 @@ class Metrics:
         "overloaded",
         "cache_hits",
         "cache_misses",
+        "quarantined",
+        "quarantine_hits",
+        "degraded_replies",
     )
 
     def __init__(self, extra_counters: tuple = ()) -> None:

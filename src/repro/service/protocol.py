@@ -31,7 +31,10 @@ The **request key** is the content address used for in-flight dedup and
 worker sharding: the SHA-256 of ``(kind, level, verify, payload
 text)``.  The injected ``fault`` is deliberately *excluded* — it is
 test machinery, not compile input, and excluding it lets the tests
-dedupe a clean request against a hung twin.
+dedupe a clean request against a hung twin.  ``on_error`` (the
+containment policy, see :mod:`repro.triage`) is excluded for the same
+reason: it is execution policy, and a degraded reply already carries
+its achieved level explicitly.
 
 The fleet gateway (:mod:`repro.service.fleet`) speaks the same wire
 format with three additions: requests may carry ``tenant`` (quota
@@ -55,7 +58,7 @@ import tempfile
 from typing import Iterator, Optional
 
 from repro.pipeline.levels import OptLevel
-from repro.pm.manager import parse_verify
+from repro.pm.manager import ON_ERROR_POLICIES, parse_verify
 
 #: Error kinds a daemon (or gateway) reply may carry.
 ERROR_KINDS = (
@@ -164,13 +167,18 @@ def compile_request(
     tenant: str = DEFAULT_TENANT,
     priority: str = "interactive",
     no_store: bool = False,
+    on_error: str = "degrade",
 ) -> dict:
     """Build a normalized internal compile job (also the client payload).
 
     ``tenant``/``priority`` drive gateway quotas; ``no_store`` bypasses
     the artifact store and tiering (a bench/test knob forcing the
-    request down the shard compile path) — all three are ignored by a
-    plain daemon and excluded from the request key.
+    request down the shard compile path); ``on_error`` picks the
+    containment policy for optimization failures (``"degrade"`` walks
+    the ladder, ``"rollback"`` skips broken passes, ``"raise"`` restores
+    the legacy fail-hard behavior — see :mod:`repro.triage`).  All four
+    are execution policy, not compile input, and are excluded from the
+    request key.
     """
     return {
         "op": "compile",
@@ -182,6 +190,7 @@ def compile_request(
         "tenant": tenant,
         "priority": priority,
         "no_store": no_store,
+        "on_error": on_error,
     }
 
 
@@ -211,10 +220,19 @@ def validate_compile(message: dict) -> dict:
         try:
             OptLevel(level)
         except ValueError:
-            known = ["none"] + [opt.value for opt in OptLevel]
-            raise ProtocolError(
-                f"unknown level {level!r}; expected one of {known}"
-            ) from None
+            # not a Table 1 level: accept any *registered* sequence
+            # (``spec``, ``extended``, ...) so the degradation ladder's
+            # top rungs are reachable through the service too
+            from repro.pm.registry import get_sequence
+
+            try:
+                get_sequence(level)
+            except (KeyError, TypeError):
+                known = ["none"] + [opt.value for opt in OptLevel]
+                raise ProtocolError(
+                    f"unknown level {level!r}; expected one of {known} "
+                    "or a registered sequence name"
+                ) from None
     verify = message.get("verify", "final")
     try:
         parse_verify(verify)
@@ -231,6 +249,12 @@ def validate_compile(message: dict) -> dict:
         raise ProtocolError(
             f"unknown priority {priority!r}; expected one of {list(PRIORITIES)}"
         )
+    on_error = message.get("on_error", "degrade")
+    if on_error not in ON_ERROR_POLICIES:
+        raise ProtocolError(
+            f"unknown on_error policy {on_error!r}; "
+            f"expected one of {list(ON_ERROR_POLICIES)}"
+        )
     return compile_request(
         kind,
         text,
@@ -240,4 +264,5 @@ def validate_compile(message: dict) -> dict:
         tenant=tenant.strip(),
         priority=priority,
         no_store=bool(message.get("no_store", False)),
+        on_error=on_error,
     )

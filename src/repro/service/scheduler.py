@@ -22,6 +22,15 @@ The path of a compile request through the daemon:
    worker) under the :class:`~repro.service.faults.RetryPolicy`;
    jobs past their deadline are answered ``timeout`` and the stuck
    worker is killed.
+5. **quarantine** — a request that kills workers through its *whole*
+   retry budget is a poison pill: instead of a terminal
+   ``worker-crash``, the scheduler steps its level one rung down the
+   :data:`~repro.pipeline.levels.DEGRADATION_LADDER`, resets the
+   budget, and remembers the key → level mapping so later submits of
+   the same request start at the surviving level.  Only when the
+   bottom rung (``none``) still kills workers does the caller see
+   ``worker-crash``.  The reply for a stepped-down request carries
+   ``degraded``/``level``/``requested_level`` (docs/ROBUSTNESS.md).
 
 Everything here is policy over :class:`~repro.service.workers.
 WorkerPool` mechanism; the module has no socket knowledge and is
@@ -35,6 +44,7 @@ import threading
 import time
 from typing import Callable, Optional
 
+from repro.pipeline.levels import ladder_next
 from repro.service import protocol
 from repro.service.faults import OverloadedError, RetryPolicy, validate_fault
 from repro.service.metrics import Metrics
@@ -87,6 +97,7 @@ class Job:
         "deadline",
         "shard",
         "done",
+        "requested",
     )
 
     def __init__(self, seq: int, key: str, request: dict, deadline: float) -> None:
@@ -99,6 +110,9 @@ class Job:
         self.deadline = deadline
         self.shard = 0
         self.done = False
+        #: the level the *caller* asked for; ``request["level"]`` steps
+        #: down the degradation ladder when the key quarantines
+        self.requested = request["level"]
 
 
 class Scheduler:
@@ -123,6 +137,12 @@ class Scheduler:
         self.request_timeout = request_timeout
         self.retry = retry if retry is not None else RetryPolicy()
         self._jobs: dict[str, Job] = {}
+        #: poison-pill quarantine: request key → the ladder level this
+        #: key last had to step down to after killing workers through a
+        #: full retry budget.  Later submits of the same key start at
+        #: the quarantined level instead of killing workers all over
+        #: again (``quarantine_hits``).
+        self._quarantine: dict[str, str] = {}
         self._buffer: list[Job] = []
         self._wake = threading.Condition()
         self._queues: list[queue.Queue] = [queue.Queue() for _ in range(pool.size)]
@@ -203,6 +223,12 @@ class Scheduler:
             job = Job(
                 self._seq, key, request, time.monotonic() + self.request_timeout
             )
+            quarantined = self._quarantine.get(key)
+            if quarantined is not None and request.get("on_error") != "raise":
+                # a known poison pill: start at the level it survived
+                # instead of feeding it workers at the lethal one
+                job.request["level"] = quarantined
+                self.metrics.inc("quarantine_hits")
             job.shard = int(key[:8], 16) % self.pool.size
             job.futures.append(future)
             self._jobs[key] = job
@@ -215,12 +241,14 @@ class Scheduler:
         with self._wake:
             inflight = len(self._jobs)
             buffered = len(self._buffer)
+            quarantined = len(self._quarantine)
         return {
             "inflight": inflight,
             "buffered": buffered,
             "workers": self.pool.size,
             "workers_alive": self.pool.alive_count(),
             "worker_restarts": self.pool.restarts,
+            "quarantined_keys": quarantined,
         }
 
     # -- batching ----------------------------------------------------------------
@@ -277,6 +305,7 @@ class Scheduler:
                 "verify": job.request["verify"],
                 "fault": job.request["fault"],
                 "attempt": job.attempt,
+                "on_error": job.request.get("on_error", "degrade"),
             }
             for job in jobs
         ]
@@ -324,11 +353,29 @@ class Scheduler:
                 self._fail(job, "timeout",
                            f"no reply within {self.request_timeout}s")
             elif job.attempt + 1 >= self.retry.max_attempts:
-                self._fail(
-                    job,
-                    "worker-crash",
-                    f"worker died {job.attempt + 1} times running this request",
+                step = (
+                    ladder_next(job.request["level"])
+                    if job.request.get("on_error") != "raise"
+                    else None
                 )
+                if step is not None:
+                    # poison pill: this key killed a worker through the
+                    # whole retry budget at this level — quarantine it
+                    # one rung down the degradation ladder and retry
+                    # there with a fresh attempt budget
+                    job.request["level"] = step
+                    job.attempt = 0
+                    with self._wake:
+                        self._quarantine[job.key] = step
+                    self.metrics.inc("quarantined")
+                    retry.append(job)
+                else:
+                    self._fail(
+                        job,
+                        "worker-crash",
+                        f"worker died {job.attempt + 1} times running "
+                        "this request",
+                    )
             else:
                 job.attempt += 1
                 self.metrics.inc("retries")
@@ -348,6 +395,20 @@ class Scheduler:
         latency = time.monotonic() - job.enqueued
         self.metrics.latency.observe(latency)
         self.metrics.inc("replies_ok" if reply.get("ok") else "replies_error")
+        if reply.get("ok") and job.request["level"] != job.requested:
+            # the job was quarantined down the ladder after killing
+            # workers: overlay the honesty fields (the worker only knew
+            # the stepped-down level, so its requested_level is ours to
+            # correct; its achieved level stands if containment inside
+            # the worker degraded further still)
+            reply = {
+                **reply,
+                "degraded": True,
+                "level": reply.get("level", job.request["level"]),
+                "requested_level": job.requested,
+            }
+        if reply.get("degraded"):
+            self.metrics.inc("degraded_replies")
         for future in job.futures:
             future.set_reply(
                 {**reply, "attempts": job.attempt + 1, "deduped": future.deduped}

@@ -71,16 +71,61 @@ class WorkerConfig:
     cache_dir: Optional[str] = None
     cache_max_bytes: Optional[int] = None
     cache_max_entries: Optional[int] = None
+    incident_dir: Optional[str] = None
 
 
-def _run_job(job: dict, managers: dict, cache, stats) -> dict:
-    """Execute one compile job; always returns a reply, never raises."""
+def _run_contained(job: dict, cache, stats, incident_dir) -> dict:
+    """The containment fallback: re-run the failed job down the ladder.
+
+    Frontend errors were already separated out by the caller, so any
+    failure reaching here is an optimizer bug (or injected chaos); the
+    ladder guarantees a reply.  The degraded reply is honest: it names
+    the ``level`` actually achieved, keeps the original request under
+    ``requested_level`` and carries the incident ids for triage.
+    """
+    from repro.ir.printer import print_module
+    from repro.triage.containment import compile_payload_contained
+    from repro.triage.incidents import IncidentStore
+
+    store = IncidentStore(incident_dir) if incident_dir else None
+    result = compile_payload_contained(
+        job["kind"],
+        job["text"],
+        job["level"],
+        job["verify"],
+        on_error=job.get("on_error", "degrade"),
+        incidents=store,
+        cache=cache,
+        stats=stats,
+    )
+    reply = {"ok": True, "ir": print_module(result.module)}
+    if result.degraded:
+        reply["degraded"] = True
+        reply["level"] = result.achieved
+        reply["requested_level"] = result.requested
+        reply["incidents"] = result.incident_ids
+    return reply
+
+
+def _run_job(job: dict, managers: dict, cache, stats, config: WorkerConfig) -> dict:
+    """Execute one compile job; always returns a reply, never raises.
+
+    The hot path is the plain per-level :class:`PassManager` with the
+    shared cache.  Only when optimization *fails* — and the job's
+    ``on_error`` policy allows containment — does the job re-run through
+    :func:`repro.triage.containment.compile_payload_contained`, which
+    rolls back or walks the degradation ladder instead of failing.
+    """
+    from repro.frontend import FrontendError
+    from repro.ir.parser import IRSyntaxError
     from repro.ir.printer import print_module
     from repro.pipeline.driver import compile_payload
     from repro.pm.manager import PassManager
 
     try:
-        faults.maybe_trigger(job.get("fault"), job.get("attempt", 0))
+        faults.maybe_trigger(
+            job.get("fault"), job.get("attempt", 0), job.get("level")
+        )
         level, verify = job["level"], job["verify"]
         manager = None
         if level != "none":
@@ -100,6 +145,14 @@ def _run_job(job: dict, managers: dict, cache, stats) -> dict:
             "error": {"kind": "injected-error", "message": str(error)},
         }
     except Exception as error:  # noqa: BLE001 — structured reply, not a crash
+        # a program that does not parse deserves an honest compile-error;
+        # only *optimizer* failures are eligible for containment
+        frontend_error = isinstance(error, (FrontendError, IRSyntaxError))
+        if not frontend_error and job.get("on_error", "degrade") != "raise":
+            try:
+                return _run_contained(job, cache, stats, config.incident_dir)
+            except Exception as contained_error:  # noqa: BLE001
+                error = contained_error  # fall through to the structured reply
         return {
             "ok": False,
             "error": {
@@ -144,7 +197,7 @@ def worker_main(conn, config: WorkerConfig, close_fds=()) -> None:
             return
         stats = ManagerStats()
         for job in message[1]:
-            reply = _run_job(job, managers, cache, stats)
+            reply = _run_job(job, managers, cache, stats, config)
             try:
                 conn.send(("result", job["seq"], reply))
             except (BrokenPipeError, OSError):

@@ -1,0 +1,151 @@
+"""Opt-bisect: pin the first bad pass application of an incident.
+
+The probe is the manager's ``opt_bisect_limit`` (LLVM's
+``--opt-bisect-limit``): running with limit *L* applies only the first
+*L* pass applications and skips the rest.  If the recorded failure
+reproduces at limit *N* (the full sequence) but not at limit 0, the
+minimal failing limit — found by binary search — *is* the culprit
+application, and its index names the culprit pass.
+
+Replays rebuild the failure environment from the incident alone: the
+entry IR, the normalized specs, the verify policy and (for injected
+failures) the pinned chaos descriptor, so bisecting works identically
+for real pass bugs and for ``bench chaos`` injections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ir.parser import parse_function
+from repro.pm.manager import PassManager, PassVerificationError
+from repro.pm.registry import spec_label
+from repro.triage.chaos import PassChaos
+from repro.triage.incidents import Incident
+
+
+@dataclass
+class ReplayOutcome:
+    """What one replay of an incident did."""
+
+    failed: bool
+    error_type: str = ""
+    pass_label: str = ""
+    message: str = ""
+
+    def matches(self, incident: Incident) -> bool:
+        """The oracle: same exception kind, or same refutation.
+
+        For verification failures the guilty pass must match too — a
+        different pass refuting is a different bug.
+        """
+        if not self.failed or self.error_type != incident.error_type:
+            return False
+        if incident.error_kind == "verification":
+            return self.pass_label == incident.pass_label
+        return True
+
+
+def _specs(incident: Incident) -> list:
+    return [(name, dict(options)) for name, options in incident.specs]
+
+
+def chaos_for(incident: Incident) -> Optional[PassChaos]:
+    """The pinned injector replaying the incident's recorded fault."""
+    if not incident.chaos:
+        return None
+    return PassChaos.from_descriptor(incident.chaos)
+
+
+def replay(
+    incident: Incident,
+    *,
+    opt_bisect_limit: Optional[int] = None,
+    ir_text: Optional[str] = None,
+    specs: Optional[list] = None,
+) -> ReplayOutcome:
+    """Run the incident's pipeline once; report whether/how it failed.
+
+    ``ir_text``/``specs`` override the recorded reproducer — that is
+    the hook the delta-debugging reducer shrinks through.
+    """
+    func = parse_function(ir_text if ir_text is not None else incident.input_ir)
+    manager = PassManager(
+        specs if specs is not None else _specs(incident),
+        verify=incident.verify,
+        opt_bisect_limit=opt_bisect_limit,
+        chaos=chaos_for(incident),
+    )
+    try:
+        manager.run_function(func)
+    except PassVerificationError as error:
+        return ReplayOutcome(
+            True, type(error).__name__, error.pass_label, str(error)
+        )
+    except Exception as error:  # noqa: BLE001 — the oracle wants the type
+        return ReplayOutcome(
+            True,
+            type(error).__name__,
+            getattr(error, "pass_label", "") or "",
+            str(error),
+        )
+    return ReplayOutcome(False)
+
+
+@dataclass
+class BisectResult:
+    """The culprit pinned by binary search."""
+
+    culprit_application: int  #: 1-based application number
+    culprit_index: int  #: index into the incident's specs
+    culprit_label: str
+    total_applications: int
+    probes: int
+
+    def to_json(self) -> dict:
+        return {
+            "culprit_application": self.culprit_application,
+            "culprit_index": self.culprit_index,
+            "culprit_label": self.culprit_label,
+            "total_applications": self.total_applications,
+            "probes": self.probes,
+        }
+
+
+def bisect_incident(incident: Incident) -> Optional[BisectResult]:
+    """Binary-search the minimal failing ``opt_bisect_limit``.
+
+    Returns ``None`` when the incident does not reproduce at the full
+    sequence (a flaky or environment-dependent failure) or when it
+    somehow fails even with every pass skipped (then no pass is to
+    blame).  Otherwise ``log2(n) + 2`` replays pin the culprit.
+    """
+    specs = _specs(incident)
+    total = len(specs)
+    probes = 0
+
+    def fails(limit: int) -> bool:
+        nonlocal probes
+        probes += 1
+        return replay(incident, opt_bisect_limit=limit).matches(incident)
+
+    if not fails(total):
+        return None
+    if fails(0):
+        return None
+    low, high = 0, total  # fails(low) is False, fails(high) is True
+    while high - low > 1:
+        mid = (low + high) // 2
+        if fails(mid):
+            high = mid
+        else:
+            low = mid
+    index = high - 1
+    return BisectResult(
+        culprit_application=high,
+        culprit_index=index,
+        culprit_label=spec_label(specs[index]),
+        total_applications=total,
+        probes=probes,
+    )

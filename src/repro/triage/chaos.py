@@ -1,0 +1,139 @@
+"""Deterministic pass-failure injection (the ``bench chaos`` engine).
+
+A :class:`PassChaos` object plugs into :class:`repro.pm.manager.
+PassManager` via its ``chaos=`` hook and fires two kinds of faults:
+
+* **crash** — :meth:`maybe_fail` raises :class:`ChaosError` *before*
+  the pass body runs, modelling a pass that throws on this input;
+* **corrupt** — :meth:`maybe_corrupt` silently plants a use of an
+  undefined register in the function *after* the pass ran, modelling a
+  miscompile.  The def-use lint checker refutes it on the next
+  ``verify="each"`` check, so the refutation is attributed to exactly
+  the corrupted pass.
+
+Firing is a pure function of ``(seed, function, pass label)`` — no
+global RNG, no application counters — so a fault that fired once fires
+on every replay: the triage bisect/reduce loop reproduces injected
+failures the same way it reproduces real ones.  The descriptor stored
+in the incident (``{"kind", "function", "pass"}``) rebuilds an
+equivalent pinned injector via :meth:`PassChaos.from_descriptor`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional, Sequence
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.opcodes import Opcode
+
+
+class ChaosError(RuntimeError):
+    """An injected pass crash (the ``crash`` chaos kind)."""
+
+    def __init__(self, message: str, descriptor: Optional[dict] = None):
+        super().__init__(message)
+        self.descriptor = dict(descriptor or {})
+        self.pass_label = self.descriptor.get("pass")
+
+
+class PassChaos:
+    """Seeded, deterministic pass-crash / miscompile injection.
+
+    ``crash_passes`` / ``corrupt_passes`` fire unconditionally on every
+    application of the named passes (the 100 %-injection mode);
+    ``crash_rate`` / ``corrupt_rate`` fire on a seeded hash draw per
+    ``(function, pass)`` pair (the suite-wide random mode).
+    ``only_function`` restricts either mode to one function — that is
+    how an incident's descriptor pins the replay.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        crash_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
+        crash_passes: Sequence[str] = (),
+        corrupt_passes: Sequence[str] = (),
+        only_function: Optional[str] = None,
+    ) -> None:
+        self.seed = int(seed)
+        self.crash_rate = float(crash_rate)
+        self.corrupt_rate = float(corrupt_rate)
+        self.crash_passes = frozenset(crash_passes)
+        self.corrupt_passes = frozenset(corrupt_passes)
+        self.only_function = only_function
+        self.crashes = 0
+        self.corruptions = 0
+
+    @classmethod
+    def from_descriptor(cls, descriptor: dict) -> "PassChaos":
+        """The pinned injector replaying one incident's recorded fault."""
+        kind = descriptor.get("kind")
+        if kind not in ("crash", "corrupt"):
+            raise ValueError(f"unknown chaos kind {kind!r}")
+        passes = (descriptor["pass"],)
+        return cls(
+            crash_passes=passes if kind == "crash" else (),
+            corrupt_passes=passes if kind == "corrupt" else (),
+            only_function=descriptor.get("function"),
+        )
+
+    def _draw(self, *parts: str) -> float:
+        """A uniform [0,1) draw, a pure function of (seed, parts)."""
+        digest = hashlib.sha256(
+            "\x00".join([str(self.seed), *parts]).encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64
+
+    def _applies(self, function: str) -> bool:
+        return self.only_function is None or function == self.only_function
+
+    def maybe_fail(self, function: str, label: str, application: int) -> None:
+        """Raise :class:`ChaosError` if this (function, pass) is doomed."""
+        if not self._applies(function):
+            return
+        fire = label in self.crash_passes or (
+            self.crash_rate > 0.0
+            and self._draw("crash", function, label) < self.crash_rate
+        )
+        if fire:
+            self.crashes += 1
+            raise ChaosError(
+                f"injected crash in pass {label!r} on {function!r}",
+                {"kind": "crash", "function": function, "pass": label},
+            )
+
+    def maybe_corrupt(
+        self, func: Function, label: str, application: int
+    ) -> Optional[dict]:
+        """Plant a miscompile in ``func``; returns the descriptor if fired."""
+        if not self._applies(func.name):
+            return None
+        fire = label in self.corrupt_passes or (
+            self.corrupt_rate > 0.0
+            and self._draw("corrupt", func.name, label) < self.corrupt_rate
+        )
+        if not fire:
+            return None
+        self.corruptions += 1
+        _plant_undefined_use(func)
+        return {"kind": "corrupt", "function": func.name, "pass": label}
+
+
+def _plant_undefined_use(func: Function) -> None:
+    """Insert ``add`` of two never-defined registers before the last
+    terminator — structurally valid IR that the def-use checker must
+    refute (a guaranteed-garbage read on every path)."""
+    block = func.blocks[-1]
+    bad = Instruction(
+        Opcode.ADD,
+        target=func.new_reg(),
+        srcs=[func.new_reg(), func.new_reg()],
+    )
+    position = len(block.instructions)
+    if position and block.instructions[-1].is_terminator:
+        position -= 1
+    block.instructions.insert(position, bad)

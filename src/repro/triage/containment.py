@@ -1,0 +1,194 @@
+"""The degradation ladder: compile requests that never fail.
+
+:func:`compile_payload_contained` is the hardened sibling of
+:func:`repro.pipeline.driver.compile_payload`.  The frontend/parse step
+is *not* contained — a program that does not compile deserves an honest
+``compile-error`` — but optimization is: each function runs under a
+sandboxed :class:`~repro.pm.manager.PassManager`
+(``on_error="degrade"``), and any pass exception or verify refutation
+restores the function's entry IR and retries one rung down the
+registry's :data:`~repro.pipeline.levels.DEGRADATION_LADDER`
+(spec → distribution → partial → baseline → none).  The bottom rung
+runs zero passes, so the walk always terminates with valid IR — and
+because a *clean* rung is byte-identical to a direct compile at that
+level, a degraded reply is still an honest artifact of its achieved
+level, just not of the requested one.
+
+Every contained failure lands in the incident store, so degraded
+replies are not silent: the reply carries the achieved level and the
+incident ids, and ``repro triage`` picks the trail up from there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.frontend import compile_program
+from repro.ir.function import Module
+from repro.ir.parser import parse_module
+from repro.pipeline.driver import _optimize_module
+from repro.pipeline.levels import ladder_levels, resolve_level
+from repro.pm.manager import DegradationRequired, ManagerStats, PassManager
+
+
+@dataclass
+class FunctionOutcome:
+    """Where one function landed on the ladder."""
+
+    function: str
+    requested: str
+    achieved: str
+    rungs_tried: list[str] = field(default_factory=list)
+    incidents: list[str] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when the output is not the pure requested-level image —
+        either a lower rung answered, or (rollback) passes were skipped."""
+        return self.achieved != self.requested or bool(self.incidents)
+
+
+@dataclass
+class ContainedResult:
+    """One contained compile: the module plus the honesty metadata."""
+
+    module: Module
+    requested: str
+    achieved: str  #: the lowest rung any function needed
+    degraded: bool
+    outcomes: list[FunctionOutcome] = field(default_factory=list)
+    incident_ids: list[str] = field(default_factory=list)
+
+
+def compile_payload_contained(
+    kind: str,
+    text: str,
+    level_name: str = "distribution",
+    verify: str = "final",
+    *,
+    on_error: str = "degrade",
+    incidents=None,
+    cache=None,
+    chaos=None,
+    collector=None,
+    stats: Optional[ManagerStats] = None,
+) -> ContainedResult:
+    """Compile one payload; optimization failures degrade, never raise.
+
+    ``on_error`` picks the containment flavor: ``"degrade"`` (default)
+    walks the ladder so every function ends at the best level that
+    compiles *cleanly*; ``"rollback"`` stays at the requested level and
+    skips only the broken passes (the output is then a bespoke mix, so
+    it is reported as degraded whenever anything was contained).
+    Frontend/parse errors and ``on_error="raise"`` failures propagate.
+    """
+    if kind == "source":
+        module = compile_program(text)
+    elif kind == "ir":
+        module = parse_module(text)
+    else:
+        raise ValueError(f"unknown payload kind {kind!r}")
+    stats = stats if stats is not None else ManagerStats()
+    if level_name in (None, "none"):
+        _optimize_module(module, None, verify)
+        outcomes = [
+            FunctionOutcome(func.name, "none", "none", ["none"])
+            for func in module
+        ]
+        return ContainedResult(module, "none", "none", False, outcomes, [])
+    rungs = ladder_levels(level_name)
+    if on_error == "raise":
+        level = resolve_level(level_name)
+        manager = PassManager(
+            level.value, verify=verify, cache=cache,
+            collector=collector, stats=stats,
+        )
+        _optimize_module(module, manager, verify)
+        outcomes = [
+            FunctionOutcome(func.name, level_name, level_name, [level_name])
+            for func in module
+        ]
+        return ContainedResult(
+            module, level_name, level_name, False, outcomes, []
+        )
+    outcomes = []
+    all_incidents: list[str] = []
+    worst = 0  # deepest rung index any function needed
+    for func in module:
+        outcome = _contain_function(
+            func, rungs, verify,
+            on_error=on_error,
+            incidents=incidents,
+            cache=cache,
+            chaos=chaos,
+            collector=collector,
+            stats=stats,
+            kind=kind,
+        )
+        outcomes.append(outcome)
+        all_incidents.extend(outcome.incidents)
+        worst = max(worst, rungs.index(outcome.achieved))
+    achieved = rungs[worst]
+    degraded = any(outcome.degraded for outcome in outcomes)
+    return ContainedResult(
+        module, level_name, achieved, degraded, outcomes, all_incidents
+    )
+
+
+def _contain_function(
+    func,
+    rungs: list[str],
+    verify: str,
+    *,
+    on_error: str,
+    incidents,
+    cache,
+    chaos,
+    collector,
+    stats: ManagerStats,
+    kind: str,
+) -> FunctionOutcome:
+    """Walk one function down the ladder until a rung completes."""
+    from repro.analysis.manager import analyses
+    from repro.pm.manager import _adopt
+
+    requested = rungs[0]
+    outcome = FunctionOutcome(func.name, requested, requested)
+    pristine = func.clone()
+    for position, rung in enumerate(rungs):
+        outcome.rungs_tried.append(rung)
+        if rung == "none":
+            # zero passes: the entry IR is the answer (already restored)
+            outcome.achieved = "none"
+            return outcome
+        level = resolve_level(rung)
+        # rollback stays on the requested rung; a rung it still cannot
+        # finish (final verify refuted even after per-pass rollbacks)
+        # falls through to degrade semantics on the rungs below
+        policy = on_error if position == 0 else "degrade"
+        manager = PassManager(
+            level.value,
+            verify=verify,
+            cache=cache,
+            collector=collector,
+            stats=stats,
+            on_error=policy,
+            incidents=incidents,
+            incident_context={"level": rung, "requested": requested,
+                              "kind": kind},
+            chaos=chaos,
+        )
+        try:
+            manager.run_function(func)
+            outcome.incidents.extend(manager.incident_ids)
+            outcome.achieved = rung
+            return outcome
+        except DegradationRequired:
+            outcome.incidents.extend(manager.incident_ids)
+            # the manager restored the rung-entry IR already; re-adopt
+            # the pristine clone anyway so rung boundaries cannot drift
+            _adopt(func, pristine.clone())
+            analyses(func).invalidate_all()
+    outcome.achieved = rungs[-1]
+    return outcome

@@ -1,0 +1,240 @@
+"""The content-addressed incident store.
+
+One incident is one contained pass failure: the exact function IR that
+went into the pipeline, the pass sequence, which application failed and
+how (exception type or verification diagnostics), plus an optional
+chaos descriptor so injected failures replay deterministically.  The
+record is everything :mod:`repro.triage.bisect` and
+:mod:`repro.triage.reduce` need to reproduce the failure offline.
+
+Storage discipline mirrors :mod:`repro.profile.store`: entries are
+addressed by a SHA-256 of their reproducer-relevant fields (so the same
+bug hitting the same function a thousand times under load is *one*
+incident with a bumped ``count``), written atomically via
+:func:`repro.pm.cache.atomic_write_text`, and unreadable or torn
+entries read back as misses, never as crashes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Iterator, Optional
+
+from repro.pm.cache import atomic_write_text
+
+#: Default on-disk location, overridable via ``REPRO_INCIDENT_DIR``.
+DEFAULT_INCIDENT_DIR = ".repro_incidents"
+
+_SUFFIX = ".inc.json"
+
+#: Bumped on any layout change; mismatched entries read as misses.
+FORMAT_VERSION = 1
+
+
+@dataclass
+class Incident:
+    """One contained failure, with everything needed to replay it."""
+
+    function: str
+    input_ir: str  #: printed function IR at pipeline entry (the reproducer)
+    specs: list  #: normalized ``(pass, options)`` specs, JSON shape
+    verify: str
+    pass_label: str
+    pass_index: int
+    application: int  #: 1-based opt-bisect application number in this run
+    error_kind: str  #: ``"exception"`` | ``"verification"``
+    error_type: str  #: exception class name (the oracle identity)
+    message: str = ""
+    sequence: Optional[str] = None
+    diagnostics: list = field(default_factory=list)
+    chaos: Optional[dict] = None  #: injection descriptor for replay
+    context: dict = field(default_factory=dict)  #: level, seed, rung, ...
+    count: int = 1
+    reduced: Optional[dict] = None  #: filled in by ``repro triage reduce``
+    version: int = FORMAT_VERSION
+
+    @property
+    def incident_id(self) -> str:
+        """The content address: same bug, same id, however often it fires."""
+        digest = hashlib.sha256()
+        for part in (
+            self.function,
+            self.input_ir,
+            json.dumps(self.specs, sort_keys=True),
+            self.verify,
+            self.pass_label,
+            self.error_type,
+            json.dumps(self.chaos, sort_keys=True),
+        ):
+            digest.update(str(part).encode())
+            digest.update(b"\x00")
+        return digest.hexdigest()[:16]
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "Incident":
+        if int(payload.get("version", -1)) != FORMAT_VERSION:
+            raise ValueError(f"unknown incident format {payload.get('version')!r}")
+        fields = {name: payload[name] for name in (
+            "function", "input_ir", "specs", "verify", "pass_label",
+            "pass_index", "application", "error_kind", "error_type",
+        )}
+        return cls(
+            **fields,
+            message=payload.get("message", ""),
+            sequence=payload.get("sequence"),
+            diagnostics=payload.get("diagnostics", []),
+            chaos=payload.get("chaos"),
+            context=payload.get("context", {}),
+            count=int(payload.get("count", 1)),
+            reduced=payload.get("reduced"),
+        )
+
+    def summary(self) -> dict:
+        """The ``repro triage list`` row."""
+        return {
+            "id": self.incident_id,
+            "function": self.function,
+            "pass": self.pass_label,
+            "application": self.application,
+            "error": self.error_type,
+            "count": self.count,
+            "level": self.context.get("level"),
+            "reduced": self.reduced is not None,
+        }
+
+
+class IncidentStore:
+    """Two-tier (memory + optional directory) incident store."""
+
+    def __init__(self, directory: Optional[str] = None):
+        self.directory = directory
+        self._memory: dict[str, Incident] = {}
+        self.recorded = 0
+        self.deduped = 0
+
+    def _path(self, incident_id: str) -> str:
+        assert self.directory is not None
+        return os.path.join(self.directory, incident_id + _SUFFIX)
+
+    def record(self, payload) -> str:
+        """Persist one incident (dict or :class:`Incident`); returns its id.
+
+        A repeat of an already-recorded incident bumps ``count`` in
+        place instead of writing a sibling — the store holds *bugs*,
+        not occurrences.
+        """
+        incident = (
+            payload if isinstance(payload, Incident)
+            else Incident.from_json({**payload, "version": FORMAT_VERSION})
+        )
+        incident_id = incident.incident_id
+        existing = self.get(incident_id)
+        if existing is not None:
+            existing.count += incident.count
+            incident = existing
+            self.deduped += 1
+        else:
+            self.recorded += 1
+        self._write(incident_id, incident)
+        return incident_id
+
+    def update(self, incident_id: str, **fields) -> Optional[Incident]:
+        """Merge ``fields`` into a stored incident (e.g. ``reduced=...``)."""
+        incident = self.get(incident_id)
+        if incident is None:
+            return None
+        for name, value in fields.items():
+            setattr(incident, name, value)
+        self._write(incident_id, incident)
+        return incident
+
+    def _write(self, incident_id: str, incident: Incident) -> None:
+        self._memory[incident_id] = incident
+        if self.directory is not None:
+            atomic_write_text(
+                self.directory,
+                self._path(incident_id),
+                json.dumps(incident.to_json(), indent=1, sort_keys=True),
+            )
+
+    def get(self, incident_id: str) -> Optional[Incident]:
+        cached = self._memory.get(incident_id)
+        if cached is not None:
+            return cached
+        if self.directory is None:
+            return None
+        try:
+            with open(self._path(incident_id)) as handle:
+                payload = json.load(handle)
+            incident = Incident.from_json(payload)
+        except (OSError, ValueError, KeyError, TypeError):
+            # unreadable, truncated, or version-mismatched entries are
+            # misses — a torn store must never crash triage
+            return None
+        self._memory[incident_id] = incident
+        return incident
+
+    def entries(self) -> list[Incident]:
+        """Every readable incident, newest-file-first on disk."""
+        found: dict[str, Incident] = dict(self._memory)
+        if self.directory is not None and os.path.isdir(self.directory):
+            for name in sorted(os.listdir(self.directory)):
+                if not name.endswith(_SUFFIX):
+                    continue
+                incident_id = name[: -len(_SUFFIX)]
+                if incident_id in found:
+                    continue
+                incident = self.get(incident_id)
+                if incident is not None:
+                    found[incident_id] = incident
+        return sorted(
+            found.values(),
+            key=lambda inc: (inc.function, inc.pass_label, inc.incident_id),
+        )
+
+    def clear(self) -> None:
+        self._memory.clear()
+        self.recorded = 0
+        self.deduped = 0
+        if self.directory is not None and os.path.isdir(self.directory):
+            for name in os.listdir(self.directory):
+                if name.endswith(_SUFFIX) or name.endswith(".tmp"):
+                    try:
+                        os.unlink(os.path.join(self.directory, name))
+                    except OSError:
+                        pass
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+
+_DEFAULT: Optional[IncidentStore] = None
+
+
+def default_store() -> IncidentStore:
+    """The process-wide store (``$REPRO_INCIDENT_DIR`` or the default dir)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = IncidentStore(
+            os.environ.get("REPRO_INCIDENT_DIR", DEFAULT_INCIDENT_DIR)
+        )
+    return _DEFAULT
+
+
+@contextlib.contextmanager
+def set_default_store(store: Optional[IncidentStore]) -> Iterator[None]:
+    """Temporarily override :func:`default_store` (tests, benches)."""
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = store
+    try:
+        yield
+    finally:
+        _DEFAULT = previous

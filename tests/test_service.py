@@ -96,9 +96,17 @@ def test_request_key_ignores_fault_but_not_level():
 
 def test_retry_policy_backoff_caps():
     policy = RetryPolicy(max_attempts=5, backoff=0.1, backoff_cap=0.3)
-    assert policy.delay(1) == pytest.approx(0.1)
-    assert policy.delay(2) == pytest.approx(0.2)
-    assert policy.delay(4) == pytest.approx(0.3)
+    assert policy.ceiling(1) == pytest.approx(0.1)
+    assert policy.ceiling(2) == pytest.approx(0.2)
+    assert policy.ceiling(4) == pytest.approx(0.3)
+    # full jitter: each delay is drawn from [0, ceiling]
+    for attempt in (1, 2, 4):
+        for _ in range(20):
+            assert 0.0 <= policy.delay(attempt) <= policy.ceiling(attempt)
+    pinned = RetryPolicy(max_attempts=5, backoff=0.1, backoff_cap=0.3,
+                         jitter=False)
+    assert pinned.delay(2) == pytest.approx(0.2)
+    assert pinned.delay(4) == pytest.approx(0.3)
 
 
 def test_fault_validation_and_triggering():
